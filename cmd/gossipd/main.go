@@ -1,0 +1,54 @@
+// Command gossipd runs the GossipRouter reproduction (§6.2) under the
+// MPerf workload and reports routing throughput per synchronization
+// policy — the runnable form of the Fig 25 experiment.
+//
+// Usage:
+//
+//	gossipd                          # paper workload, all policies
+//	gossipd -clients 8 -messages 1000 -workers 4
+//	gossipd -policy ours
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/apps/gossip"
+	"repro/internal/modules/plan"
+)
+
+func main() {
+	clients := flag.Int("clients", 16, "MPerf clients (paper: 16)")
+	messages := flag.Int("messages", 5000, "messages per client (paper: 5000)")
+	unicast := flag.Int("unicast", 10, "percent unicast messages")
+	sendCost := flag.Int("sendcost", 60, "synthetic per-frame I/O cost")
+	workers := flag.Int("workers", 4, "router worker count (the paper's active cores)")
+	policy := flag.String("policy", "", "run one policy only (ours|global|2pl|manual)")
+	flag.Parse()
+
+	cfg := gossip.MPerfConfig{
+		Clients: *clients, Messages: *messages,
+		UnicastRatio: *unicast, SendCost: *sendCost, Workers: *workers,
+	}
+	want := gossip.Policies()
+	if *policy != "" {
+		want = []string{*policy}
+	}
+	expected := gossip.ExpectedFrames(cfg)
+	fmt.Printf("MPerf: %d clients × %d messages (%d%% unicast), %d workers, expecting %d frames\n",
+		cfg.Clients, cfg.Messages, cfg.UnicastRatio, cfg.Workers, expected)
+	for _, pol := range want {
+		r := gossip.New(pol, cfg.SendCost, plan.Options{})
+		start := time.Now()
+		res := gossip.RunMPerf(r, cfg)
+		elapsed := time.Since(start)
+		status := "OK"
+		if res.FramesDelivered != expected {
+			status = "FRAME MISMATCH"
+		}
+		fmt.Printf("%-8s routed %6d msgs, delivered %7d frames in %8v (%7.0f msgs/s)  [%s]\n",
+			pol, res.Handled, res.FramesDelivered, elapsed.Round(time.Millisecond),
+			float64(res.Handled)/elapsed.Seconds(), status)
+	}
+}

@@ -1,0 +1,32 @@
+package cia
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCompiledComputeIfAbsent: the generated function hands out exactly
+// one value per key under same-key contention.
+func TestCompiledComputeIfAbsent(t *testing.T) {
+	cache := NewCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				ComputeIfAbsent(cache, (g+i)%11)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cache.Size() != 11 {
+		t.Fatalf("cache size = %d, want 11", cache.Size())
+	}
+	for k := 0; k < 11; k++ {
+		v := cache.Get(k)
+		if v == nil || v.([]byte)[0] != byte(k) {
+			t.Errorf("key %d bound to %v", k, v)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package cia holds the semlockc-compiled ComputeIfAbsent pattern (§6.1)
+// — see input.go.txt for the annotated source and cia_semlock.go for the
+// generated output.
+package cia
+
+import (
+	"repro/internal/core"
+	"repro/internal/semadt"
+)
+
+// compute is the pure computation of the pattern (the paper emulates it
+// with a 128-byte allocation).
+func compute(key int) core.Value {
+	b := make([]byte, 128)
+	b[0] = byte(key)
+	return b
+}
+
+// NewCache creates the shared Map bound to the compiled plan's table.
+func NewCache() *semadt.Map { return semadt.NewMap(_semlockPlan.Table("Map")) }

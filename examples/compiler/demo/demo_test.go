@@ -1,0 +1,50 @@
+package demo
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGeneratedProcessAtomicity runs the semlockc-generated Process
+// concurrently: with flag=true every transaction creates-or-reuses the
+// id's Set, adds its unique pair, enqueues the Set and removes the id —
+// so every enqueued Set must hold exactly one transaction's pair, and
+// the map must end empty. This is the same invariant the interpreter's
+// Fig 1 test checks, now on compiled output.
+func TestGeneratedProcessAtomicity(t *testing.T) {
+	m := NewDemoMap()
+	q := NewDemoQueue()
+	const goroutines = 8
+	const iters = 150
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tid := g*iters + i
+				Process(m, q, tid%5, 2*tid, 2*tid+1, true)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	drained := 0
+	for {
+		v := q.Dequeue()
+		if v == nil {
+			break
+		}
+		drained++
+		set := v.(*SetAlias)
+		if set.Size() != 2 {
+			t.Fatalf("enqueued set has %d elements, want 2", set.Size())
+		}
+	}
+	if drained != goroutines*iters {
+		t.Fatalf("drained %d sets, want %d", drained, goroutines*iters)
+	}
+	if m.Size() != 0 {
+		t.Errorf("map size = %d at the end, want 0", m.Size())
+	}
+}

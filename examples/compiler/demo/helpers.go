@@ -1,0 +1,17 @@
+// Package demo holds the semlockc-compiled form of the Fig 1 atomic
+// section (demo_semlock.go is generated; see input.go.txt for the
+// annotated source). This file adds the hand-written constructors the
+// example and its tests use to create instances bound to the compiled
+// plan's mode tables.
+package demo
+
+import "repro/internal/semadt"
+
+// SetAlias re-exports the wrapper Set type for test assertions.
+type SetAlias = semadt.Set
+
+// NewDemoMap creates the shared Map instance of the example.
+func NewDemoMap() *semadt.Map { return semadt.NewMap(_semlockPlan.Table("Map")) }
+
+// NewDemoQueue creates the shared Queue instance of the example.
+func NewDemoQueue() *semadt.Queue { return semadt.NewQueue(_semlockPlan.Table("Queue")) }

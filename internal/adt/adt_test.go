@@ -1,0 +1,350 @@
+package adt
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMapBasics(t *testing.T) {
+	m := NewHashMap()
+	if m.Get("k") != nil || m.Size() != 0 || m.ContainsKey("k") {
+		t.Fatal("fresh map not empty")
+	}
+	if old := m.Put("k", 1); old != nil {
+		t.Errorf("Put on absent key returned %v", old)
+	}
+	if old := m.Put("k", 2); old != 1 {
+		t.Errorf("Put returned %v, want 1", old)
+	}
+	if m.Get("k") != 2 || m.Size() != 1 || !m.ContainsKey("k") {
+		t.Error("map state wrong after puts")
+	}
+	if got := m.PutIfAbsent("k", 9); got != 2 {
+		t.Errorf("PutIfAbsent on present key returned %v", got)
+	}
+	if got := m.PutIfAbsent("j", 7); got != nil {
+		t.Errorf("PutIfAbsent on absent key returned %v", got)
+	}
+	if m.Get("j") != 7 || m.Size() != 2 {
+		t.Error("putIfAbsent state wrong")
+	}
+	if got := m.Remove("k"); got != 2 {
+		t.Errorf("Remove returned %v", got)
+	}
+	if got := m.Remove("k"); got != nil {
+		t.Errorf("double Remove returned %v", got)
+	}
+	m.Clear()
+	if m.Size() != 0 || m.ContainsKey("j") {
+		t.Error("Clear incomplete")
+	}
+}
+
+// TestHashMapModel: random op sequences agree with Go's built-in map.
+func TestHashMapModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewHashMap()
+		ref := make(map[int]int)
+		for _, o := range ops {
+			k := int(o % 13)
+			v := int(o >> 4)
+			switch (o >> 2) % 3 {
+			case 0:
+				got := m.Put(k, v)
+				want, had := ref[k]
+				if had && got != want || !had && got != nil {
+					return false
+				}
+				ref[k] = v
+			case 1:
+				got := m.Remove(k)
+				want, had := ref[k]
+				if had && got != want || !had && got != nil {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				got := m.Get(k)
+				want, had := ref[k]
+				if had && got != want || !had && got != nil {
+					return false
+				}
+			}
+			if m.Size() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashMapRange(t *testing.T) {
+	m := NewHashMap()
+	for i := 0; i < 100; i++ {
+		m.Put(i, i*i)
+	}
+	seen := 0
+	m.Range(func(k, v any) bool {
+		if v != k.(int)*k.(int) {
+			t.Errorf("Range saw %v→%v", k, v)
+		}
+		seen++
+		return true
+	})
+	if seen != 100 {
+		t.Errorf("Range visited %d, want 100", seen)
+	}
+	// Early stop.
+	n := 0
+	m.Range(func(k, v any) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("Range early stop visited %d", n)
+	}
+}
+
+func TestHashMapConcurrent(t *testing.T) {
+	m := NewHashMap()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := g*1000 + i
+				m.Put(k, k)
+				if m.Get(k) != k {
+					t.Errorf("lost update for %d", k)
+					return
+				}
+				if i%3 == 0 {
+					m.Remove(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestHashSetBasics(t *testing.T) {
+	s := NewHashSet()
+	s.Add(1)
+	s.Add(1)
+	s.Add(2)
+	if s.Size() != 2 || !s.Contains(1) || !s.Contains(2) || s.Contains(3) {
+		t.Error("set state wrong")
+	}
+	s.Remove(1)
+	s.Remove(1)
+	if s.Size() != 1 || s.Contains(1) {
+		t.Error("remove wrong")
+	}
+	count := 0
+	s.Range(func(v any) bool { count++; return true })
+	if count != 1 {
+		t.Errorf("Range visited %d", count)
+	}
+	s.Clear()
+	if s.Size() != 0 {
+		t.Error("clear wrong")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue()
+	if !q.IsEmpty() || q.Size() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty succeeded")
+	}
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+	}
+	if q.Size() != 100 || q.IsEmpty() {
+		t.Error("size wrong")
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d returned %v,%v", i, v, ok)
+		}
+	}
+	if !q.IsEmpty() {
+		t.Error("not empty after drain")
+	}
+}
+
+// TestQueueGrowWrap exercises ring growth with a wrapped head.
+func TestQueueGrowWrap(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 12; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 10; i++ {
+		q.Dequeue()
+	}
+	for i := 100; i < 140; i++ { // forces growth while head > 0
+		q.Enqueue(i)
+	}
+	want := []int{10, 11}
+	for i := 100; i < 140; i++ {
+		want = append(want, i)
+	}
+	for _, w := range want {
+		v, ok := q.Dequeue()
+		if !ok || v != w {
+			t.Fatalf("got %v,%v want %d", v, ok, w)
+		}
+	}
+}
+
+func TestQueueConcurrentDrain(t *testing.T) {
+	q := NewQueue()
+	const total = 4000
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				q.Enqueue(g*10000 + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[any]bool)
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate element %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != total {
+		t.Errorf("drained %d, want %d", len(seen), total)
+	}
+}
+
+func TestMultimap(t *testing.T) {
+	mm := NewMultimap()
+	if !mm.Put("a", 1) || !mm.Put("a", 2) || mm.Put("a", 1) {
+		t.Error("Put newness wrong")
+	}
+	if mm.Size() != 2 || !mm.ContainsEntry("a", 1) || mm.ContainsEntry("a", 3) {
+		t.Error("state wrong")
+	}
+	vs := mm.Get("a")
+	if len(vs) != 2 {
+		t.Errorf("Get returned %v", vs)
+	}
+	if !mm.Remove("a", 1) || mm.Remove("a", 1) {
+		t.Error("Remove wrong")
+	}
+	if mm.Size() != 1 {
+		t.Error("size after remove wrong")
+	}
+	mm.Put("b", 9)
+	removed := mm.RemoveAll("a")
+	if len(removed) != 1 || removed[0] != 2 {
+		t.Errorf("RemoveAll returned %v", removed)
+	}
+	if mm.Size() != 1 || len(mm.Get("a")) != 0 {
+		t.Error("RemoveAll state wrong")
+	}
+}
+
+func TestDeque(t *testing.T) {
+	d := NewDeque()
+	d.PushBack(2)
+	d.PushFront(1)
+	d.PushBack(3)
+	if d.Size() != 3 {
+		t.Fatal("size wrong")
+	}
+	if v, _ := d.PopFront(); v != 1 {
+		t.Errorf("PopFront = %v", v)
+	}
+	if v, _ := d.PopBack(); v != 3 {
+		t.Errorf("PopBack = %v", v)
+	}
+	if v, _ := d.PopFront(); v != 2 {
+		t.Errorf("PopFront = %v", v)
+	}
+	if _, ok := d.PopBack(); ok {
+		t.Error("pop on empty succeeded")
+	}
+	if _, ok := d.PopFront(); ok {
+		t.Error("pop on empty succeeded")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc(2)
+				c.Dec(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Read() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Read())
+	}
+}
+
+func TestPQueueOrdering(t *testing.T) {
+	p := NewPQueue()
+	for _, pr := range []int64{5, 1, 4, 1, 9, 0} {
+		p.Insert(pr, pr*10)
+	}
+	if p.Size() != 6 {
+		t.Fatal("size wrong")
+	}
+	if v, ok := p.PeekMin(); !ok || v != int64(0) {
+		t.Errorf("PeekMin = %v", v)
+	}
+	prev := int64(-1)
+	for {
+		v, ok := p.ExtractMin()
+		if !ok {
+			break
+		}
+		if v.(int64) < prev {
+			t.Errorf("extracted %v after %v", v, prev)
+		}
+		prev = v.(int64)
+	}
+	if _, ok := p.PeekMin(); ok {
+		t.Error("peek on empty succeeded")
+	}
+}
+
+func TestList(t *testing.T) {
+	l := NewList()
+	if l.Get(0) != nil || l.Size() != 0 {
+		t.Fatal("fresh list wrong")
+	}
+	i0 := l.Append("a")
+	i1 := l.Append("b")
+	if i0 != 0 || i1 != 1 {
+		t.Error("append indices wrong")
+	}
+	if !l.Set(0, "z") || l.Set(5, "x") {
+		t.Error("Set bounds wrong")
+	}
+	if l.Get(0) != "z" || l.Get(1) != "b" || l.Get(-1) != nil {
+		t.Error("Get wrong")
+	}
+}

@@ -1,0 +1,111 @@
+package adt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+type mmShard struct {
+	mu sync.Mutex
+	m  map[core.Value]map[core.Value]struct{}
+}
+
+// Multimap is a linearizable key → set-of-values container (the Guava
+// SetMultimap shape the Graph benchmark of §6.1 builds on), with striped
+// internal locking.
+type Multimap struct {
+	shards [numShards]mmShard
+	size   atomic.Int64
+}
+
+// NewMultimap creates an empty multimap.
+func NewMultimap() *Multimap {
+	h := &Multimap{}
+	for i := range h.shards {
+		h.shards[i].m = make(map[core.Value]map[core.Value]struct{})
+	}
+	return h
+}
+
+// Put associates v with k; it reports whether the entry was new.
+func (h *Multimap) Put(k, v core.Value) bool {
+	s := &h.shards[shardIndex(k)]
+	s.mu.Lock()
+	vs, ok := s.m[k]
+	if !ok {
+		vs = make(map[core.Value]struct{})
+		s.m[k] = vs
+	}
+	if _, had := vs[v]; had {
+		s.mu.Unlock()
+		return false
+	}
+	vs[v] = struct{}{}
+	s.mu.Unlock()
+	h.size.Add(1)
+	return true
+}
+
+// Get returns a snapshot of the values associated with k.
+func (h *Multimap) Get(k core.Value) []core.Value {
+	s := &h.shards[shardIndex(k)]
+	s.mu.Lock()
+	vs := s.m[k]
+	out := make([]core.Value, 0, len(vs))
+	for v := range vs {
+		out = append(out, v)
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// ContainsEntry reports whether (k, v) is present.
+func (h *Multimap) ContainsEntry(k, v core.Value) bool {
+	s := &h.shards[shardIndex(k)]
+	s.mu.Lock()
+	_, ok := s.m[k][v]
+	s.mu.Unlock()
+	return ok
+}
+
+// Remove deletes the entry (k, v); it reports whether it was present.
+func (h *Multimap) Remove(k, v core.Value) bool {
+	s := &h.shards[shardIndex(k)]
+	s.mu.Lock()
+	vs, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	if _, had := vs[v]; !had {
+		s.mu.Unlock()
+		return false
+	}
+	delete(vs, v)
+	if len(vs) == 0 {
+		delete(s.m, k)
+	}
+	s.mu.Unlock()
+	h.size.Add(-1)
+	return true
+}
+
+// RemoveAll deletes every entry of k and returns the removed values.
+func (h *Multimap) RemoveAll(k core.Value) []core.Value {
+	s := &h.shards[shardIndex(k)]
+	s.mu.Lock()
+	vs := s.m[k]
+	out := make([]core.Value, 0, len(vs))
+	for v := range vs {
+		out = append(out, v)
+	}
+	delete(s.m, k)
+	s.mu.Unlock()
+	h.size.Add(int64(-len(out)))
+	return out
+}
+
+// Size returns the number of (key, value) entries.
+func (h *Multimap) Size() int { return int(h.size.Load()) }

@@ -1,0 +1,76 @@
+package adt
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Queue is a linearizable FIFO queue (mutex-protected ring buffer).
+// Under the pool relaxation used by the commutativity specification,
+// concurrently enqueued elements may be observed in either order; the
+// implementation itself is strictly FIFO with respect to the
+// linearization order of the enqueues.
+type Queue struct {
+	mu    sync.Mutex
+	buf   []core.Value
+	head  int
+	count int
+}
+
+// NewQueue creates an empty queue.
+func NewQueue() *Queue {
+	return &Queue{buf: make([]core.Value, 16)}
+}
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(v core.Value) {
+	q.mu.Lock()
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.count++
+	q.mu.Unlock()
+}
+
+// Dequeue removes and returns the oldest element; ok is false when the
+// queue is empty.
+func (q *Queue) Dequeue() (v core.Value, ok bool) {
+	q.mu.Lock()
+	if q.count == 0 {
+		q.mu.Unlock()
+		return nil, false
+	}
+	v = q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.mu.Unlock()
+	return v, true
+}
+
+// IsEmpty reports emptiness.
+func (q *Queue) IsEmpty() bool {
+	q.mu.Lock()
+	empty := q.count == 0
+	q.mu.Unlock()
+	return empty
+}
+
+// Size returns the element count.
+func (q *Queue) Size() int {
+	q.mu.Lock()
+	n := q.count
+	q.mu.Unlock()
+	return n
+}
+
+func (q *Queue) grow() {
+	nb := make([]core.Value, 2*len(q.buf))
+	for i := 0; i < q.count; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}

@@ -1,0 +1,269 @@
+// Package adtspecs is the registry of commutativity specifications
+// (§5.2, Fig 3b) for the ADT classes used throughout the repository:
+// the paper's running examples (Map, Set, Queue) and the evaluation's
+// composite modules and applications (Multimap, Deque, Counter,
+// PriorityQueue, List, Register).
+//
+// Each specification relates every pair of methods with a condition
+// under which their operations commute; unlisted pairs default to
+// "never commute" (conservative).
+package adtspecs
+
+import "repro/internal/core"
+
+// Set returns the Fig 3(b) specification of the Set ADT:
+//
+//	            add(v')  remove(v')  contains(v')  size()  clear()
+//	add(v)      true     v≠v'        v≠v'          false   false
+//	remove(v)            true        v≠v'          false   false
+//	contains(v)                      true          true    false
+//	size()                                         true    false
+//	clear()                                                true
+func Set() *core.Spec {
+	s := core.NewSpec("Set",
+		core.MethodSig{Name: "add", Arity: 1},
+		core.MethodSig{Name: "remove", Arity: 1},
+		core.MethodSig{Name: "contains", Arity: 1},
+		core.MethodSig{Name: "size", Arity: 0},
+		core.MethodSig{Name: "clear", Arity: 0},
+	)
+	s.Commute("add", "add", core.Always)
+	s.Commute("add", "remove", core.ArgsNE(0, 0))
+	s.Commute("add", "contains", core.ArgsNE(0, 0))
+	s.Commute("remove", "remove", core.Always)
+	s.Commute("remove", "contains", core.ArgsNE(0, 0))
+	s.Commute("contains", "contains", core.Always)
+	s.Commute("contains", "size", core.Always)
+	s.Commute("size", "size", core.Always)
+	s.Commute("clear", "clear", core.Always)
+	return s
+}
+
+// Map returns the Map ADT specification: operations on distinct keys
+// commute; reads on one key commute with each other; writes on one key
+// conflict; size/isEmpty conflict with writes. containsKey behaves like
+// get.
+func Map() *core.Spec {
+	s := core.NewSpec("Map",
+		core.MethodSig{Name: "get", Arity: 1},
+		core.MethodSig{Name: "put", Arity: 2},
+		core.MethodSig{Name: "remove", Arity: 1},
+		core.MethodSig{Name: "containsKey", Arity: 1},
+		core.MethodSig{Name: "putIfAbsent", Arity: 2},
+		core.MethodSig{Name: "size", Arity: 0},
+		core.MethodSig{Name: "clear", Arity: 0},
+		core.MethodSig{Name: "putAll", Arity: 1},
+		core.MethodSig{Name: "values", Arity: 0},
+	)
+	// putAll copies another map wholesale; it conflicts with everything
+	// (no Commute entries — the conservative default). values() is a
+	// whole-map read: it commutes with every read but no write.
+	reads := []string{"get", "containsKey"}
+	writes := []string{"put", "remove", "putIfAbsent"}
+	for _, r := range reads {
+		for _, r2 := range reads {
+			s.Commute(r, r2, core.Always)
+		}
+		for _, w := range writes {
+			s.Commute(r, w, core.ArgsNE(0, 0))
+		}
+		s.Commute(r, "size", core.Always)
+	}
+	for _, w := range writes {
+		for _, w2 := range writes {
+			s.Commute(w, w2, core.ArgsNE(0, 0))
+		}
+	}
+	// putIfAbsent commutes with itself on the same key? No: both observe
+	// presence; order matters for the return value. Distinct keys only
+	// (covered above). remove/remove on one key both end absent but the
+	// returned old values differ; keep conservative (ArgsNE, above).
+	s.Commute("size", "size", core.Always)
+	s.Commute("clear", "clear", core.Always)
+	s.Commute("values", "values", core.Always)
+	s.Commute("values", "get", core.Always)
+	s.Commute("values", "containsKey", core.Always)
+	s.Commute("values", "size", core.Always)
+	return s
+}
+
+// Queue returns the Queue ADT specification. Enqueues commute with each
+// other only under a multiset (pool) semantics; the paper's benchmarks
+// (Intruder's work queues) tolerate reordering of concurrently inserted
+// elements, which is the standard "commutative enqueue" relaxation used
+// for semantic concurrency control. Dequeue conflicts with everything.
+func Queue() *core.Spec {
+	s := core.NewSpec("Queue",
+		core.MethodSig{Name: "enqueue", Arity: 1},
+		core.MethodSig{Name: "dequeue", Arity: 0},
+		core.MethodSig{Name: "isEmpty", Arity: 0},
+		core.MethodSig{Name: "size", Arity: 0},
+	)
+	s.Commute("enqueue", "enqueue", core.Always)
+	s.Commute("isEmpty", "isEmpty", core.Always)
+	s.Commute("isEmpty", "size", core.Always)
+	s.Commute("size", "size", core.Always)
+	return s
+}
+
+// Multimap returns the Multimap ADT specification (Guava-style,
+// key → collection of values), used by the Graph benchmark: operations
+// on distinct keys commute, gets commute, puts of distinct (key,value)
+// pairs commute, and put/remove commute unless both key and value may
+// collide.
+func Multimap() *core.Spec {
+	s := core.NewSpec("Multimap",
+		core.MethodSig{Name: "get", Arity: 1},
+		core.MethodSig{Name: "put", Arity: 2},
+		core.MethodSig{Name: "remove", Arity: 2},
+		core.MethodSig{Name: "removeAll", Arity: 1},
+		core.MethodSig{Name: "containsEntry", Arity: 2},
+		core.MethodSig{Name: "size", Arity: 0},
+	)
+	s.Commute("get", "get", core.Always)
+	s.Commute("get", "put", core.ArgsNE(0, 0))
+	s.Commute("get", "remove", core.ArgsNE(0, 0))
+	s.Commute("get", "removeAll", core.ArgsNE(0, 0))
+	s.Commute("get", "containsEntry", core.Always)
+	s.Commute("put", "put", core.OrCond(core.ArgsNE(0, 0), core.ArgsNE(1, 1)))
+	s.Commute("put", "remove", core.OrCond(core.ArgsNE(0, 0), core.ArgsNE(1, 1)))
+	s.Commute("put", "removeAll", core.ArgsNE(0, 0))
+	s.Commute("put", "containsEntry", core.OrCond(core.ArgsNE(0, 0), core.ArgsNE(1, 1)))
+	s.Commute("remove", "remove", core.Always)
+	s.Commute("remove", "removeAll", core.ArgsNE(0, 0))
+	s.Commute("remove", "containsEntry", core.OrCond(core.ArgsNE(0, 0), core.ArgsNE(1, 1)))
+	s.Commute("removeAll", "removeAll", core.Always)
+	s.Commute("containsEntry", "containsEntry", core.Always)
+	s.Commute("size", "size", core.Always)
+	return s
+}
+
+// Deque returns a double-ended queue specification; only same-end
+// insertions commute under pool semantics, so it is deliberately more
+// conservative than Queue.
+func Deque() *core.Spec {
+	s := core.NewSpec("Deque",
+		core.MethodSig{Name: "pushFront", Arity: 1},
+		core.MethodSig{Name: "pushBack", Arity: 1},
+		core.MethodSig{Name: "popFront", Arity: 0},
+		core.MethodSig{Name: "popBack", Arity: 0},
+		core.MethodSig{Name: "size", Arity: 0},
+	)
+	s.Commute("pushFront", "pushBack", core.Always)
+	s.Commute("size", "size", core.Always)
+	return s
+}
+
+// Counter returns a commutative counter specification: increments
+// commute with each other (and decrements), reads commute with reads.
+func Counter() *core.Spec {
+	s := core.NewSpec("Counter",
+		core.MethodSig{Name: "inc", Arity: 1},
+		core.MethodSig{Name: "dec", Arity: 1},
+		core.MethodSig{Name: "read", Arity: 0},
+	)
+	s.Commute("inc", "inc", core.Always)
+	s.Commute("inc", "dec", core.Always)
+	s.Commute("dec", "dec", core.Always)
+	s.Commute("read", "read", core.Always)
+	return s
+}
+
+// PQueue returns a priority-queue specification: inserts commute under
+// pool semantics; extractMin conflicts with inserts and itself.
+func PQueue() *core.Spec {
+	s := core.NewSpec("PQueue",
+		core.MethodSig{Name: "insert", Arity: 2},
+		core.MethodSig{Name: "extractMin", Arity: 0},
+		core.MethodSig{Name: "peekMin", Arity: 0},
+		core.MethodSig{Name: "size", Arity: 0},
+	)
+	s.Commute("insert", "insert", core.Always)
+	s.Commute("peekMin", "peekMin", core.Always)
+	s.Commute("peekMin", "size", core.Always)
+	s.Commute("size", "size", core.Always)
+	return s
+}
+
+// List returns an indexed-list specification: reads commute; writes to
+// distinct indices commute; append conflicts with reads of unknown
+// indices and with size.
+func List() *core.Spec {
+	s := core.NewSpec("List",
+		core.MethodSig{Name: "get", Arity: 1},
+		core.MethodSig{Name: "set", Arity: 2},
+		core.MethodSig{Name: "append", Arity: 1},
+		core.MethodSig{Name: "size", Arity: 0},
+	)
+	s.Commute("get", "get", core.Always)
+	s.Commute("get", "set", core.ArgsNE(0, 0))
+	s.Commute("set", "set", core.ArgsNE(0, 0))
+	s.Commute("append", "get", core.Always) // existing indices unaffected
+	s.Commute("append", "set", core.Always)
+	s.Commute("size", "size", core.Always)
+	s.Commute("size", "get", core.Always)
+	s.Commute("size", "set", core.Always)
+	return s
+}
+
+// OrderedMap returns the ordered-map (Treap) specification — the
+// range-operation extension of the condition algebra: a range scan
+// rangeCount(lo,hi) commutes with put(k,v)/remove(k) exactly when the
+// key lies outside the range (k < lo or k > hi). Keys are int64 by the
+// ADT's contract, which is what makes the ordered conditions' symbolic
+// reasoning over core.IntervalPhi buckets sound.
+func OrderedMap() *core.Spec {
+	s := core.NewSpec("OrderedMap",
+		core.MethodSig{Name: "get", Arity: 1},
+		core.MethodSig{Name: "put", Arity: 2},
+		core.MethodSig{Name: "remove", Arity: 1},
+		core.MethodSig{Name: "rangeCount", Arity: 2},
+		core.MethodSig{Name: "size", Arity: 0},
+	)
+	outside := func(keyIdx int) core.Cond {
+		// key < lo  OR  key > hi  (the second op is the range op).
+		return core.OrCond(core.ArgsLT(keyIdx, 0), core.ArgsGT(keyIdx, 1))
+	}
+	s.Commute("get", "get", core.Always)
+	s.Commute("get", "put", core.ArgsNE(0, 0))
+	s.Commute("get", "remove", core.ArgsNE(0, 0))
+	s.Commute("get", "rangeCount", core.Always) // both read
+	s.Commute("get", "size", core.Always)
+	s.Commute("put", "put", core.ArgsNE(0, 0))
+	s.Commute("put", "remove", core.ArgsNE(0, 0))
+	s.Commute("put", "rangeCount", outside(0))
+	s.Commute("remove", "remove", core.Always)
+	s.Commute("remove", "rangeCount", outside(0))
+	s.Commute("rangeCount", "rangeCount", core.Always)
+	s.Commute("rangeCount", "size", core.Always)
+	s.Commute("size", "size", core.Always)
+	return s
+}
+
+// Register returns a read/write register specification (the degenerate
+// ADT whose semantic locking is exactly a read-write lock).
+func Register() *core.Spec {
+	s := core.NewSpec("Register",
+		core.MethodSig{Name: "read", Arity: 0},
+		core.MethodSig{Name: "write", Arity: 1},
+	)
+	s.Commute("read", "read", core.Always)
+	return s
+}
+
+// All returns the full registry keyed by ADT class name, as the
+// synthesizer consumes it.
+func All() map[string]*core.Spec {
+	return map[string]*core.Spec{
+		"Set":        Set(),
+		"Map":        Map(),
+		"Queue":      Queue(),
+		"Multimap":   Multimap(),
+		"Deque":      Deque(),
+		"Counter":    Counter(),
+		"PQueue":     PQueue(),
+		"List":       List(),
+		"Register":   Register(),
+		"OrderedMap": OrderedMap(),
+	}
+}

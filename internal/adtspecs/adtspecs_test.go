@@ -1,0 +1,171 @@
+package adtspecs
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAllValidate: every registered specification is internally
+// consistent (condition indices within arities).
+func TestAllValidate(t *testing.T) {
+	for name, spec := range All() {
+		if errs := spec.Validate(); len(errs) != 0 {
+			t.Errorf("%s: %v", name, errs)
+		}
+		if spec.ADT != name {
+			t.Errorf("registry key %q != spec name %q", name, spec.ADT)
+		}
+	}
+}
+
+// TestSymmetry: commutativity is symmetric for every pair over a probe
+// of concrete operations.
+func TestSymmetry(t *testing.T) {
+	vals := []core.Value{0, 1, 2}
+	for name, spec := range All() {
+		var probes []core.Op
+		for _, m := range spec.Methods() {
+			switch m.Arity {
+			case 0:
+				probes = append(probes, core.NewOp(m.Name))
+			case 1:
+				for _, v := range vals {
+					probes = append(probes, core.NewOp(m.Name, v))
+				}
+			case 2:
+				for _, v := range vals {
+					probes = append(probes, core.NewOp(m.Name, v, v), core.NewOp(m.Name, v, (v.(int)+1)%3))
+				}
+			}
+		}
+		for _, a := range probes {
+			for _, b := range probes {
+				if spec.OpsCommute(a, b) != spec.OpsCommute(b, a) {
+					t.Errorf("%s: commutativity of (%s, %s) asymmetric", name, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestMapSemantics: spot-checks against sequential Map semantics.
+func TestMapSemantics(t *testing.T) {
+	m := Map()
+	cases := []struct {
+		a, b core.Op
+		want bool
+	}{
+		{core.NewOp("get", 1), core.NewOp("get", 1), true},
+		{core.NewOp("get", 1), core.NewOp("put", 1, "v"), false},
+		{core.NewOp("get", 1), core.NewOp("put", 2, "v"), true},
+		{core.NewOp("put", 1, "a"), core.NewOp("put", 1, "b"), false},
+		{core.NewOp("put", 1, "a"), core.NewOp("remove", 2), true},
+		{core.NewOp("size"), core.NewOp("put", 1, "a"), false},
+		{core.NewOp("size"), core.NewOp("get", 1), true},
+		{core.NewOp("values"), core.NewOp("get", 1), true},
+		{core.NewOp("values"), core.NewOp("put", 1, "a"), false},
+		{core.NewOp("putAll", 9), core.NewOp("get", 1), false},
+		{core.NewOp("clear"), core.NewOp("clear"), true},
+	}
+	for _, c := range cases {
+		if got := m.OpsCommute(c.a, c.b); got != c.want {
+			t.Errorf("Map: commute(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestQueueSemantics: pool-relaxed enqueues commute; dequeues don't.
+func TestQueueSemantics(t *testing.T) {
+	q := Queue()
+	if !q.OpsCommute(core.NewOp("enqueue", 1), core.NewOp("enqueue", 2)) {
+		t.Error("enqueues must commute")
+	}
+	if q.OpsCommute(core.NewOp("enqueue", 1), core.NewOp("dequeue")) {
+		t.Error("enqueue/dequeue must conflict")
+	}
+	if q.OpsCommute(core.NewOp("dequeue"), core.NewOp("dequeue")) {
+		t.Error("dequeues must conflict")
+	}
+	if q.OpsCommute(core.NewOp("enqueue", 1), core.NewOp("isEmpty")) {
+		t.Error("enqueue/isEmpty must conflict")
+	}
+}
+
+// TestMultimapSemantics: the two-argument disequalities.
+func TestMultimapSemantics(t *testing.T) {
+	mm := Multimap()
+	cases := []struct {
+		a, b core.Op
+		want bool
+	}{
+		{core.NewOp("put", 1, 2), core.NewOp("put", 1, 2), false},
+		{core.NewOp("put", 1, 2), core.NewOp("put", 1, 3), true},
+		{core.NewOp("put", 1, 2), core.NewOp("put", 2, 2), true},
+		{core.NewOp("put", 1, 2), core.NewOp("remove", 1, 2), false},
+		{core.NewOp("put", 1, 2), core.NewOp("remove", 1, 3), true},
+		{core.NewOp("get", 1), core.NewOp("put", 1, 2), false},
+		{core.NewOp("get", 1), core.NewOp("put", 2, 2), true},
+		{core.NewOp("removeAll", 1), core.NewOp("put", 1, 5), false},
+		{core.NewOp("removeAll", 1), core.NewOp("put", 2, 5), true},
+		{core.NewOp("remove", 1, 2), core.NewOp("remove", 1, 2), true},
+	}
+	for _, c := range cases {
+		if got := mm.OpsCommute(c.a, c.b); got != c.want {
+			t.Errorf("Multimap: commute(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestCounterSemantics: increments commute, reads conflict with writes
+// (unlisted pair defaults to never).
+func TestCounterSemantics(t *testing.T) {
+	c := Counter()
+	if !c.OpsCommute(core.NewOp("inc", 1), core.NewOp("inc", 5)) ||
+		!c.OpsCommute(core.NewOp("inc", 1), core.NewOp("dec", 2)) {
+		t.Error("inc/dec must commute")
+	}
+	if c.OpsCommute(core.NewOp("read"), core.NewOp("inc", 1)) {
+		t.Error("read/inc must conflict")
+	}
+}
+
+// TestRegisterIsRWLock: the degenerate ADT.
+func TestRegisterIsRWLock(t *testing.T) {
+	r := Register()
+	if !r.OpsCommute(core.NewOp("read"), core.NewOp("read")) {
+		t.Error("reads commute")
+	}
+	if r.OpsCommute(core.NewOp("read"), core.NewOp("write", 1)) ||
+		r.OpsCommute(core.NewOp("write", 1), core.NewOp("write", 2)) {
+		t.Error("writes exclusive")
+	}
+}
+
+// TestDequeAndPQueueAndList sanity.
+func TestDequeAndPQueueAndList(t *testing.T) {
+	d := Deque()
+	if !d.OpsCommute(core.NewOp("pushFront", 1), core.NewOp("pushBack", 2)) {
+		t.Error("opposite-end pushes commute")
+	}
+	if d.OpsCommute(core.NewOp("pushFront", 1), core.NewOp("popFront")) {
+		t.Error("same-end push/pop conflict")
+	}
+	p := PQueue()
+	if !p.OpsCommute(core.NewOp("insert", int64(1), "a"), core.NewOp("insert", int64(2), "b")) {
+		t.Error("inserts commute (pool)")
+	}
+	if p.OpsCommute(core.NewOp("insert", int64(1), "a"), core.NewOp("extractMin")) {
+		t.Error("insert/extractMin conflict")
+	}
+	l := List()
+	if !l.OpsCommute(core.NewOp("set", 1, "a"), core.NewOp("set", 2, "b")) {
+		t.Error("distinct-index sets commute")
+	}
+	if l.OpsCommute(core.NewOp("set", 1, "a"), core.NewOp("set", 1, "b")) {
+		t.Error("same-index sets conflict")
+	}
+	if !l.OpsCommute(core.NewOp("append", "x"), core.NewOp("get", 0)) {
+		t.Error("append commutes with existing-index reads")
+	}
+}

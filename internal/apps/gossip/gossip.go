@@ -1,0 +1,474 @@
+// Package gossip is a from-scratch reproduction of the JGroups
+// GossipRouter benchmark (§6.2): a routing server whose main state is a
+// routing table consisting of an unbounded number of Map ADTs — an
+// outer Map from group name to a per-group member Map, created
+// dynamically on registration.
+//
+// The atomic sections contain I/O: routing a message writes to member
+// connections inside the section. The paper treats these I/O operations
+// as thread-local, which is only possible because semantic locking
+// never rolls back (irrevocable operations, §6.2). The network is
+// replaced by an in-process transport (DESIGN.md substitution 5): a
+// Conn counts delivered frames and burns a small calibrated cost per
+// send, standing in for the socket write.
+package gossip
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adt"
+	"repro/internal/adtspecs"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/modules/plan"
+)
+
+// Conn is an in-process client connection: the I/O sink of the router.
+type Conn struct {
+	Member   string
+	Frames   atomic.Int64
+	Bytes    atomic.Int64
+	sendCost int
+}
+
+// NewConn creates a connection whose Send burns sendCost units of
+// synthetic work per frame (the stand-in for a socket write).
+func NewConn(member string, sendCost int) *Conn {
+	return &Conn{Member: member, sendCost: sendCost}
+}
+
+// Send delivers one frame.
+func (c *Conn) Send(payload []byte) {
+	// Synthetic serialization cost.
+	s := 0
+	for i := 0; i < c.sendCost; i++ {
+		s += i
+	}
+	if s == -1 {
+		panic("unreachable")
+	}
+	c.Frames.Add(1)
+	c.Bytes.Add(int64(len(payload)))
+}
+
+// Router handles the four message kinds under one synchronization
+// policy.
+type Router interface {
+	Register(group, member string, conn *Conn)
+	Unregister(group, member string)
+	Unicast(group, dst string, payload []byte)
+	Multicast(group string, payload []byte)
+}
+
+// Sections returns the router's atomic sections in IR.
+func Sections() []*ir.Atomic {
+	vars := func() []ir.Param {
+		return []ir.Param{
+			{Name: "groups", Type: "Map", IsADT: true, NonNull: true},
+			{Name: "members", Type: "Map", IsADT: true},
+			{Name: "g", Type: "string"},
+			{Name: "m", Type: "string"},
+			{Name: "dst", Type: "string"},
+			{Name: "conn", Type: "Conn"},
+			{Name: "c", Type: "Conn"},
+			{Name: "cs", Type: "list"},
+		}
+	}
+	return []*ir.Atomic{
+		{
+			Name: "register",
+			Vars: vars(),
+			Body: ir.Block{
+				&ir.Call{Recv: "groups", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "g"}}, Assign: "members"},
+				&ir.If{
+					Cond: ir.IsNull{Var: "members"},
+					Then: ir.Block{
+						&ir.Assign{Lhs: "members", NewType: "Map"},
+						&ir.Call{Recv: "groups", Method: "put", Args: []ir.Expr{ir.VarRef{Name: "g"}, ir.VarRef{Name: "members"}}},
+					},
+				},
+				&ir.Call{Recv: "members", Method: "put", Args: []ir.Expr{ir.VarRef{Name: "m"}, ir.VarRef{Name: "conn"}}},
+			},
+		},
+		{
+			Name: "unregister",
+			Vars: vars(),
+			Body: ir.Block{
+				&ir.Call{Recv: "groups", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "g"}}, Assign: "members"},
+				&ir.If{
+					Cond: ir.NotNull{Var: "members"},
+					Then: ir.Block{
+						&ir.Call{Recv: "members", Method: "remove", Args: []ir.Expr{ir.VarRef{Name: "m"}}},
+					},
+				},
+			},
+		},
+		{
+			Name: "unicast",
+			Vars: vars(),
+			Body: ir.Block{
+				&ir.Call{Recv: "groups", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "g"}}, Assign: "members"},
+				&ir.If{
+					Cond: ir.NotNull{Var: "members"},
+					Then: ir.Block{
+						&ir.Call{Recv: "members", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "dst"}}, Assign: "c"},
+						&ir.If{
+							Cond: ir.NotNull{Var: "c"},
+							Then: ir.Block{
+								// I/O: thread-local, not an ADT op.
+								&ir.Assign{Lhs: "c", Rhs: ir.Opaque{Text: "send(c, payload)", Reads: []string{"c"}}},
+							},
+						},
+					},
+				},
+			},
+		},
+		{
+			Name: "multicast",
+			Vars: vars(),
+			Body: ir.Block{
+				&ir.Call{Recv: "groups", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "g"}}, Assign: "members"},
+				&ir.If{
+					Cond: ir.NotNull{Var: "members"},
+					Then: ir.Block{
+						&ir.Call{Recv: "members", Method: "values", Assign: "cs"},
+						// I/O loop over cs: thread-local.
+						&ir.Assign{Lhs: "cs", Rhs: ir.Opaque{Text: "sendAll(cs, payload)", Reads: []string{"cs"}}},
+					},
+				},
+			},
+		},
+	}
+}
+
+// ClassOf splits the outer group map and the (unboundedly many) inner
+// member maps into two classes — the member maps are one class, as the
+// points-to abstraction allocates them at a single site.
+func ClassOf(sec *ir.Atomic, v string) string {
+	switch v {
+	case "groups":
+		return "Map$groups"
+	case "members":
+		return "Map$members"
+	}
+	return sec.ADTType(v)
+}
+
+var planCache = plan.NewCache(func(opt plan.Options) *plan.Plan {
+	return plan.MustBuild(Sections(), adtspecs.All(), ClassOf, opt)
+})
+
+// BuildPlan synthesizes the router; plans are memoized per Options.
+// register's {put(m,conn)} instantiates n² modes, so the default
+// MaxModes cap coarsens φ — members are still spread over 32 buckets.
+func BuildPlan(opt plan.Options) *plan.Plan { return planCache.Get(opt) }
+
+// New creates the named variant: "ours", "global", "2pl" or "manual".
+// sendCost is the per-frame synthetic I/O cost.
+func New(policy string, sendCost int, opt plan.Options) Router {
+	switch policy {
+	case "ours":
+		return newOurs(sendCost, opt)
+	case "global":
+		return &global{groups: adt.NewHashMap()}
+	case "2pl":
+		return &twoPL{groups: adt.NewHashMap(), groupsL: cc.NewInstanceLock(0)}
+	case "manual":
+		return &manual{groups: adt.NewHashMap()}
+	default:
+		panic(fmt.Sprintf("gossip: unknown policy %q", policy))
+	}
+}
+
+// Policies lists the variants in the order Fig 25 plots them.
+func Policies() []string { return []string{"ours", "global", "2pl", "manual"} }
+
+// ours executes the synthesized plan. Each inner member map carries its
+// own Semantic instance (the class has unboundedly many instances).
+type ours struct {
+	groups    *adt.HashMap
+	groupsSem *core.Semantic
+	memTable  *core.ModeTable
+
+	regGroups func(...core.Value) core.ModeID // register: groups {get(g),put(g,*)}
+	regMem    func(...core.Value) core.ModeID // register: members {put(m,conn)}
+	unregG    func(...core.Value) core.ModeID // unregister: groups {get(g)}
+	unregMem  func(...core.Value) core.ModeID // unregister: members {remove(m)}
+	uniG      func(...core.Value) core.ModeID // unicast: groups {get(g)}
+	uniMem    func(...core.Value) core.ModeID // unicast: members {get(dst)}
+	mcG       func(...core.Value) core.ModeID // multicast: groups {get(g)}
+	mcMem     func(...core.Value) core.ModeID // multicast: members {values()}
+}
+
+// memberMap is one inner ADT instance: a map plus its semantic lock.
+type memberMap struct {
+	m   *adt.HashMap
+	sem *core.Semantic
+}
+
+func newOurs(sendCost int, opt plan.Options) *ours {
+	_ = sendCost
+	p := BuildPlan(opt)
+	o := &ours{groups: adt.NewHashMap()}
+	o.groupsSem = core.NewSemantic(p.Table("Map$groups"))
+	o.memTable = p.Table("Map$members")
+	o.regGroups = p.Ref(0, "groups").Binder("g")
+	o.regMem = p.Ref(0, "members").Binder("m", "conn")
+	o.unregG = p.Ref(1, "groups").Binder("g")
+	o.unregMem = p.Ref(1, "members").Binder("m")
+	o.uniG = p.Ref(2, "groups").Binder("g")
+	o.uniMem = p.Ref(2, "members").Binder("dst")
+	o.mcG = p.Ref(3, "groups").Binder("g")
+	o.mcMem = p.Ref(3, "members").Binder()
+	return o
+}
+
+func (o *ours) Register(group, member string, conn *Conn) {
+	mg := o.regGroups(group)
+	o.groupsSem.Acquire(mg)
+	var mm *memberMap
+	if v := o.groups.Get(group); v != nil {
+		mm = v.(*memberMap)
+	} else {
+		mm = &memberMap{m: adt.NewHashMap(), sem: core.NewSemantic(o.memTable)}
+		o.groups.Put(group, mm)
+	}
+	m2 := o.regMem(member, conn)
+	mm.sem.Acquire(m2)
+	mm.m.Put(member, conn)
+	mm.sem.Release(m2)
+	o.groupsSem.Release(mg)
+}
+
+func (o *ours) Unregister(group, member string) {
+	mg := o.unregG(group)
+	o.groupsSem.Acquire(mg)
+	if v := o.groups.Get(group); v != nil {
+		mm := v.(*memberMap)
+		m2 := o.unregMem(member)
+		mm.sem.Acquire(m2)
+		mm.m.Remove(member)
+		mm.sem.Release(m2)
+	}
+	o.groupsSem.Release(mg)
+}
+
+func (o *ours) Unicast(group, dst string, payload []byte) {
+	mg := o.uniG(group)
+	o.groupsSem.Acquire(mg)
+	if v := o.groups.Get(group); v != nil {
+		mm := v.(*memberMap)
+		m2 := o.uniMem(dst)
+		mm.sem.Acquire(m2)
+		if c := mm.m.Get(dst); c != nil {
+			c.(*Conn).Send(payload) // I/O inside the section
+		}
+		mm.sem.Release(m2)
+	}
+	o.groupsSem.Release(mg)
+}
+
+func (o *ours) Multicast(group string, payload []byte) {
+	mg := o.mcG(group)
+	o.groupsSem.Acquire(mg)
+	if v := o.groups.Get(group); v != nil {
+		mm := v.(*memberMap)
+		m2 := o.mcMem()
+		mm.sem.Acquire(m2)
+		for _, c := range mm.m.Values() {
+			c.(*Conn).Send(payload) // I/O inside the section
+		}
+		mm.sem.Release(m2)
+	}
+	o.groupsSem.Release(mg)
+}
+
+// global serializes every section.
+type global struct {
+	mu     cc.GlobalLock
+	groups *adt.HashMap
+}
+
+func (g *global) inner(group string, create bool) *adt.HashMap {
+	if v := g.groups.Get(group); v != nil {
+		return v.(*adt.HashMap)
+	}
+	if !create {
+		return nil
+	}
+	m := adt.NewHashMap()
+	g.groups.Put(group, m)
+	return m
+}
+
+func (g *global) Register(group, member string, conn *Conn) {
+	g.mu.Enter()
+	defer g.mu.Exit()
+	g.inner(group, true).Put(member, conn)
+}
+
+func (g *global) Unregister(group, member string) {
+	g.mu.Enter()
+	defer g.mu.Exit()
+	if m := g.inner(group, false); m != nil {
+		m.Remove(member)
+	}
+}
+
+func (g *global) Unicast(group, dst string, payload []byte) {
+	g.mu.Enter()
+	defer g.mu.Exit()
+	if m := g.inner(group, false); m != nil {
+		if c := m.Get(dst); c != nil {
+			c.(*Conn).Send(payload)
+		}
+	}
+}
+
+func (g *global) Multicast(group string, payload []byte) {
+	g.mu.Enter()
+	defer g.mu.Exit()
+	if m := g.inner(group, false); m != nil {
+		for _, c := range m.Values() {
+			c.(*Conn).Send(payload)
+		}
+	}
+}
+
+// twoPL locks the outer instance, then the touched inner instance.
+type twoPL struct {
+	groups  *adt.HashMap
+	groupsL *cc.InstanceLock
+}
+
+type lockedInner struct {
+	m *adt.HashMap
+	l *cc.InstanceLock
+}
+
+func (t *twoPL) inner(group string, create bool) *lockedInner {
+	if v := t.groups.Get(group); v != nil {
+		return v.(*lockedInner)
+	}
+	if !create {
+		return nil
+	}
+	li := &lockedInner{m: adt.NewHashMap(), l: cc.NewInstanceLock(1)}
+	t.groups.Put(group, li)
+	return li
+}
+
+func (t *twoPL) Register(group, member string, conn *Conn) {
+	var tx cc.TwoPL
+	tx.Lock(t.groupsL)
+	defer tx.UnlockAll()
+	li := t.inner(group, true)
+	tx.Lock(li.l)
+	li.m.Put(member, conn)
+}
+
+func (t *twoPL) Unregister(group, member string) {
+	var tx cc.TwoPL
+	tx.Lock(t.groupsL)
+	defer tx.UnlockAll()
+	if li := t.inner(group, false); li != nil {
+		tx.Lock(li.l)
+		li.m.Remove(member)
+	}
+}
+
+func (t *twoPL) Unicast(group, dst string, payload []byte) {
+	var tx cc.TwoPL
+	tx.Lock(t.groupsL)
+	defer tx.UnlockAll()
+	if li := t.inner(group, false); li != nil {
+		tx.Lock(li.l)
+		if c := li.m.Get(dst); c != nil {
+			c.(*Conn).Send(payload)
+		}
+	}
+}
+
+func (t *twoPL) Multicast(group string, payload []byte) {
+	var tx cc.TwoPL
+	tx.Lock(t.groupsL)
+	defer tx.UnlockAll()
+	if li := t.inner(group, false); li != nil {
+		tx.Lock(li.l)
+		for _, c := range li.m.Values() {
+			c.(*Conn).Send(payload)
+		}
+	}
+}
+
+// manual is the hand-optimized variant (in the spirit of optimizing the
+// output of [9]): an RWMutex on the outer table and one RWMutex per
+// group; routes take read locks (sends to different members proceed in
+// parallel), membership changes take the group's write lock.
+type manual struct {
+	outer  sync.RWMutex
+	groups *adt.HashMap
+}
+
+type rwInner struct {
+	mu sync.RWMutex
+	m  *adt.HashMap
+}
+
+func (m *manual) inner(group string, create bool) *rwInner {
+	m.outer.RLock()
+	v := m.groups.Get(group)
+	m.outer.RUnlock()
+	if v != nil {
+		return v.(*rwInner)
+	}
+	if !create {
+		return nil
+	}
+	m.outer.Lock()
+	defer m.outer.Unlock()
+	if v := m.groups.Get(group); v != nil {
+		return v.(*rwInner)
+	}
+	ri := &rwInner{m: adt.NewHashMap()}
+	m.groups.Put(group, ri)
+	return ri
+}
+
+func (m *manual) Register(group, member string, conn *Conn) {
+	ri := m.inner(group, true)
+	ri.mu.Lock()
+	ri.m.Put(member, conn)
+	ri.mu.Unlock()
+}
+
+func (m *manual) Unregister(group, member string) {
+	if ri := m.inner(group, false); ri != nil {
+		ri.mu.Lock()
+		ri.m.Remove(member)
+		ri.mu.Unlock()
+	}
+}
+
+func (m *manual) Unicast(group, dst string, payload []byte) {
+	if ri := m.inner(group, false); ri != nil {
+		ri.mu.RLock()
+		if c := ri.m.Get(dst); c != nil {
+			c.(*Conn).Send(payload)
+		}
+		ri.mu.RUnlock()
+	}
+}
+
+func (m *manual) Multicast(group string, payload []byte) {
+	if ri := m.inner(group, false); ri != nil {
+		ri.mu.RLock()
+		for _, c := range ri.m.Values() {
+			c.(*Conn).Send(payload)
+		}
+		ri.mu.RUnlock()
+	}
+}

@@ -1,0 +1,120 @@
+package gossip
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MPerfConfig mirrors the JGroups MPerf tester used in §6.2: clients
+// join one group and blast messages through the router.
+type MPerfConfig struct {
+	Clients  int // paper: 16
+	Messages int // per client; paper: 5000
+	// UnicastRatio is the fraction (percent) of messages sent unicast
+	// to a random peer instead of multicast to the group.
+	UnicastRatio int
+	// SendCost is the synthetic per-frame I/O cost.
+	SendCost int
+	// Workers is the router's worker-pool size; the paper varies active
+	// cores because the router manages its threads autonomously — the
+	// worker count is this reproduction's equivalent knob.
+	Workers int
+}
+
+// PaperMPerf is the Fig 25 configuration.
+func PaperMPerf(workers int) MPerfConfig {
+	return MPerfConfig{Clients: 16, Messages: 5000, UnicastRatio: 10, SendCost: 60, Workers: workers}
+}
+
+// message is one queued client request.
+type message struct {
+	unicast bool
+	src     int
+	dst     int
+	payload []byte
+}
+
+// MPerfResult reports the run's delivery counts.
+type MPerfResult struct {
+	FramesDelivered int64
+	Handled         int
+}
+
+// RunMPerf registers the clients, generates every client's message
+// stream, and routes all messages through the given router with the
+// configured worker pool. It returns delivery statistics; callers time
+// it for throughput. The message mix is deterministic in the
+// configuration.
+func RunMPerf(r Router, cfg MPerfConfig) MPerfResult {
+	const group = "mperf"
+	conns := make([]*Conn, cfg.Clients)
+	for i := range conns {
+		conns[i] = NewConn(fmt.Sprintf("m%d", i), cfg.SendCost)
+		r.Register(group, conns[i].Member, conns[i])
+	}
+
+	msgs := make([]message, 0, cfg.Clients*cfg.Messages)
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	for c := 0; c < cfg.Clients; c++ {
+		for i := 0; i < cfg.Messages; i++ {
+			m := message{src: c, payload: payload}
+			if (c*31+i*7)%100 < cfg.UnicastRatio {
+				m.unicast = true
+				m.dst = (c + i) % cfg.Clients
+			}
+			msgs = append(msgs, m)
+		}
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(msgs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(msgs) {
+			hi = len(msgs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(ms []message) {
+			defer wg.Done()
+			for _, m := range ms {
+				if m.unicast {
+					r.Unicast(group, fmt.Sprintf("m%d", m.dst), m.payload)
+				} else {
+					r.Multicast(group, m.payload)
+				}
+			}
+		}(msgs[lo:hi])
+	}
+	wg.Wait()
+
+	res := MPerfResult{Handled: len(msgs)}
+	for _, c := range conns {
+		res.FramesDelivered += c.Frames.Load()
+	}
+	return res
+}
+
+// ExpectedFrames computes the deterministic ground-truth delivery count
+// for a configuration: each multicast delivers Clients frames, each
+// unicast one.
+func ExpectedFrames(cfg MPerfConfig) int64 {
+	var frames int64
+	for c := 0; c < cfg.Clients; c++ {
+		for i := 0; i < cfg.Messages; i++ {
+			if (c*31+i*7)%100 < cfg.UnicastRatio {
+				frames++
+			} else {
+				frames += int64(cfg.Clients)
+			}
+		}
+	}
+	return frames
+}

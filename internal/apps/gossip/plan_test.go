@@ -1,0 +1,69 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/modules/plan"
+)
+
+// TestPlanGolden pins the router's four synthesized sections. Two
+// details worth reading in the output: register releases the outer
+// groups map as soon as the member map's lock is held (early lock
+// release, Appendix A), and the multicast's member-map lock is the
+// values() read mode held across the sends — the irrevocable-I/O
+// pattern §6.2 highlights.
+func TestPlanGolden(t *testing.T) {
+	p := BuildPlan(plan.Options{})
+	wants := []string{`atomic register {
+  groups.lock({get(g),put(g,*)});
+  members=groups.get(g);
+  if(members==null) {
+    members=new Map();
+    groups.put(g, members);
+  }
+  members.lock({put(m,conn)});
+  groups.unlockAll();
+  members.put(m, conn);
+  members.unlockAll();
+}
+`, `atomic unregister {
+  groups.lock({get(g)});
+  members=groups.get(g);
+  if(members!=null) {
+    members.lock({remove(m)});
+    members.remove(m);
+  }
+  groups.unlockAll();
+  if(members!=null) members.unlockAll();
+}
+`, `atomic unicast {
+  groups.lock({get(g)});
+  members=groups.get(g);
+  if(members!=null) {
+    members.lock({get(dst)});
+    c=members.get(dst);
+    if(c!=null) {
+      c=send(c, payload);
+    }
+  }
+  groups.unlockAll();
+  if(members!=null) members.unlockAll();
+}
+`, `atomic multicast {
+  groups.lock({get(g)});
+  members=groups.get(g);
+  if(members!=null) {
+    members.lock({values()});
+    cs=members.values();
+    cs=sendAll(cs, payload);
+  }
+  groups.unlockAll();
+  if(members!=null) members.unlockAll();
+}
+`}
+	for i, want := range wants {
+		if got := p.Print(i); got != want {
+			t.Errorf("section %d plan:\n%s\nwant:\n%s", i, got, want)
+		}
+	}
+}

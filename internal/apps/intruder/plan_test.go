@@ -1,0 +1,46 @@
+package intruder
+
+import (
+	"testing"
+
+	"repro/internal/modules/plan"
+)
+
+// TestPlanGolden pins the full synthesized reassembly plan — the Fig 1
+// shape specialized to the Intruder state (flow map + decoded queue).
+// Note the early release inside the section: the queue is locked only on
+// the completion branch, and the trailing unlockAll on the ¬done path is
+// the runtime-tolerant no-op discussed in Appendix A.
+func TestPlanGolden(t *testing.T) {
+	p := BuildPlan(plan.Options{})
+	want := `atomic reassemble {
+  fmap.lock({get(flow),put(flow,*),remove(flow)});
+  state=fmap.get(flow);
+  if(state==null) {
+    state=newFlowState();
+    fmap.put(flow, state);
+  }
+  done=state.add(pkt);
+  if(done) {
+    fmap.remove(flow);
+    payload=state.assemble();
+    decoded.lock({enqueue(payload)});
+    decoded.enqueue(payload);
+  }
+  fmap.unlockAll();
+  decoded.unlockAll();
+}
+`
+	if got := p.Print(0); got != want {
+		t.Errorf("reassembly plan:\n%s\nwant:\n%s", got, want)
+	}
+	wantPop := `atomic popDecoded {
+  decoded.lock({dequeue()});
+  payload=decoded.dequeue();
+  decoded.unlockAll();
+}
+`
+	if got := p.Print(1); got != wantPop {
+		t.Errorf("pop plan:\n%s\nwant:\n%s", got, wantPop)
+	}
+}

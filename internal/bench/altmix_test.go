@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig22AltMixes verifies the paper's §6.1 remark that the Graph
+// results are similar across workloads: both the read-heavy and
+// write-heavy mixes keep the qualitative ordering (ours scales, within
+// a factor of manual, far above global/2pl).
+func TestFig22AltMixes(t *testing.T) {
+	mixes := map[string]GraphMix{
+		"readheavy":  {FindSucc: 45, FindPred: 45, Insert: 8, Remove: 2},
+		"writeheavy": {FindSucc: 25, FindPred: 25, Insert: 30, Remove: 20},
+	}
+	for name, mix := range mixes {
+		f := Fig22SimMix(testCfg(), mix, "fig22-"+name)
+		if err := f.Check("ours", "global", 32, 5); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := f.Check("ours", "manual", 32, 0.6); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if sc := f.Scalability("ours"); sc < 8 {
+			t.Errorf("%s: ours scalability = %.1f", name, sc)
+		}
+	}
+}
+
+// TestFig23AltMix: the 50/50 cache workload shifts the crossover (more
+// serializing puts cap ours lower) but ours still beats global/2pl.
+func TestFig23AltMix(t *testing.T) {
+	f := Fig23SimMix(testCfg(), 50, "fig23-5050")
+	if err := f.Check("ours", "global", 32, 1.2); err != nil {
+		t.Error(err)
+	}
+	nine := Fig23SimMix(testCfg(), 90, "fig23")
+	// More puts → less scaling for ours (the size()-mode analysis).
+	if f.Scalability("ours") >= nine.Scalability("ours") {
+		t.Errorf("50/50 ours scalability (%.1f) should be below 90/10 (%.1f)",
+			f.Scalability("ours"), nine.Scalability("ours"))
+	}
+}
+
+// TestStatsReport: plumbing of the lock-statistics experiment.
+func TestStatsReport(t *testing.T) {
+	out := StatsReport(300, 2)
+	for _, want := range []string{"cia", "graph", "cache", "fast-path", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFig21SeedInvariance: the qualitative shape does not depend on the
+// workload seed.
+func TestFig21SeedInvariance(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		f := Fig21Sim(SimConfig{TxnsPerThread: 1500, Seed: seed})
+		if err := f.Check("ours", "global", 32, 4); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

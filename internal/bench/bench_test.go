@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps/gossip"
+	"repro/internal/apps/intruder"
+)
+
+func testCfg() SimConfig { return SimConfig{TxnsPerThread: 2000, Seed: 1} }
+
+// TestFig21Shape checks the qualitative claims of Fig 21: Ours scales
+// with threads, tracks Manual within a modest factor, and beats
+// Global/2PL by a wide margin at 32 threads.
+func TestFig21Shape(t *testing.T) {
+	f := Fig21Sim(testCfg())
+	if err := f.Check("ours", "global", 32, 5); err != nil {
+		t.Error(err)
+	}
+	if err := f.Check("ours", "2pl", 32, 5); err != nil {
+		t.Error(err)
+	}
+	if err := f.Check("manual", "ours", 32, 0.8); err != nil {
+		t.Error(err) // manual may be a bit faster, not 25% slower
+	}
+	if err := f.Check("ours", "manual", 32, 0.7); err != nil {
+		t.Error(err) // ours tracks manual within ~30%
+	}
+	if sc := f.Scalability("ours"); sc < 8 {
+		t.Errorf("ours scalability 1→32 = %.1f, want ≥ 8", sc)
+	}
+	if sc := f.Scalability("global"); sc > 3 {
+		t.Errorf("global must not scale; got %.1f", sc)
+	}
+}
+
+// TestFig22Shape: Graph — ours scales, 2PL only marginally better than
+// Global (single hot instances), Manual modestly above ours.
+func TestFig22Shape(t *testing.T) {
+	f := Fig22Sim(testCfg())
+	if err := f.Check("ours", "global", 32, 5); err != nil {
+		t.Error(err)
+	}
+	if err := f.Check("ours", "2pl", 32, 4); err != nil {
+		t.Error(err)
+	}
+	if sc := f.Scalability("ours"); sc < 8 {
+		t.Errorf("ours scalability = %.1f", sc)
+	}
+	if sc := f.Scalability("2pl"); sc > 3 {
+		t.Errorf("2pl should not scale on two hot instances; got %.1f", sc)
+	}
+}
+
+// TestFig23Shape: Cache — ours scales on the Get side but is capped by
+// the size()-carrying Put mode; still well above Global/2PL.
+func TestFig23Shape(t *testing.T) {
+	f := Fig23Sim(testCfg())
+	if err := f.Check("ours", "global", 32, 2); err != nil {
+		t.Error(err)
+	}
+	sc := f.Scalability("ours")
+	if sc < 3 {
+		t.Errorf("ours cache scalability = %.1f, want ≥ 3", sc)
+	}
+	if f.Scalability("manual") < sc {
+		t.Error("manual striping should scale at least as well as ours on cache")
+	}
+}
+
+// TestFig24Shape: Intruder speedups.
+func TestFig24Shape(t *testing.T) {
+	f := Fig24Sim(testCfg())
+	if err := f.Check("ours", "global", 16, 2); err != nil {
+		t.Error(err)
+	}
+	ours, _ := f.SeriesByName("ours")
+	if ours.Values[16] < 400 {
+		t.Errorf("ours speedup at 16 threads = %.0f%%, want ≥ 400%%", ours.Values[16])
+	}
+	global, _ := f.SeriesByName("global")
+	if global.Values[32] > 300 {
+		t.Errorf("global speedup at 32 = %.0f%%, want < 300%%", global.Values[32])
+	}
+}
+
+// TestFig25Shape: GossipRouter speedups — ours ≈ manual scale with
+// cores, global/2pl stay flat.
+func TestFig25Shape(t *testing.T) {
+	f := Fig25Sim(testCfg())
+	ours, _ := f.SeriesByName("ours")
+	if ours.Values[16] < 800 {
+		t.Errorf("ours speedup at 16 cores = %.0f%%", ours.Values[16])
+	}
+	for _, flat := range []string{"global", "2pl"} {
+		s, _ := f.SeriesByName(flat)
+		if s.Values[32] > 200 {
+			t.Errorf("%s speedup at 32 = %.0f%%, want flat", flat, s.Values[32])
+		}
+	}
+}
+
+// TestAblationShape: the ablations order as designed — more abstract
+// values → more parallelism; refinement off ≈ φ=1; disabling
+// partitioning costs throughput at high thread counts.
+func TestAblationShape(t *testing.T) {
+	f := AblationSim(testCfg())
+	if err := f.Check("phi-16", "phi-4", 32, 1.5); err != nil {
+		t.Error(err)
+	}
+	if err := f.Check("phi-4", "phi-1", 32, 1.5); err != nil {
+		t.Error(err)
+	}
+	if err := f.Check("ours-64", "nopart", 32, 1.2); err != nil {
+		t.Error(err)
+	}
+	if err := f.Check("nofast", "nopart", 32, 1.1); err != nil {
+		t.Error(err) // per-partition internal locks beat one global one
+	}
+	nr, _ := f.SeriesByName("norefine")
+	p1, _ := f.SeriesByName("phi-1")
+	for _, x := range f.Xs {
+		ratio := nr.Values[x] / p1.Values[x]
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("norefine should behave like phi-1 at %d threads (ratio %.2f)", x, ratio)
+		}
+	}
+}
+
+// TestFigureFormat covers the text rendering.
+func TestFigureFormat(t *testing.T) {
+	f := &Figure{
+		ID: "figX", Title: "T", YLabel: "y", Xs: []int{1, 2},
+		Series: []Series{{Name: "a", Values: map[int]float64{1: 1.5, 2: 3}}},
+		Notes:  []string{"n1"},
+	}
+	out := f.Format()
+	for _, want := range []string{"FigX — T", "threads", "a", "1.50", "3.00", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+	if _, ok := f.SeriesByName("nope"); ok {
+		t.Error("SeriesByName of missing series")
+	}
+	if err := f.Check("a", "missing", 1, 1); err == nil {
+		t.Error("Check with missing series must error")
+	}
+	if f.Scalability("missing") != 0 {
+		t.Error("Scalability of missing series")
+	}
+}
+
+// TestDeterministicFigures: simulated figures are reproducible.
+func TestDeterministicFigures(t *testing.T) {
+	a := Fig21Sim(testCfg())
+	b := Fig21Sim(testCfg())
+	if a.Format() != b.Format() {
+		t.Error("Fig21Sim not deterministic")
+	}
+}
+
+// TestRealRunnersSmoke: the real-execution runners work end to end with
+// tiny workloads (values are host-dependent; only plumbing is checked).
+func TestRealRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := RealConfig{OpsPerThread: 500, Threads: []int{1, 2}}
+	for _, f := range []*Figure{Fig21Real(cfg), Fig22Real(cfg), Fig23Real(cfg)} {
+		for _, s := range f.Series {
+			for _, x := range cfg.Threads {
+				if s.Values[x] <= 0 {
+					t.Errorf("%s/%s at %d threads: nonpositive throughput", f.ID, s.Name, x)
+				}
+			}
+		}
+	}
+	icfg := intruder.Config{Attacks: 10, MaxLength: 64, Flows: 200, Seed: 1}
+	if f := Fig24Real(cfg, icfg); len(f.Series) != 4 {
+		t.Error("fig24-real series missing")
+	}
+	mcfg := gossip.MPerfConfig{Clients: 4, Messages: 50, UnicastRatio: 10, SendCost: 0, Workers: 1}
+	if f := Fig25Real(cfg, mcfg); len(f.Series) != 4 {
+		t.Error("fig25-real series missing")
+	}
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ModeID identifies a locking mode within a ModeTable. Mode identity is
+// the instantiated (raw) mode — the one whose denotation covers the
+// transaction's operations. Indistinguishable modes (§5.3, opt. 1) share
+// a lock-mechanism counter internally but keep distinct ModeIDs, because
+// coverage (which operations a holder may invoke) differs even when
+// conflict behaviour does not.
+type ModeID int
+
+// TableOptions configures mode-table compilation.
+type TableOptions struct {
+	// Phi is the abstract-value hash (§5.1). Nil defaults to
+	// NewPhi(DefaultAbstractValues).
+	Phi Phi
+	// MaxModes is the parameter N of §5.3 (opt. 3): the maximum number of
+	// raw locking modes per ADT class. If instantiation would exceed it,
+	// the table coarsens φ (halving the number of abstract values) until
+	// the bound holds. Zero defaults to 4096.
+	MaxModes int
+	// DisablePartitioning turns off lock partitioning (§5.2) so that a
+	// single mechanism guards all modes — ablation A3.
+	DisablePartitioning bool
+	// DisableMerging turns off indistinguishable-mode merging (§5.3,
+	// opt. 1) — used by tests that inspect raw modes.
+	DisableMerging bool
+}
+
+// setEntry is the per-symbolic-set lookup structure for dynamic mode
+// selection (§5.1): the set's variables in canonical order and a dense
+// table mapping each assignment of abstract values to the canonical mode.
+type setEntry struct {
+	set   SymSet
+	vars  []string
+	modes []ModeID // len == n^len(vars); index = Σ assign[i]·n^i
+}
+
+// ModeTable is the compiled locking-mode structure for one ADT class:
+// the canonical modes, the commutativity function F_c over them (Fig 19),
+// the partition of modes into independent lock mechanisms (§5.2), and
+// per-symbolic-set dynamic lookup tables.
+type ModeTable struct {
+	Spec *Spec
+
+	phi    Phi
+	modes  []Mode   // all instantiated modes, indexed by ModeID
+	fc     [][]bool // F_c over modes
+	canon  []int    // mode → canonical (merged) index
+	nCanon int
+	sets   []setEntry
+	setIdx map[string]int // SymSet key → index into sets
+
+	// Partitioning: part[m] is the mechanism index for mode m, or -1
+	// when the mode conflicts with nothing (including itself) and needs
+	// no mechanism at all. localIdx[m] is the counter slot of m's
+	// canonical mode within its mechanism (merged modes share a slot).
+	part      []int
+	localIdx  []int
+	partSizes []int
+	// conflict[m] lists the (local) counter slots mode m conflicts with
+	// inside its own mechanism, with the count threshold above which the
+	// slot blocks m (1 for m's own slot, 0 otherwise).
+	conflict [][]conflictRef
+}
+
+type conflictRef struct {
+	slot      int
+	threshold int32
+}
+
+// NewModeTable compiles the locking modes for an ADT class from its
+// commutativity specification and the symbolic sets appearing at the
+// class's lock sites (the output of the §4 refinement).
+func NewModeTable(spec *Spec, sets []SymSet, opts TableOptions) *ModeTable {
+	phi := opts.Phi
+	if phi == nil {
+		phi = NewPhi(DefaultAbstractValues)
+	}
+	maxModes := opts.MaxModes
+	if maxModes == 0 {
+		maxModes = 4096
+	}
+
+	uniq := dedupSets(sets)
+	phi = coarsenPhi(phi, uniq, maxModes)
+
+	t := &ModeTable{Spec: spec, phi: phi, setIdx: make(map[string]int)}
+
+	// Instantiate modes per set, building the dynamic lookup tables.
+	rawKeyToIdx := make(map[string]int)
+	var raw []Mode
+	for _, set := range uniq {
+		vars := set.Vars()
+		entry := setEntry{set: set, vars: vars}
+		count := 1
+		for range vars {
+			count *= phi.N()
+		}
+		entry.modes = make([]ModeID, count)
+		instantiated := InstantiateModes(set, phi)
+		if len(instantiated) != count {
+			panic("core: mode instantiation count mismatch")
+		}
+		for i, m := range instantiated {
+			key := m.Key()
+			idx, ok := rawKeyToIdx[key]
+			if !ok {
+				idx = len(raw)
+				rawKeyToIdx[key] = idx
+				raw = append(raw, m)
+			}
+			entry.modes[i] = ModeID(idx)
+		}
+		t.setIdx[set.Key()] = len(t.sets)
+		t.sets = append(t.sets, entry)
+	}
+	t.modes = raw
+
+	// F_c over all modes.
+	t.fc = make([][]bool, len(raw))
+	for i := range raw {
+		t.fc[i] = make([]bool, len(raw))
+		for j := range raw {
+			if j < i {
+				t.fc[i][j] = t.fc[j][i]
+				continue
+			}
+			t.fc[i][j] = ModesCommute(spec, raw[i], raw[j], phi)
+		}
+	}
+
+	// Merge indistinguishable modes (§5.3, opt. 1): l1 ~ l2 iff
+	// ∀l: F_c(l1,l) == F_c(l2,l). Merged modes share one counter in the
+	// lock mechanism; their ModeIDs stay distinct for coverage.
+	t.canon = make([]int, len(raw))
+	if opts.DisableMerging {
+		for i := range t.canon {
+			t.canon[i] = i
+		}
+		t.nCanon = len(raw)
+	} else {
+		sig := make(map[string]int)
+		for i := range raw {
+			key := rowKey(t.fc[i])
+			if c, ok := sig[key]; ok {
+				t.canon[i] = c
+				continue
+			}
+			c := t.nCanon
+			t.nCanon++
+			sig[key] = c
+			t.canon[i] = c
+		}
+	}
+
+	t.partition(opts.DisablePartitioning)
+	return t
+}
+
+// partition groups modes into independent mechanisms: connected
+// components of the conflict graph (edge iff ¬F_c). Modes in different
+// components commute pairwise, so separate mechanisms are correct
+// (§5.2). Counter slots are allocated per canonical (merged) mode.
+func (t *ModeTable) partition(disabled bool) {
+	n := len(t.modes)
+	t.part = make([]int, n)
+	t.localIdx = make([]int, n)
+
+	comp := make([]int, n)
+	if disabled {
+		for i := range comp {
+			comp[i] = 0
+		}
+	} else {
+		for i := range comp {
+			comp[i] = -1
+		}
+		next := 0
+		var stack []int
+		for i := 0; i < n; i++ {
+			if comp[i] != -1 {
+				continue
+			}
+			comp[i] = next
+			stack = append(stack[:0], i)
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for v := 0; v < n; v++ {
+					// Merged modes must land in one component so they
+					// can share a counter slot.
+					if (!t.fc[u][v] || t.canon[u] == t.canon[v]) && comp[v] == -1 {
+						comp[v] = next
+						stack = append(stack, v)
+					}
+				}
+			}
+			next++
+		}
+	}
+
+	// A component with no internal conflicts needs no mechanism: every
+	// mode in it commutes with every mode anywhere, so acquisition is
+	// free. Assign such modes part = -1.
+	nComp := 0
+	for _, c := range comp {
+		if c+1 > nComp {
+			nComp = c + 1
+		}
+	}
+	hasConflict := make([]bool, nComp)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if comp[i] == comp[j] && !t.fc[i][j] {
+				hasConflict[comp[i]] = true
+			}
+		}
+	}
+	remap := make([]int, nComp)
+	nMech := 0
+	for c := 0; c < nComp; c++ {
+		if hasConflict[c] {
+			remap[c] = nMech
+			nMech++
+		} else {
+			remap[c] = -1
+		}
+	}
+	t.partSizes = make([]int, nMech)
+	canonSlot := make(map[int]int, t.nCanon) // canonical → slot in its mech
+	for i := 0; i < n; i++ {
+		p := remap[comp[i]]
+		t.part[i] = p
+		if p < 0 {
+			continue
+		}
+		c := t.canon[i]
+		slot, ok := canonSlot[c]
+		if !ok {
+			slot = t.partSizes[p]
+			t.partSizes[p]++
+			canonSlot[c] = slot
+		}
+		t.localIdx[i] = slot
+	}
+
+	// Conflict lists in local slot space, deduplicated per slot.
+	t.conflict = make([][]conflictRef, n)
+	for i := 0; i < n; i++ {
+		if t.part[i] < 0 {
+			continue
+		}
+		seen := make(map[int]bool)
+		for j := 0; j < n; j++ {
+			if t.part[j] != t.part[i] || t.fc[i][j] {
+				continue
+			}
+			slot := t.localIdx[j]
+			if seen[slot] {
+				continue
+			}
+			seen[slot] = true
+			ref := conflictRef{slot: slot, threshold: 0}
+			if slot == t.localIdx[i] {
+				ref.threshold = 1 // my own increment doesn't block me
+			}
+			t.conflict[i] = append(t.conflict[i], ref)
+		}
+	}
+}
+
+// Phi returns the (possibly coarsened) abstract-value hash the table was
+// compiled with.
+func (t *ModeTable) Phi() Phi { return t.phi }
+
+// Modes returns all instantiated locking modes, indexed by ModeID.
+func (t *ModeTable) Modes() []Mode { return t.modes }
+
+// RawModes returns the same slice as Modes (kept for reports that
+// contrast instantiated modes with the merged counter count).
+func (t *ModeTable) RawModes() []Mode { return t.modes }
+
+// CanonicalCount returns the number of counters after merging
+// indistinguishable modes (§5.3, opt. 1).
+func (t *ModeTable) CanonicalCount() int { return t.nCanon }
+
+// NumMechanisms returns how many independent lock mechanisms the
+// partitioning produced.
+func (t *ModeTable) NumMechanisms() int { return len(t.partSizes) }
+
+// Commute returns F_c(a, b).
+func (t *ModeTable) Commute(a, b ModeID) bool { return t.fc[a][b] }
+
+// Mode returns the mode for an id.
+func (t *ModeTable) Mode(id ModeID) Mode { return t.modes[id] }
+
+// SetRef is a handle to a registered symbolic set, used on the hot path
+// to select the runtime locking mode from argument values without map
+// lookups (§5.1's dynamic mode selection).
+type SetRef struct {
+	t   *ModeTable
+	idx int
+}
+
+// Set returns a handle for the symbolic set, which must have been among
+// the sets the table was compiled from.
+func (t *ModeTable) Set(set SymSet) SetRef {
+	idx, ok := t.setIdx[set.Key()]
+	if !ok {
+		panic(fmt.Sprintf("core: symbolic set %s not registered in mode table", set))
+	}
+	return SetRef{t: t, idx: idx}
+}
+
+// Vars returns the set's variables in the order Mode expects values.
+func (r SetRef) Vars() []string { return r.t.sets[r.idx].vars }
+
+// SymSet returns the underlying symbolic set.
+func (r SetRef) SymSet() SymSet { return r.t.sets[r.idx].set }
+
+// Mode selects the locking mode for the given runtime values of the
+// set's variables (in Vars() order). For a constant symbolic set call it
+// with no values.
+func (r SetRef) Mode(vals ...Value) ModeID {
+	e := &r.t.sets[r.idx]
+	if len(vals) != len(e.vars) {
+		panic(fmt.Sprintf("core: set %s expects %d values, got %d", e.set, len(e.vars), len(vals)))
+	}
+	// vars[0] is the most significant digit, matching the enumeration
+	// order of InstantiateModes.
+	idx := 0
+	n := r.t.phi.N()
+	for i := 0; i < len(vals); i++ {
+		idx = idx*n + r.t.phi.Abstract(vals[i])
+	}
+	return e.modes[idx]
+}
+
+// Binder returns a mode selector that accepts values in the caller's
+// own argument order (names) instead of the set's canonical sorted-Vars
+// order. It panics unless names is a permutation of Vars(). Use it once
+// at setup to make multi-variable lock sites immune to argument-order
+// mistakes:
+//
+//	mode := table.Set(set).Binder("s", "d")   // caller's order
+//	...
+//	id := mode(s, d)
+func (r SetRef) Binder(names ...string) func(vals ...Value) ModeID {
+	vars := r.Vars()
+	if len(vars) == 0 {
+		// Constant set (e.g. under the no-refinement ablation): one
+		// mode regardless of the caller's values.
+		return func(_ ...Value) ModeID { return r.Mode() }
+	}
+	if len(names) != len(vars) {
+		panic(fmt.Sprintf("core: Binder(%v): set %s has variables %v", names, r.SymSet(), vars))
+	}
+	perm := make([]int, len(vars)) // perm[i] = caller index supplying vars[i]
+	for i, v := range vars {
+		found := -1
+		for j, n := range names {
+			if n == v {
+				found = j
+				break
+			}
+		}
+		if found == -1 {
+			panic(fmt.Sprintf("core: Binder(%v): set %s has variables %v", names, r.SymSet(), vars))
+		}
+		perm[i] = found
+	}
+	return func(vals ...Value) ModeID {
+		if len(vals) != len(perm) {
+			panic(fmt.Sprintf("core: bound mode selector expects %d values, got %d", len(perm), len(vals)))
+		}
+		ordered := make([]Value, len(perm))
+		for i, j := range perm {
+			ordered[i] = vals[j]
+		}
+		return r.Mode(ordered...)
+	}
+}
+
+// ModeEnv selects the locking mode using an environment σ mapping
+// variable names to runtime values — the reference (slower) path.
+func (r SetRef) ModeEnv(env map[string]Value) ModeID {
+	e := &r.t.sets[r.idx]
+	vals := make([]Value, len(e.vars))
+	for i, v := range e.vars {
+		val, ok := env[v]
+		if !ok {
+			panic(fmt.Sprintf("core: no runtime value for variable %q", v))
+		}
+		vals[i] = val
+	}
+	return r.Mode(vals...)
+}
+
+// CoversOp reports whether the canonical mode id's denotation contains
+// the runtime operation op — the basis of the protocol checker.
+func (t *ModeTable) CoversOp(id ModeID, op Op) bool {
+	return t.modes[id].Covers(op, t.phi)
+}
+
+func rowKey(row []bool) string {
+	b := make([]byte, len(row))
+	for i, v := range row {
+		if v {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+func dedupSets(sets []SymSet) []SymSet {
+	seen := make(map[string]bool, len(sets))
+	var out []SymSet
+	for _, s := range sets {
+		if k := s.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// coarsenPhi halves the number of abstract values until the total raw
+// mode count over all sets fits within maxModes (§5.3, opt. 3 — "if we
+// infer more than N modes, we merge them until we have N modes").
+func coarsenPhi(phi Phi, sets []SymSet, maxModes int) Phi {
+	n := phi.N()
+	for n > 1 {
+		total := 0
+		for _, s := range sets {
+			c := 1
+			for range s.Vars() {
+				c *= n
+				if c > maxModes {
+					break
+				}
+			}
+			total += c
+			if total > maxModes {
+				break
+			}
+		}
+		if total <= maxModes {
+			break
+		}
+		n /= 2
+	}
+	if n == phi.N() {
+		return phi
+	}
+	return &reducedPhi{base: phi, n: n}
+}
+
+// reducedPhi coarsens a base φ to fewer buckets by taking the bucket
+// modulo n. All modes of one table share one φ, so disjointness
+// reasoning stays sound.
+type reducedPhi struct {
+	base Phi
+	n    int
+}
+
+func (p *reducedPhi) N() int { return p.n }
+
+func (p *reducedPhi) Abstract(v Value) int { return p.base.Abstract(v) % p.n }

@@ -1,0 +1,248 @@
+package core
+
+import "fmt"
+
+// Cond is a commutativity condition Π_{o,o'} (§5.2): a predicate over the
+// argument vectors of a pair of operations such that, when it holds, the
+// two operations commute. Conditions are used in two ways:
+//
+//   - concretely, Holds evaluates the condition on two runtime argument
+//     vectors (used by tests and the reference checker);
+//   - symbolically, Definitely decides whether the condition is guaranteed
+//     for EVERY pair of runtime operations represented by two mode
+//     operations (used to compute the commutativity function F_c, Fig 19).
+//
+// The symbolic evaluation is conservative: Definitely == false means
+// "cannot prove commutativity", never "provably conflicting".
+type Cond interface {
+	// Holds evaluates the condition on concrete argument vectors: a are
+	// the arguments of the first operation, b of the second.
+	Holds(a, b []Value) bool
+	// Definitely reports whether the condition is guaranteed to hold for
+	// all pairs of concrete operations abstracted by the two mode
+	// argument vectors under the hash φ.
+	Definitely(a, b []ModeArg, phi Phi) bool
+	// Swapped returns the condition with the roles of the two operations
+	// exchanged, so that spec lookups are order-insensitive.
+	Swapped() Cond
+	fmt.Stringer
+}
+
+// condTrue is the always-commute condition ("true" in Fig 3b).
+type condTrue struct{}
+
+// Always is the condition under which two operations always commute.
+var Always Cond = condTrue{}
+
+func (condTrue) Holds(_, _ []Value) bool               { return true }
+func (condTrue) Definitely(_, _ []ModeArg, _ Phi) bool { return true }
+func (condTrue) Swapped() Cond                         { return Always }
+func (condTrue) String() string                        { return "true" }
+
+// condFalse is the never-commute condition ("false" in Fig 3b).
+type condFalse struct{}
+
+// Never is the condition under which two operations never (provably)
+// commute.
+var Never Cond = condFalse{}
+
+func (condFalse) Holds(_, _ []Value) bool               { return false }
+func (condFalse) Definitely(_, _ []ModeArg, _ Phi) bool { return false }
+func (condFalse) Swapped() Cond                         { return Never }
+func (condFalse) String() string                        { return "false" }
+
+// condNE is the disequality condition v ≠ v' between argument I of the
+// first operation and argument J of the second (e.g. add(v) and
+// remove(v') commute when v ≠ v', Fig 3b).
+type condNE struct{ i, j int }
+
+// ArgsNE returns the condition "arg i of the first op ≠ arg j of the
+// second op".
+func ArgsNE(i, j int) Cond { return condNE{i, j} }
+
+func (c condNE) Holds(a, b []Value) bool { return a[c.i] != b[c.j] }
+
+func (c condNE) Definitely(a, b []ModeArg, phi Phi) bool {
+	return modeArgsDisjoint(a[c.i], b[c.j], phi)
+}
+
+func (c condNE) Swapped() Cond  { return condNE{c.j, c.i} }
+func (c condNE) String() string { return fmt.Sprintf("a%d!=b%d", c.i, c.j) }
+
+// condEQ is the equality condition between argument I of the first
+// operation and argument J of the second. (Useful for specs such as
+// "put(k,v) commutes with put(k',v') when k=k' and v=v'"; rarely needed
+// alone but provided for completeness of the algebra.)
+type condEQ struct{ i, j int }
+
+// ArgsEQ returns the condition "arg i of the first op == arg j of the
+// second op".
+func ArgsEQ(i, j int) Cond { return condEQ{i, j} }
+
+func (c condEQ) Holds(a, b []Value) bool { return a[c.i] == b[c.j] }
+
+func (c condEQ) Definitely(a, b []ModeArg, _ Phi) bool {
+	// Only two identical constants are guaranteed equal; two equal
+	// abstract values merely share a hash bucket.
+	x, y := a[c.i], b[c.j]
+	return x.Kind == ModeConst && y.Kind == ModeConst && x.Val == y.Val
+}
+
+func (c condEQ) Swapped() Cond  { return condEQ{c.j, c.i} }
+func (c condEQ) String() string { return fmt.Sprintf("a%d==b%d", c.i, c.j) }
+
+// condAnd is conjunction of conditions.
+type condAnd struct{ cs []Cond }
+
+// AndCond returns the conjunction of the given conditions.
+func AndCond(cs ...Cond) Cond {
+	if len(cs) == 0 {
+		return Always
+	}
+	if len(cs) == 1 {
+		return cs[0]
+	}
+	return condAnd{cs}
+}
+
+func (c condAnd) Holds(a, b []Value) bool {
+	for _, s := range c.cs {
+		if !s.Holds(a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c condAnd) Definitely(a, b []ModeArg, phi Phi) bool {
+	for _, s := range c.cs {
+		if !s.Definitely(a, b, phi) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c condAnd) Swapped() Cond {
+	out := make([]Cond, len(c.cs))
+	for i, s := range c.cs {
+		out[i] = s.Swapped()
+	}
+	return condAnd{out}
+}
+
+func (c condAnd) String() string {
+	s := "(" + c.cs[0].String()
+	for _, x := range c.cs[1:] {
+		s += " && " + x.String()
+	}
+	return s + ")"
+}
+
+// condOr is disjunction of conditions.
+type condOr struct{ cs []Cond }
+
+// OrCond returns the disjunction of the given conditions.
+func OrCond(cs ...Cond) Cond {
+	if len(cs) == 0 {
+		return Never
+	}
+	if len(cs) == 1 {
+		return cs[0]
+	}
+	return condOr{cs}
+}
+
+func (c condOr) Holds(a, b []Value) bool {
+	for _, s := range c.cs {
+		if s.Holds(a, b) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c condOr) Definitely(a, b []ModeArg, phi Phi) bool {
+	// Sound: if one disjunct is guaranteed for all represented pairs,
+	// so is the disjunction. (A disjunction may hold pairwise without
+	// either disjunct holding uniformly; we conservatively miss that.)
+	for _, s := range c.cs {
+		if s.Definitely(a, b, phi) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c condOr) Swapped() Cond {
+	out := make([]Cond, len(c.cs))
+	for i, s := range c.cs {
+		out[i] = s.Swapped()
+	}
+	return condOr{out}
+}
+
+func (c condOr) String() string {
+	s := "(" + c.cs[0].String()
+	for _, x := range c.cs[1:] {
+		s += " || " + x.String()
+	}
+	return s + ")"
+}
+
+// ShiftCond returns the condition with every argument index of the
+// first operation shifted by d1 and of the second by d2. It is used when
+// wrapping ADTs into a global ADT (§3.4): the wrapped operation gains
+// the instance as an extra leading argument, so the original condition's
+// indices move right by one.
+func ShiftCond(c Cond, d1, d2 int) Cond {
+	switch x := c.(type) {
+	case condTrue, condFalse:
+		return c
+	case condNE:
+		return condNE{x.i + d1, x.j + d2}
+	case condEQ:
+		return condEQ{x.i + d1, x.j + d2}
+	case condLT:
+		return condLT{x.i + d1, x.j + d2}
+	case condGTView:
+		return condGTView{x.i + d1, x.j + d2}
+	case condAnd:
+		out := make([]Cond, len(x.cs))
+		for i, s := range x.cs {
+			out[i] = ShiftCond(s, d1, d2)
+		}
+		return condAnd{out}
+	case condOr:
+		out := make([]Cond, len(x.cs))
+		for i, s := range x.cs {
+			out[i] = ShiftCond(s, d1, d2)
+		}
+		return condOr{out}
+	default:
+		panic(fmt.Sprintf("core: ShiftCond: unknown condition %T", c))
+	}
+}
+
+// modeArgsDisjoint reports whether two mode arguments are guaranteed to
+// denote disjoint sets of runtime values:
+//
+//   - two constants are disjoint iff they differ;
+//   - a constant v and an abstract value β are disjoint iff φ(v) ≠ β
+//     (φ buckets are disjoint, so v ∈ bucket φ(v) only);
+//   - two abstract values are disjoint iff they differ;
+//   - * overlaps everything.
+func modeArgsDisjoint(x, y ModeArg, phi Phi) bool {
+	switch {
+	case x.Kind == ModeStar || y.Kind == ModeStar:
+		return false
+	case x.Kind == ModeConst && y.Kind == ModeConst:
+		return x.Val != y.Val
+	case x.Kind == ModeConst && y.Kind == ModeAbs:
+		return phi.Abstract(x.Val) != y.Abs
+	case x.Kind == ModeAbs && y.Kind == ModeConst:
+		return x.Abs != phi.Abstract(y.Val)
+	default: // both abstract
+		return x.Abs != y.Abs
+	}
+}

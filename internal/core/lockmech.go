@@ -1,0 +1,206 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// instanceIDs hands out unique identifiers for ADT instances; the ids
+// realize the paper's unique(x) used for dynamic lock ordering within an
+// equivalence class (Fig 12) and for the OS2PL order on instances.
+var instanceIDs atomic.Uint64
+
+// LockStats are cumulative acquisition statistics of one instance,
+// summed over its mechanisms: FastPath counts acquisitions that
+// succeeded on the optimistic counter scan (Fig 20 lines 3–4), Slow
+// counts acquisitions that fell back to the internal lock, and Waits
+// counts the times an acquirer actually slept on a conflict.
+type LockStats struct {
+	FastPath uint64
+	Slow     uint64
+	Waits    uint64
+}
+
+// Semantic is the per-ADT-instance semantic lock: the realization of the
+// synchronization API of §2.2 (lock / unlockAll) for one ADT instance.
+// It holds one mechanism per partition of the class's mode table (§5.2).
+//
+// A Semantic guarantees: no two transactions concurrently hold modes a
+// and b with F_c(a,b) = false. Acquire blocks until that invariant can be
+// preserved. Deadlock-freedom is the transaction layer's responsibility
+// (OS2PL ordering); a single Acquire never blocks on a mode held by its
+// own transaction because transactions never lock the same instance
+// twice (LOCAL_SET, §3.1).
+type Semantic struct {
+	table *ModeTable
+	mechs []mechanism
+	id    uint64
+
+	// DisableFastPath forces every acquisition through the internal
+	// lock, skipping the optimistic counter scan of Fig 20 lines 3–4 —
+	// ablation A4.
+	DisableFastPath bool
+}
+
+// NewSemantic creates the semantic lock for one ADT instance of the class
+// compiled into table.
+func NewSemantic(table *ModeTable) *Semantic {
+	s := &Semantic{
+		table: table,
+		mechs: make([]mechanism, table.NumMechanisms()),
+		id:    instanceIDs.Add(1),
+	}
+	for i := range s.mechs {
+		s.mechs[i].init(table.partSizes[i])
+	}
+	return s
+}
+
+// Table returns the mode table the lock was built from.
+func (s *Semantic) Table() *ModeTable { return s.table }
+
+// ID returns the instance's unique identifier (the paper's unique(x)).
+func (s *Semantic) ID() uint64 { return s.id }
+
+// Acquire blocks until the transaction may hold mode m, then records one
+// holder of m. Callers use Txn.Lock rather than calling this directly.
+func (s *Semantic) Acquire(m ModeID) {
+	p := s.table.part[m]
+	if p < 0 {
+		return // mode conflicts with nothing; no mechanism needed
+	}
+	s.mechs[p].acquire(s.table.localIdx[m], s.table.conflict[m], s.DisableFastPath)
+}
+
+// TryAcquire attempts to acquire mode m without blocking; it reports
+// whether the acquisition succeeded.
+func (s *Semantic) TryAcquire(m ModeID) bool {
+	p := s.table.part[m]
+	if p < 0 {
+		return true
+	}
+	return s.mechs[p].tryAcquire(s.table.localIdx[m], s.table.conflict[m])
+}
+
+// Release undoes one Acquire of mode m.
+func (s *Semantic) Release(m ModeID) {
+	p := s.table.part[m]
+	if p < 0 {
+		return
+	}
+	s.mechs[p].release(s.table.localIdx[m])
+}
+
+// Stats returns the instance's cumulative acquisition statistics.
+func (s *Semantic) Stats() LockStats {
+	var out LockStats
+	for i := range s.mechs {
+		out.FastPath += s.mechs[i].fastPath.Load()
+		out.Slow += s.mechs[i].slow.Load()
+		out.Waits += s.mechs[i].waits.Load()
+	}
+	return out
+}
+
+// Holders returns the current holder count of mode m (test hook).
+func (s *Semantic) Holders(m ModeID) int32 {
+	p := s.table.part[m]
+	if p < 0 {
+		return 0
+	}
+	return s.mechs[p].counts[s.table.localIdx[m]].Load()
+}
+
+// mechanism is one independent lock mechanism (Fig 20): an atomic counter
+// per locking mode plus an internal lock used only to block and wake
+// waiters. The acquisition protocol is increment-then-scan (Dekker
+// style): a thread first makes its own claim visible, then scans the
+// conflicting counters; under sequential consistency two conflicting
+// acquirers cannot both miss each other, so at most the false-conflict
+// case (both back off and retry serialized by the internal lock) occurs.
+type mechanism struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters atomic.Int32
+	counts  []atomic.Int32
+
+	fastPath atomic.Uint64
+	slow     atomic.Uint64
+	waits    atomic.Uint64
+}
+
+func (m *mechanism) init(nModes int) {
+	m.counts = make([]atomic.Int32, nModes)
+	m.cond = sync.NewCond(&m.mu)
+}
+
+// conflicts reports whether any conflicting counter exceeds its
+// threshold. The caller must already have incremented its own counter
+// (thresholds account for that).
+func (m *mechanism) conflicts(conf []conflictRef) bool {
+	for _, c := range conf {
+		if m.counts[c.slot].Load() > c.threshold {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *mechanism) tryAcquire(slot int, conf []conflictRef) bool {
+	m.counts[slot].Add(1)
+	if !m.conflicts(conf) {
+		return true
+	}
+	m.counts[slot].Add(-1)
+	m.wakeWaiters()
+	return false
+}
+
+func (m *mechanism) acquire(slot int, conf []conflictRef, noFastPath bool) {
+	if !noFastPath {
+		// Fast path (Fig 20 lines 3–4, adapted): claim, scan, retreat on
+		// conflict. A couple of bounded retries absorb transient claims
+		// by other threads that are themselves about to retreat.
+		for attempt := 0; attempt < 2; attempt++ {
+			if m.tryAcquire(slot, conf) {
+				m.fastPath.Add(1)
+				return
+			}
+		}
+	}
+	// Slow path: serialize claim-and-scan through the internal lock and
+	// sleep on the condition variable while conflicts persist. waiters is
+	// raised before the scan so that a releaser's decrement-then-check
+	// either is seen by our scan or sees our waiter registration.
+	m.slow.Add(1)
+	m.mu.Lock()
+	m.waiters.Add(1)
+	for {
+		m.counts[slot].Add(1)
+		if !m.conflicts(conf) {
+			m.waiters.Add(-1)
+			m.mu.Unlock()
+			return
+		}
+		m.counts[slot].Add(-1)
+		m.waits.Add(1)
+		m.cond.Wait()
+	}
+}
+
+func (m *mechanism) release(slot int) {
+	m.counts[slot].Add(-1)
+	m.wakeWaiters()
+}
+
+// wakeWaiters broadcasts if any waiter might be blocked. The waiter
+// increments waiters before re-scanning under mu, and we load waiters
+// after our decrement, so either the waiter's scan sees the decrement or
+// this load sees the waiter — a lost wakeup is impossible.
+func (m *mechanism) wakeWaiters() {
+	if m.waiters.Load() > 0 {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ModeArgKind discriminates the argument forms appearing in a locking
+// mode: the wildcard *, an abstract value α_i, or a constant (§5.1).
+type ModeArgKind uint8
+
+const (
+	// ModeStar represents all values.
+	ModeStar ModeArgKind = iota
+	// ModeAbs represents the φ-bucket of an abstract value.
+	ModeAbs
+	// ModeConst represents a single literal value.
+	ModeConst
+)
+
+// ModeArg is one argument position of a mode operation.
+type ModeArg struct {
+	Kind ModeArgKind
+	Abs  int   // valid when Kind == ModeAbs
+	Val  Value // valid when Kind == ModeConst
+}
+
+// MStar returns the wildcard mode argument.
+func MStar() ModeArg { return ModeArg{Kind: ModeStar} }
+
+// MAbs returns the abstract-value mode argument α_i.
+func MAbs(i int) ModeArg { return ModeArg{Kind: ModeAbs, Abs: i} }
+
+// MConst returns the constant mode argument.
+func MConst(v Value) ModeArg { return ModeArg{Kind: ModeConst, Val: v} }
+
+// String renders the argument: "*", "α3", or the constant.
+func (a ModeArg) String() string {
+	switch a.Kind {
+	case ModeStar:
+		return "*"
+	case ModeAbs:
+		return fmt.Sprintf("α%d", a.Abs+1)
+	default:
+		return fmt.Sprint(a.Val)
+	}
+}
+
+// coversValue reports whether the mode argument's denotation contains the
+// runtime value v under φ.
+func (a ModeArg) coversValue(v Value, phi Phi) bool {
+	switch a.Kind {
+	case ModeStar:
+		return true
+	case ModeAbs:
+		return phi.Abstract(v) == a.Abs
+	default:
+		return a.Val == v
+	}
+}
+
+// ModeOp is one operation pattern of a locking mode, e.g. add(α1) or
+// put(α2,*) or add(5).
+type ModeOp struct {
+	Method string
+	Args   []ModeArg
+}
+
+// ModeOpOf builds a mode operation.
+func ModeOpOf(method string, args ...ModeArg) ModeOp {
+	return ModeOp{Method: method, Args: args}
+}
+
+// String renders the mode op, e.g. "add(α1)".
+func (m ModeOp) String() string {
+	parts := make([]string, len(m.Args))
+	for i, a := range m.Args {
+		parts[i] = a.String()
+	}
+	return m.Method + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Covers reports whether the mode op's denotation contains runtime
+// operation op under φ.
+func (m ModeOp) Covers(op Op, phi Phi) bool {
+	if m.Method != op.Method || len(m.Args) != len(op.Args) {
+		return false
+	}
+	for i, a := range m.Args {
+		if !a.coversValue(op.Args[i], phi) {
+			return false
+		}
+	}
+	return true
+}
+
+// Mode is a locking mode (§5.1): a finite description of a set of runtime
+// operations. A transaction holding a mode holds locks on every operation
+// the mode represents. Modes generalize read/write lock modes.
+type Mode struct {
+	Ops []ModeOp
+}
+
+// ModeOf builds a mode from operation patterns, normalized for stable
+// string keys.
+func ModeOf(ops ...ModeOp) Mode {
+	m := Mode{Ops: append([]ModeOp(nil), ops...)}
+	sort.Slice(m.Ops, func(i, j int) bool { return m.Ops[i].String() < m.Ops[j].String() })
+	return m
+}
+
+// Key returns a canonical string usable as a map key.
+func (m Mode) Key() string {
+	parts := make([]string, len(m.Ops))
+	for i, op := range m.Ops {
+		parts[i] = op.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// String renders the mode as in Fig 19, e.g. "{add(α1),remove(α2)}".
+func (m Mode) String() string { return m.Key() }
+
+// Covers reports whether the mode's denotation contains op under φ.
+func (m Mode) Covers(op Op, phi Phi) bool {
+	for _, mo := range m.Ops {
+		if mo.Covers(op, phi) {
+			return true
+		}
+	}
+	return false
+}
+
+// ModesCommute computes whether every operation represented by mode a
+// commutes with every operation represented by mode b, per the
+// specification and φ — one entry of the commutativity function F_c
+// (§5.2). It is conservative: false means "not provably commutative".
+// As with OpsCommute, a pair is guaranteed commutative when either
+// direction's (sufficient) condition definitely holds, which keeps F_c
+// symmetric even for asymmetric self-pair conditions.
+func ModesCommute(spec *Spec, a, b Mode, phi Phi) bool {
+	for _, oa := range a.Ops {
+		for _, ob := range b.Ops {
+			if spec.Cond(oa.Method, ob.Method).Definitely(oa.Args, ob.Args, phi) {
+				continue
+			}
+			if spec.Cond(ob.Method, oa.Method).Definitely(ob.Args, oa.Args, phi) {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// InstantiateModes expands a symbolic set into the locking modes it can
+// denote at runtime (§5.1):
+//
+//   - a constant symbolic set yields exactly one mode (constants and *
+//     carry over unchanged);
+//   - a variable symbolic set with variables v_1..v_k yields one mode per
+//     assignment of abstract values to the variables — n^k modes for
+//     n = phi.N() — so every runtime instantiation of the set is
+//     represented by one of the modes.
+//
+// The same variable occurring in several argument positions receives the
+// same abstract value in each mode, which preserves intra-set equalities
+// such as {get(id), put(id,*), remove(id)}.
+func InstantiateModes(set SymSet, phi Phi) []Mode {
+	vars := set.Vars()
+	if len(vars) == 0 {
+		return []Mode{modeFromAssignment(set, nil)}
+	}
+	n := phi.N()
+	total := 1
+	for range vars {
+		total *= n
+	}
+	modes := make([]Mode, 0, total)
+	assign := make(map[string]int, len(vars))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			modes = append(modes, modeFromAssignment(set, assign))
+			return
+		}
+		for b := 0; b < n; b++ {
+			assign[vars[i]] = b
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return modes
+}
+
+// ModeForValues returns the mode obtained from a symbolic set by mapping
+// each variable's runtime value through φ — the dynamic mode selection of
+// §5.1 ("t1 = φ(i); t2 = φ(j); l = the locking mode ...").
+func ModeForValues(set SymSet, phi Phi, env map[string]Value) Mode {
+	vars := set.Vars()
+	assign := make(map[string]int, len(vars))
+	for _, v := range vars {
+		val, ok := env[v]
+		if !ok {
+			panic(fmt.Sprintf("core: ModeForValues: no runtime value for variable %q", v))
+		}
+		assign[v] = phi.Abstract(val)
+	}
+	return modeFromAssignment(set, assign)
+}
+
+func modeFromAssignment(set SymSet, assign map[string]int) Mode {
+	ops := make([]ModeOp, len(set))
+	for i, so := range set {
+		args := make([]ModeArg, len(so.Args))
+		for j, a := range so.Args {
+			switch a.Kind {
+			case SymStar:
+				args[j] = MStar()
+			case SymConst:
+				args[j] = MConst(a.Val)
+			case SymVar:
+				args[j] = MAbs(assign[a.Var])
+			}
+		}
+		ops[i] = ModeOp{Method: so.Method, Args: args}
+	}
+	return ModeOf(ops...)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestInstantiateConstantSet(t *testing.T) {
+	phi := NewPhi(4)
+	set := SymSetOf(SymOpOf("add", Star()), SymOpOf("remove", ConstArg(3)))
+	modes := InstantiateModes(set, phi)
+	if len(modes) != 1 {
+		t.Fatalf("constant set yields %d modes, want 1", len(modes))
+	}
+	if got := modes[0].Key(); got != "{add(*),remove(3)}" {
+		t.Errorf("mode = %s", got)
+	}
+}
+
+// TestInstantiateVariableSet follows §5.1's example: with n = 2 the set
+// {add(i), remove(j)} yields 4 locking modes.
+func TestInstantiateVariableSet(t *testing.T) {
+	phi := NewPhi(2)
+	set := SymSetOf(SymOpOf("add", VarArg("i")), SymOpOf("remove", VarArg("j")))
+	modes := InstantiateModes(set, phi)
+	if len(modes) != 4 {
+		t.Fatalf("got %d modes, want 4 (n^k = 2^2)", len(modes))
+	}
+	seen := map[string]bool{}
+	for _, m := range modes {
+		seen[m.Key()] = true
+	}
+	for _, want := range []string{
+		"{add(α1),remove(α1)}",
+		"{add(α1),remove(α2)}",
+		"{add(α2),remove(α1)}",
+		"{add(α2),remove(α2)}",
+	} {
+		if !seen[want] {
+			t.Errorf("missing mode %s; got %v", want, seen)
+		}
+	}
+}
+
+// TestInstantiateSharedVariable checks that one variable used in several
+// positions receives the same abstract value in every mode, preserving
+// intra-set equalities like {get(id),put(id,*),remove(id)}.
+func TestInstantiateSharedVariable(t *testing.T) {
+	phi := NewPhi(3)
+	set := SymSetOf(
+		SymOpOf("get", VarArg("id")),
+		SymOpOf("put", VarArg("id"), Star()),
+		SymOpOf("remove", VarArg("id")),
+	)
+	modes := InstantiateModes(set, phi)
+	if len(modes) != 3 {
+		t.Fatalf("got %d modes, want 3 (one variable, n=3)", len(modes))
+	}
+	for _, m := range modes {
+		var abs = -1
+		for _, op := range m.Ops {
+			for _, a := range op.Args {
+				if a.Kind == ModeAbs {
+					if abs == -1 {
+						abs = a.Abs
+					} else if a.Abs != abs {
+						t.Errorf("mode %s assigns different buckets to one variable", m)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestModeForValues(t *testing.T) {
+	phi := NewFixedPhi(2, 1, map[Value]int{7: 0})
+	set := SymSetOf(SymOpOf("add", VarArg("i")), SymOpOf("remove", VarArg("j")))
+	m := ModeForValues(set, phi, map[string]Value{"i": 7, "j": 9})
+	if got := m.Key(); got != "{add(α1),remove(α2)}" {
+		t.Errorf("mode = %s, want {add(α1),remove(α2)}", got)
+	}
+}
+
+func TestModeForValuesMissingVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("missing variable must panic")
+		}
+	}()
+	ModeForValues(SymSetOf(SymOpOf("add", VarArg("i"))), NewPhi(2), nil)
+}
+
+func TestModeCovers(t *testing.T) {
+	phi := NewFixedPhi(2, 1, map[Value]int{7: 0})
+	m := ModeOf(ModeOpOf("add", MAbs(0)), ModeOpOf("remove", MConst(3)))
+	if !m.Covers(NewOp("add", 7), phi) {
+		t.Error("add(7) in bucket α1 should be covered by add(α1)")
+	}
+	if m.Covers(NewOp("add", 9), phi) {
+		t.Error("add(9) in bucket α2 must not be covered by add(α1)")
+	}
+	if !m.Covers(NewOp("remove", 3), phi) {
+		t.Error("remove(3) should be covered by remove(3)")
+	}
+	if m.Covers(NewOp("remove", 4), phi) {
+		t.Error("remove(4) must not be covered by remove(3)")
+	}
+	star := ModeOf(ModeOpOf("put", MAbs(1), MStar()))
+	if !star.Covers(NewOp("put", 9, "anything"), phi) {
+		t.Error("put(9,·) should be covered by put(α2,*)")
+	}
+}
+
+// TestModesCommuteSetADT spot-checks ModesCommute against Fig 3(b)
+// semantics at the mode level.
+func TestModesCommuteSetADT(t *testing.T) {
+	spec := setSpec()
+	phi := NewPhi(2)
+	addStar := ModeOf(ModeOpOf("add", MStar()))
+	sizeClear := ModeOf(ModeOpOf("size"), ModeOpOf("clear"))
+	if !ModesCommute(spec, addStar, addStar, phi) {
+		t.Error("{add(*)} must self-commute (Example 2.4)")
+	}
+	if ModesCommute(spec, addStar, sizeClear, phi) {
+		t.Error("{add(*)} vs {size(),clear()} must conflict (Example 2.4)")
+	}
+	a1 := ModeOf(ModeOpOf("add", MAbs(0)))
+	r2 := ModeOf(ModeOpOf("remove", MAbs(1)))
+	r1 := ModeOf(ModeOpOf("remove", MAbs(0)))
+	if !ModesCommute(spec, a1, r2, phi) {
+		t.Error("add(α1) vs remove(α2) commute — disjoint buckets")
+	}
+	if ModesCommute(spec, a1, r1, phi) {
+		t.Error("add(α1) vs remove(α1) must conflict — same bucket")
+	}
+}
+
+func TestModeKeyNormalization(t *testing.T) {
+	a := ModeOf(ModeOpOf("remove", MAbs(0)), ModeOpOf("add", MAbs(1)))
+	b := ModeOf(ModeOpOf("add", MAbs(1)), ModeOpOf("remove", MAbs(0)))
+	if a.Key() != b.Key() {
+		t.Errorf("mode keys differ: %s vs %s", a, b)
+	}
+}

@@ -1,0 +1,245 @@
+// Package core implements the semantic-locking runtime of
+// "Automatic Scalable Atomicity via Semantic Locking" (PPoPP 2015):
+// runtime operations, symbolic operations and symbolic sets (§2.2.1),
+// commutativity specifications and conditions (§5.2, Fig 3b), abstract
+// values via a hash φ (§5.1), locking modes and the commutativity
+// function F_c (§5.1–5.2, Fig 19), the per-ADT lock mechanism with
+// per-mode counters (Fig 20), lock partitioning (§5.2), and the
+// transaction layer enforcing the S2PL/OS2PL protocols (§2.3).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a runtime argument value of an ADT operation. Values must be
+// comparable with == (the usual Go map-key restriction); this mirrors the
+// paper's Value domain over which operations and the hash φ range.
+type Value = any
+
+// Op is a runtime operation (§2.1): a method name plus runtime argument
+// values, not including the receiver ADT instance. Op values are used by
+// the protocol checker to decide whether a held locking mode covers an
+// invocation.
+type Op struct {
+	Method string
+	Args   []Value
+}
+
+// NewOp constructs a runtime operation.
+func NewOp(method string, args ...Value) Op {
+	return Op{Method: method, Args: args}
+}
+
+// String renders the operation as in the paper, e.g. "add(7)".
+func (o Op) String() string {
+	parts := make([]string, len(o.Args))
+	for i, a := range o.Args {
+		parts[i] = fmt.Sprint(a)
+	}
+	return o.Method + "(" + strings.Join(parts, ",") + ")"
+}
+
+// SymArgKind discriminates the three forms a symbolic-operation argument
+// can take in a symbolic set (§2.2.1): a program variable, the wildcard *,
+// or a constant value.
+type SymArgKind uint8
+
+const (
+	// SymStar is the * wildcard: it refers to all possible values.
+	SymStar SymArgKind = iota
+	// SymVar names a program variable whose runtime value is looked up
+	// in the environment σ when the lock call executes.
+	SymVar
+	// SymConst is a literal value.
+	SymConst
+)
+
+// SymArg is one argument position of a symbolic operation.
+type SymArg struct {
+	Kind SymArgKind
+	Var  string // valid when Kind == SymVar
+	Val  Value  // valid when Kind == SymConst
+}
+
+// Star returns the wildcard argument *.
+func Star() SymArg { return SymArg{Kind: SymStar} }
+
+// VarArg returns a symbolic argument naming program variable v.
+func VarArg(v string) SymArg { return SymArg{Kind: SymVar, Var: v} }
+
+// ConstArg returns a symbolic argument holding the literal value v.
+func ConstArg(v Value) SymArg { return SymArg{Kind: SymConst, Val: v} }
+
+// String renders the argument: "*", the variable name, or the constant.
+func (a SymArg) String() string {
+	switch a.Kind {
+	case SymStar:
+		return "*"
+	case SymVar:
+		return a.Var
+	default:
+		return fmt.Sprint(a.Val)
+	}
+}
+
+// SymOp is a symbolic operation p(a1,...,an) over Var ∪ {*} ∪ constants
+// (§2.2.1). A symbolic operation denotes, for a given environment σ, the
+// set of runtime operations [SY](σ).
+type SymOp struct {
+	Method string
+	Args   []SymArg
+}
+
+// SymOpOf builds a symbolic operation.
+func SymOpOf(method string, args ...SymArg) SymOp {
+	return SymOp{Method: method, Args: args}
+}
+
+// String renders the symbolic operation, e.g. "put(id,*)".
+func (s SymOp) String() string {
+	parts := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		parts[i] = a.String()
+	}
+	return s.Method + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Vars appends the program variables mentioned by the symbolic operation
+// to dst and returns it.
+func (s SymOp) Vars(dst []string) []string {
+	for _, a := range s.Args {
+		if a.Kind == SymVar {
+			dst = append(dst, a.Var)
+		}
+	}
+	return dst
+}
+
+// IsConstant reports whether the symbolic operation mentions no program
+// variables (every argument is * or a constant) — §5.1's "constant
+// symbolic set" criterion, per operation.
+func (s SymOp) IsConstant() bool {
+	for _, a := range s.Args {
+		if a.Kind == SymVar {
+			return false
+		}
+	}
+	return true
+}
+
+// SymSet is a symbolic set: a set of symbolic operations (§2.2.1). The
+// slice is kept sorted by the canonical rendering so that equal sets
+// compare equal via Key().
+type SymSet []SymOp
+
+// SymSetOf builds a normalized symbolic set.
+func SymSetOf(ops ...SymOp) SymSet {
+	s := make(SymSet, len(ops))
+	copy(s, ops)
+	s.normalize()
+	return s
+}
+
+func (s SymSet) normalize() {
+	sort.Slice(s, func(i, j int) bool { return s[i].String() < s[j].String() })
+}
+
+// Key returns a canonical string for the set, usable as a map key.
+func (s SymSet) Key() string {
+	parts := make([]string, len(s))
+	for i, op := range s {
+		parts[i] = op.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// String renders the set as in the paper, e.g. "{get(id),put(id,*)}".
+func (s SymSet) String() string { return s.Key() }
+
+// Vars returns the sorted, de-duplicated program variables mentioned by
+// the set. A set with no variables is a constant symbolic set (§5.1).
+func (s SymSet) Vars() []string {
+	var vs []string
+	for _, op := range s {
+		vs = op.Vars(vs)
+	}
+	sort.Strings(vs)
+	return dedupStrings(vs)
+}
+
+// IsConstant reports whether the set is a constant symbolic set (§5.1).
+func (s SymSet) IsConstant() bool { return len(s.Vars()) == 0 }
+
+// Union returns the normalized union of two symbolic sets, dropping
+// duplicates.
+func (s SymSet) Union(t SymSet) SymSet {
+	seen := make(map[string]bool, len(s)+len(t))
+	var out SymSet
+	for _, op := range s {
+		if k := op.String(); !seen[k] {
+			seen[k] = true
+			out = append(out, op)
+		}
+	}
+	for _, op := range t {
+		if k := op.String(); !seen[k] {
+			seen[k] = true
+			out = append(out, op)
+		}
+	}
+	out.normalize()
+	return out
+}
+
+// Equal reports set equality.
+func (s SymSet) Equal(t SymSet) bool { return s.Key() == t.Key() }
+
+// Covers reports whether runtime operation op belongs to [s](σ) for the
+// environment σ (a mapping from variable names to runtime values). This
+// realizes the denotation [SY](σ) from §2.2.1.
+func (s SymSet) Covers(op Op, env map[string]Value) bool {
+	for _, so := range s {
+		if so.covers(op, env) {
+			return true
+		}
+	}
+	return false
+}
+
+func (so SymOp) covers(op Op, env map[string]Value) bool {
+	if so.Method != op.Method || len(so.Args) != len(op.Args) {
+		return false
+	}
+	for i, a := range so.Args {
+		switch a.Kind {
+		case SymStar:
+			// matches any value
+		case SymConst:
+			if a.Val != op.Args[i] {
+				return false
+			}
+		case SymVar:
+			v, ok := env[a.Var]
+			if !ok || v != op.Args[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func dedupStrings(xs []string) []string {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package core
+
+import "testing"
+
+func TestOpString(t *testing.T) {
+	if got := NewOp("add", 7).String(); got != "add(7)" {
+		t.Errorf("add(7) rendered as %q", got)
+	}
+	if got := NewOp("size").String(); got != "size()" {
+		t.Errorf("size() rendered as %q", got)
+	}
+	if got := NewOp("put", 1, "x").String(); got != "put(1,x)" {
+		t.Errorf("put rendered as %q", got)
+	}
+}
+
+func TestSymOpString(t *testing.T) {
+	op := SymOpOf("put", VarArg("id"), Star())
+	if got := op.String(); got != "put(id,*)" {
+		t.Errorf("put(id,*) rendered as %q", got)
+	}
+	op = SymOpOf("add", ConstArg(5))
+	if got := op.String(); got != "add(5)" {
+		t.Errorf("add(5) rendered as %q", got)
+	}
+}
+
+func TestSymSetNormalization(t *testing.T) {
+	a := SymSetOf(SymOpOf("remove", VarArg("id")), SymOpOf("get", VarArg("id")))
+	b := SymSetOf(SymOpOf("get", VarArg("id")), SymOpOf("remove", VarArg("id")))
+	if !a.Equal(b) {
+		t.Errorf("sets with same ops in different order not equal: %s vs %s", a, b)
+	}
+	if a.Key() != "{get(id),remove(id)}" {
+		t.Errorf("unexpected key %q", a.Key())
+	}
+}
+
+func TestSymSetVars(t *testing.T) {
+	s := SymSetOf(
+		SymOpOf("get", VarArg("id")),
+		SymOpOf("put", VarArg("id"), Star()),
+		SymOpOf("add", VarArg("x")),
+	)
+	vars := s.Vars()
+	if len(vars) != 2 || vars[0] != "id" || vars[1] != "x" {
+		t.Errorf("Vars = %v, want [id x]", vars)
+	}
+	if s.IsConstant() {
+		t.Error("set with variables reported constant")
+	}
+	c := SymSetOf(SymOpOf("add", Star()), SymOpOf("remove", ConstArg(3)))
+	if !c.IsConstant() {
+		t.Error("constant set not reported constant")
+	}
+}
+
+func TestSymSetUnion(t *testing.T) {
+	a := SymSetOf(SymOpOf("get", VarArg("id")))
+	b := SymSetOf(SymOpOf("get", VarArg("id")), SymOpOf("remove", VarArg("id")))
+	u := a.Union(b)
+	if len(u) != 2 {
+		t.Fatalf("union has %d ops, want 2", len(u))
+	}
+	if !u.Equal(b) {
+		t.Errorf("union = %s, want %s", u, b)
+	}
+}
+
+// TestSymSetCovers exercises the denotation [SY](σ) of §2.2.1 with the
+// paper's Example 2.2: when id = 7, {get(id),put(id,*),remove(id)} locks
+// get(7), remove(7) and every put(7,v).
+func TestSymSetCovers(t *testing.T) {
+	set := SymSetOf(
+		SymOpOf("get", VarArg("id")),
+		SymOpOf("put", VarArg("id"), Star()),
+		SymOpOf("remove", VarArg("id")),
+	)
+	env := map[string]Value{"id": 7}
+	for _, op := range []Op{NewOp("get", 7), NewOp("remove", 7), NewOp("put", 7, "anything"), NewOp("put", 7, 12345)} {
+		if !set.Covers(op, env) {
+			t.Errorf("%s should be covered when id=7", op)
+		}
+	}
+	for _, op := range []Op{NewOp("get", 8), NewOp("put", 8, "v"), NewOp("size")} {
+		if set.Covers(op, env) {
+			t.Errorf("%s should NOT be covered when id=7", op)
+		}
+	}
+}
+
+func TestSymSetCoversStarOnly(t *testing.T) {
+	// Example 2.2 second half: lock({add(*)}) locks every add(v).
+	set := SymSetOf(SymOpOf("add", Star()))
+	for _, v := range []Value{0, 1, "s", 3.5} {
+		if !set.Covers(NewOp("add", v), nil) {
+			t.Errorf("add(%v) should be covered by {add(*)}", v)
+		}
+	}
+	if set.Covers(NewOp("remove", 1), nil) {
+		t.Error("remove(1) must not be covered by {add(*)}")
+	}
+}
+
+func TestSymSetCoversConstArg(t *testing.T) {
+	set := SymSetOf(SymOpOf("add", ConstArg(5)))
+	if !set.Covers(NewOp("add", 5), nil) {
+		t.Error("add(5) should be covered by {add(5)}")
+	}
+	if set.Covers(NewOp("add", 6), nil) {
+		t.Error("add(6) must not be covered by {add(5)}")
+	}
+}
+
+func TestSymSetCoversArityMismatch(t *testing.T) {
+	set := SymSetOf(SymOpOf("add", Star()))
+	if set.Covers(NewOp("add", 1, 2), nil) {
+		t.Error("add/2 must not be covered by add/1 pattern")
+	}
+}
+
+func TestAllOpsSet(t *testing.T) {
+	got := setSpec().AllOpsSet()
+	want := SymSetOf(
+		SymOpOf("add", Star()),
+		SymOpOf("remove", Star()),
+		SymOpOf("contains", Star()),
+		SymOpOf("size"),
+		SymOpOf("clear"),
+	)
+	if !got.Equal(want) {
+		t.Errorf("AllOpsSet = %s, want %s", got, want)
+	}
+	if !got.IsConstant() {
+		t.Error("the generic lock(+) set must be constant")
+	}
+}

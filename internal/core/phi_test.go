@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPhiRange(t *testing.T) {
+	phi := NewPhi(64)
+	if phi.N() != 64 {
+		t.Fatalf("N = %d, want 64", phi.N())
+	}
+	values := []Value{0, 1, -5, int64(7), uint32(9), "hello", 3.14, true, false, struct{ A int }{4}}
+	for _, v := range values {
+		b := phi.Abstract(v)
+		if b < 0 || b >= 64 {
+			t.Errorf("Abstract(%v) = %d out of range", v, b)
+		}
+	}
+}
+
+func TestPhiDeterministic(t *testing.T) {
+	phi := NewPhi(16)
+	for _, v := range []Value{42, "x", 1.5} {
+		if phi.Abstract(v) != phi.Abstract(v) {
+			t.Errorf("Abstract(%v) not deterministic", v)
+		}
+	}
+}
+
+// TestPhiIntSpread checks that consecutive small integers (the common key
+// pattern in the paper's workloads) spread over buckets rather than
+// clustering — important for the parallelism the modes admit.
+func TestPhiIntSpread(t *testing.T) {
+	phi := NewPhi(64)
+	counts := make([]int, 64)
+	const n = 64 * 64
+	for i := 0; i < n; i++ {
+		counts[phi.Abstract(i)]++
+	}
+	for b, c := range counts {
+		if c == 0 {
+			t.Errorf("bucket %d empty after %d consecutive ints", b, n)
+		}
+		if c > 4*n/64 {
+			t.Errorf("bucket %d badly overloaded: %d of %d", b, c, n)
+		}
+	}
+}
+
+func TestPhiQuickRange(t *testing.T) {
+	phi := NewPhi(7)
+	f := func(x int64, s string) bool {
+		a, b := phi.Abstract(x), phi.Abstract(s)
+		return a >= 0 && a < 7 && b >= 0 && b < 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedPhi(t *testing.T) {
+	phi := NewFixedPhi(2, 1, map[Value]int{5: 0})
+	if phi.Abstract(5) != 0 {
+		t.Error("assigned value must map to its bucket")
+	}
+	if phi.Abstract(99) != 1 {
+		t.Error("unassigned value must map to default bucket")
+	}
+	if phi.N() != 2 {
+		t.Error("N wrong")
+	}
+}
+
+func TestNewPhiPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPhi(0) must panic")
+		}
+	}()
+	NewPhi(0)
+}
+
+func TestReducedPhi(t *testing.T) {
+	base := NewPhi(64)
+	r := &reducedPhi{base: base, n: 8}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	for i := 0; i < 100; i++ {
+		if got, want := r.Abstract(i), base.Abstract(i)%8; got != want {
+			t.Errorf("reduced bucket of %d = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRegisterDegeneratesToRWLock demonstrates §5.1's remark that
+// locking modes generalize read/write lock modes: for a Register ADT
+// (read/write, reads commute) with the symbolic sets {read()} and
+// {write(*)}, the compiled table IS a readers/writer lock — concurrent
+// readers, exclusive writers.
+func TestRegisterDegeneratesToRWLock(t *testing.T) {
+	spec := NewSpec("Register",
+		MethodSig{"read", 0},
+		MethodSig{"write", 1},
+	)
+	spec.Commute("read", "read", Always)
+
+	readSet := SymSetOf(SymOpOf("read"))
+	writeSet := SymSetOf(SymOpOf("write", Star()))
+	tbl := NewModeTable(spec, []SymSet{readSet, writeSet}, TableOptions{Phi: NewPhi(4)})
+
+	rd := tbl.Set(readSet).Mode()
+	wr := tbl.Set(writeSet).Mode()
+	if !tbl.Commute(rd, rd) {
+		t.Error("read mode must self-commute (shared)")
+	}
+	if tbl.Commute(rd, wr) || tbl.Commute(wr, wr) {
+		t.Error("write mode must be exclusive")
+	}
+	if tbl.NumMechanisms() != 1 {
+		t.Errorf("RW lock is one mechanism, got %d", tbl.NumMechanisms())
+	}
+
+	// Behavioral check: N readers share; a writer excludes them and
+	// other writers.
+	s := NewSemantic(tbl)
+	var readers, writers, violations atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if g < 4 {
+					s.Acquire(rd)
+					readers.Add(1)
+					if writers.Load() != 0 {
+						violations.Add(1)
+					}
+					readers.Add(-1)
+					s.Release(rd)
+				} else {
+					s.Acquire(wr)
+					if writers.Add(1) != 1 || readers.Load() != 0 {
+						violations.Add(1)
+					}
+					writers.Add(-1)
+					s.Release(wr)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Errorf("%d RW violations", violations.Load())
+	}
+}
+
+// TestManySimultaneousReaders: the register's read mode admits any
+// number of holders at once.
+func TestManySimultaneousReaders(t *testing.T) {
+	spec := NewSpec("Register", MethodSig{"read", 0}, MethodSig{"write", 1})
+	spec.Commute("read", "read", Always)
+	readSet := SymSetOf(SymOpOf("read"))
+	tbl := NewModeTable(spec, []SymSet{readSet, SymSetOf(SymOpOf("write", Star()))}, TableOptions{Phi: NewPhi(2)})
+	s := NewSemantic(tbl)
+	rd := tbl.Set(readSet).Mode()
+	for i := 0; i < 64; i++ {
+		s.Acquire(rd)
+	}
+	if got := s.Holders(rd); got != 64 {
+		t.Errorf("holders = %d", got)
+	}
+	for i := 0; i < 64; i++ {
+		s.Release(rd)
+	}
+}

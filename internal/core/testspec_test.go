@@ -1,0 +1,58 @@
+package core
+
+// setSpec builds the Set ADT commutativity specification of Fig 3(b):
+//
+//	            add(v')  remove(v')  contains(v')  size()  clear()
+//	add(v)      true     v≠v'        v≠v'          false   false
+//	remove(v)            true        v≠v'          false   false
+//	contains(v)                      true          true    false
+//	size()                                         true    false
+//	clear()                                                true
+func setSpec() *Spec {
+	s := NewSpec("Set",
+		MethodSig{"add", 1},
+		MethodSig{"remove", 1},
+		MethodSig{"contains", 1},
+		MethodSig{"size", 0},
+		MethodSig{"clear", 0},
+	)
+	s.Commute("add", "add", Always)
+	s.Commute("add", "remove", ArgsNE(0, 0))
+	s.Commute("add", "contains", ArgsNE(0, 0))
+	s.Commute("add", "size", Never)
+	s.Commute("add", "clear", Never)
+	s.Commute("remove", "remove", Always)
+	s.Commute("remove", "contains", ArgsNE(0, 0))
+	s.Commute("remove", "size", Never)
+	s.Commute("remove", "clear", Never)
+	s.Commute("contains", "contains", Always)
+	s.Commute("contains", "size", Always)
+	s.Commute("contains", "clear", Never)
+	s.Commute("size", "size", Always)
+	s.Commute("size", "clear", Never)
+	s.Commute("clear", "clear", Always)
+	return s
+}
+
+// mapSpec is a Map ADT specification in the style of Fig 3(b), used by
+// mode-table and lock tests. get/put/remove on distinct keys commute;
+// get/get always commute; put/put and put/remove on the same key do not.
+func mapSpec() *Spec {
+	s := NewSpec("Map",
+		MethodSig{"get", 1},
+		MethodSig{"put", 2},
+		MethodSig{"remove", 1},
+		MethodSig{"size", 0},
+	)
+	s.Commute("get", "get", Always)
+	s.Commute("get", "put", ArgsNE(0, 0))
+	s.Commute("get", "remove", ArgsNE(0, 0))
+	s.Commute("get", "size", Always)
+	s.Commute("put", "put", ArgsNE(0, 0))
+	s.Commute("put", "remove", ArgsNE(0, 0))
+	s.Commute("put", "size", Never)
+	s.Commute("remove", "remove", Always)
+	s.Commute("remove", "size", Never)
+	s.Commute("size", "size", Always)
+	return s
+}

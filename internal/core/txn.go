@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Txn is a transaction: the execution of an atomic section (§2.1). It
+// tracks the ADT instances it has locked (the paper's LOCAL_SET, §3.1),
+// enforces the two-phase rule of S2PL (§2.3: no lock after any unlock),
+// and — when checking is enabled — asserts the OS2PL ordering rule and
+// that every standard operation is covered by a held mode.
+//
+// A Txn is used by one goroutine at a time and may be Reset and reused.
+type Txn struct {
+	held       []heldLock
+	unlockedAt int // count of releases performed; >0 bars further locking
+	checked    bool
+
+	// order-tracking for the checked OS2PL assertion
+	lastRank int
+	lastID   uint64
+	haveLast bool
+}
+
+type heldLock struct {
+	sem  *Semantic
+	mode ModeID
+	rank int
+}
+
+// NewTxn begins a transaction (the prologue of §3.1: LOCAL_SET := ∅).
+func NewTxn() *Txn { return &Txn{} }
+
+// NewCheckedTxn begins a transaction with protocol checking: violations
+// of S2PL, OS2PL ordering, or operation coverage panic with a diagnostic.
+// Used by tests and race harnesses.
+func NewCheckedTxn() *Txn { return &Txn{checked: true} }
+
+// Reset clears the transaction for reuse. It panics if locks are still
+// held (every transaction must end with UnlockAll).
+func (t *Txn) Reset() {
+	if len(t.held) != 0 {
+		panic("core: Txn.Reset with locks still held")
+	}
+	t.unlockedAt = 0
+	t.haveLast = false
+}
+
+// Holds reports whether the transaction already holds a lock on the
+// instance (the LOCAL_SET membership test of the LV macro, Fig 5).
+func (t *Txn) Holds(s *Semantic) bool {
+	for i := range t.held {
+		if t.held[i].sem == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Lock acquires mode m on instance s unless the transaction already
+// holds a lock on s — exactly the LV macro of Fig 5 generalized to a
+// specific mode. Passing a nil instance is a no-op (the null check of
+// Fig 5). The rank is the instance's position in the static lock order
+// (<ts over equivalence classes, §3.3); the checked variant asserts that
+// acquisitions follow (rank, unique-id) lexicographic order.
+func (t *Txn) Lock(s *Semantic, m ModeID, rank int) {
+	if s == nil || t.Holds(s) {
+		return
+	}
+	if t.unlockedAt > 0 {
+		panic("core: S2PL violation: lock after unlock in the same transaction")
+	}
+	if t.checked && t.haveLast {
+		if rank < t.lastRank || (rank == t.lastRank && s.id <= t.lastID) {
+			panic(fmt.Sprintf(
+				"core: OS2PL violation: locking (rank=%d,id=%d) after (rank=%d,id=%d)",
+				rank, s.id, t.lastRank, t.lastID))
+		}
+	}
+	s.Acquire(m)
+	t.held = append(t.held, heldLock{sem: s, mode: m, rank: rank})
+	t.lastRank, t.lastID, t.haveLast = rank, s.id, true
+}
+
+// LockOrdered acquires the same mode on several same-rank instances in
+// unique-id order — the LV2 pattern of Fig 12 generalized from two
+// variables to any number. Nil instances are skipped.
+func (t *Txn) LockOrdered(rank int, m ModeID, ss ...*Semantic) {
+	switch len(ss) {
+	case 0:
+		return
+	case 1:
+		t.Lock(ss[0], m, rank)
+		return
+	case 2:
+		a, b := ss[0], ss[1]
+		if a != nil && b != nil && b.id < a.id {
+			a, b = b, a
+		}
+		if a == nil {
+			a, b = b, nil
+		}
+		t.Lock(a, m, rank)
+		t.Lock(b, m, rank)
+		return
+	}
+	sorted := make([]*Semantic, 0, len(ss))
+	for _, s := range ss {
+		if s != nil {
+			sorted = append(sorted, s)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].id < sorted[j].id })
+	for _, s := range sorted {
+		t.Lock(s, m, rank)
+	}
+}
+
+// UnlockInstance releases all modes held on instance s — the early lock
+// release of Appendix A ("if(x!=null) x.unlockAll()" moved before the end
+// of the section). After the first release the transaction may not lock
+// again (two-phase rule).
+func (t *Txn) UnlockInstance(s *Semantic) {
+	if s == nil {
+		return
+	}
+	for i := 0; i < len(t.held); i++ {
+		if t.held[i].sem == s {
+			s.Release(t.held[i].mode)
+			t.held = append(t.held[:i], t.held[i+1:]...)
+			t.unlockedAt++
+			return
+		}
+	}
+}
+
+// UnlockAll releases every lock the transaction holds — the epilogue of
+// §3.1. It is idempotent.
+func (t *Txn) UnlockAll() {
+	for i := len(t.held) - 1; i >= 0; i-- {
+		h := t.held[i]
+		h.sem.Release(h.mode)
+		t.unlockedAt++
+	}
+	t.held = t.held[:0]
+}
+
+// HeldCount returns how many instance locks the transaction holds.
+func (t *Txn) HeldCount() int { return len(t.held) }
+
+// Assert verifies that a standard operation op on instance s is covered
+// by a mode this transaction holds on s — the S2PL rule "t invokes a
+// standard operation p of A only if t holds a lock on p of A" (§2.3).
+// It is a no-op for unchecked transactions. Instrumented ADTs call this
+// on every standard operation.
+func (t *Txn) Assert(s *Semantic, op Op) {
+	if !t.checked {
+		return
+	}
+	for i := range t.held {
+		if t.held[i].sem != s {
+			continue
+		}
+		if s.table.CoversOp(t.held[i].mode, op) {
+			return
+		}
+		panic(fmt.Sprintf(
+			"core: S2PL violation: operation %s not covered by held mode %s",
+			op, s.table.Mode(t.held[i].mode)))
+	}
+	panic(fmt.Sprintf("core: S2PL violation: operation %s on unlocked instance (id=%d)", op, s.id))
+}
+
+// Checked reports whether protocol checking is enabled.
+func (t *Txn) Checked() bool { return t.checked }

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func txnFixture(t *testing.T) (*ModeTable, ModeID, ModeID) {
+	t.Helper()
+	tbl := mapTable(t, 1, TableOptions{})
+	return tbl, keyMode(tbl, 7), sizeMode(tbl)
+}
+
+// TestTxnLocalSet: locking the same instance twice is a no-op (the
+// LOCAL_SET behaviour of the LV macro, Fig 5).
+func TestTxnLocalSet(t *testing.T) {
+	tbl, km, _ := txnFixture(t)
+	s := NewSemantic(tbl)
+	tx := NewTxn()
+	tx.Lock(s, km, 0)
+	tx.Lock(s, km, 0) // LV has no impact when already locked
+	if got := tx.HeldCount(); got != 1 {
+		t.Errorf("held = %d, want 1", got)
+	}
+	if got := s.Holders(km); got != 1 {
+		t.Errorf("holders = %d, want 1 (double-lock must be absorbed)", got)
+	}
+	tx.UnlockAll()
+	if s.Holders(km) != 0 {
+		t.Error("UnlockAll left a holder")
+	}
+}
+
+func TestTxnLockNil(t *testing.T) {
+	tx := NewTxn()
+	tx.Lock(nil, 0, 0) // Fig 5: no impact when x is null
+	if tx.HeldCount() != 0 {
+		t.Error("nil lock must be a no-op")
+	}
+	tx.UnlockAll()
+}
+
+// TestTxnTwoPhase: locking after any unlock violates S2PL and panics.
+func TestTxnTwoPhase(t *testing.T) {
+	tbl, km, _ := txnFixture(t)
+	s1, s2 := NewSemantic(tbl), NewSemantic(tbl)
+	tx := NewTxn()
+	tx.Lock(s1, km, 0)
+	tx.UnlockInstance(s1)
+	defer func() {
+		if recover() == nil {
+			t.Error("lock after unlock must panic")
+		}
+	}()
+	tx.Lock(s2, km, 0)
+}
+
+// TestTxnOrderingChecked: a checked transaction panics when instances
+// are locked against the static rank order or against the unique-id
+// order within a rank (OS2PL, §3.3).
+func TestTxnOrderingChecked(t *testing.T) {
+	tbl, km, _ := txnFixture(t)
+	lo, hi := NewSemantic(tbl), NewSemantic(tbl) // lo.id < hi.id
+
+	t.Run("rank order violation", func(t *testing.T) {
+		tx := NewCheckedTxn()
+		tx.Lock(hi, km, 1)
+		defer func() {
+			tx.UnlockAll()
+			if recover() == nil {
+				t.Error("locking rank 0 after rank 1 must panic")
+			}
+		}()
+		tx.Lock(lo, km, 0)
+	})
+
+	t.Run("id order violation within rank", func(t *testing.T) {
+		tx := NewCheckedTxn()
+		tx.Lock(hi, km, 0)
+		defer func() {
+			tx.UnlockAll()
+			if recover() == nil {
+				t.Error("locking smaller id after larger id in same rank must panic")
+			}
+		}()
+		tx.Lock(lo, km, 0)
+	})
+
+	t.Run("correct order passes", func(t *testing.T) {
+		tx := NewCheckedTxn()
+		tx.Lock(lo, km, 0)
+		tx.Lock(hi, km, 0)
+		tx.UnlockAll()
+	})
+}
+
+// TestLockOrdered: LV2 (Fig 12) sorts same-class instances by unique id
+// regardless of argument order, so two concurrent transactions cannot
+// deadlock on a pair of instances.
+func TestLockOrdered(t *testing.T) {
+	tbl, km, _ := txnFixture(t)
+	a, b := NewSemantic(tbl), NewSemantic(tbl)
+
+	tx := NewCheckedTxn()
+	tx.LockOrdered(0, km, b, a) // reversed order is fine: sorted internally
+	if tx.HeldCount() != 2 {
+		t.Fatalf("held = %d, want 2", tx.HeldCount())
+	}
+	tx.UnlockAll()
+
+	tx2 := NewCheckedTxn()
+	tx2.LockOrdered(0, km, b, nil, a, b) // nils and duplicates absorbed
+	if tx2.HeldCount() != 2 {
+		t.Fatalf("held = %d, want 2 with nil/dup", tx2.HeldCount())
+	}
+	tx2.UnlockAll()
+}
+
+// TestLockOrderedNoDeadlock runs two transactions locking the same pair
+// in opposite argument order under a conflicting mode; with LV2 ordering
+// they must always complete.
+func TestLockOrderedNoDeadlock(t *testing.T) {
+	tbl, km, _ := txnFixture(t)
+	a, b := NewSemantic(tbl), NewSemantic(tbl)
+	done := make(chan struct{}, 2)
+	run := func(first, second *Semantic) {
+		for i := 0; i < 500; i++ {
+			tx := NewTxn()
+			tx.LockOrdered(0, km, first, second)
+			tx.UnlockAll()
+		}
+		done <- struct{}{}
+	}
+	go run(a, b)
+	go run(b, a)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("deadlock: ordered locking did not complete")
+		}
+	}
+}
+
+// TestTxnEarlyRelease: UnlockInstance releases one instance early
+// (Appendix A) and bars further locking.
+func TestTxnEarlyRelease(t *testing.T) {
+	tbl, km, _ := txnFixture(t)
+	s1, s2 := NewSemantic(tbl), NewSemantic(tbl)
+	tx := NewTxn()
+	tx.Lock(s1, km, 0)
+	tx.Lock(s2, km, 0)
+	tx.UnlockInstance(s1)
+	if s1.Holders(km) != 0 {
+		t.Error("early release did not release s1")
+	}
+	if s2.Holders(km) != 1 {
+		t.Error("early release must not touch s2")
+	}
+	tx.UnlockInstance(nil) // no-op
+	tx.UnlockAll()
+	if s2.Holders(km) != 0 {
+		t.Error("epilogue did not release s2")
+	}
+}
+
+func TestTxnReset(t *testing.T) {
+	tbl, km, _ := txnFixture(t)
+	s := NewSemantic(tbl)
+	tx := NewTxn()
+	tx.Lock(s, km, 0)
+	tx.UnlockAll()
+	tx.Reset()
+	tx.Lock(s, km, 0) // reusable after Reset
+	tx.UnlockAll()
+}
+
+func TestTxnResetWhileHeldPanics(t *testing.T) {
+	tbl, km, _ := txnFixture(t)
+	s := NewSemantic(tbl)
+	tx := NewTxn()
+	tx.Lock(s, km, 0)
+	defer func() {
+		tx.UnlockAll()
+		if recover() == nil {
+			t.Error("Reset with held locks must panic")
+		}
+	}()
+	tx.Reset()
+}
+
+// TestTxnAssert: the checked S2PL rule — operations must be covered by a
+// held mode.
+func TestTxnAssert(t *testing.T) {
+	tbl, km, _ := txnFixture(t)
+	s := NewSemantic(tbl)
+	tx := NewCheckedTxn()
+	tx.Lock(s, km, 0)
+	// n=1, so the key mode covers get/put/remove on every key.
+	tx.Assert(s, NewOp("get", 7))
+	tx.Assert(s, NewOp("put", 123, "v"))
+
+	t.Run("uncovered op panics", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("size() not covered by key mode: Assert must panic")
+			}
+		}()
+		tx.Assert(s, NewOp("size"))
+	})
+
+	t.Run("unlocked instance panics", func(t *testing.T) {
+		other := NewSemantic(tbl)
+		defer func() {
+			if recover() == nil {
+				t.Error("op on unlocked instance must panic")
+			}
+		}()
+		tx.Assert(other, NewOp("get", 7))
+	})
+
+	tx.UnlockAll()
+
+	unchecked := NewTxn()
+	unchecked.Assert(s, NewOp("size")) // no-op without checking
+	if unchecked.Checked() {
+		t.Error("NewTxn must not be checked")
+	}
+	if !tx.Checked() {
+		t.Error("NewCheckedTxn must be checked")
+	}
+}
+
+// TestTxnHolds exercises the LOCAL_SET membership query.
+func TestTxnHolds(t *testing.T) {
+	tbl, km, _ := txnFixture(t)
+	s := NewSemantic(tbl)
+	tx := NewTxn()
+	if tx.Holds(s) {
+		t.Error("fresh txn holds nothing")
+	}
+	tx.Lock(s, km, 0)
+	if !tx.Holds(s) {
+		t.Error("txn must report held instance")
+	}
+	tx.UnlockAll()
+	if tx.Holds(s) {
+		t.Error("txn must not report after UnlockAll")
+	}
+}

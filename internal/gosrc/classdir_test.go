@@ -1,0 +1,100 @@
+package gosrc
+
+import (
+	"strings"
+	"testing"
+)
+
+// graphSrc uses //semlock:class to split the two multimaps into
+// separate equivalence classes — the compiler-facing form of the Graph
+// module's abstraction.
+const graphSrc = `package g
+
+import "repro/internal/semadt"
+
+//semlock:atomic
+//semlock:class succs MM$succs
+//semlock:class preds MM$preds
+func InsertEdge(succs *semadt.Multimap, preds *semadt.Multimap, s int, d int) {
+	ok := succs.Put(s, d)
+	if ok {
+		preds.Put(d, s)
+	}
+}
+
+//semlock:atomic
+//semlock:class succs MM$succs
+//semlock:class preds MM$preds
+func FindSuccessors(succs *semadt.Multimap, preds *semadt.Multimap, n int) {
+	out := succs.Get(n)
+	_ = out
+}
+`
+
+// TestClassDirective: the directive splits the classes, giving each
+// multimap its own table and rank instead of one merged Multimap class.
+func TestClassDirective(t *testing.T) {
+	f, err := ParseFile("g.go", graphSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Functions[0].ClassKeys["succs"] != "MM$succs" {
+		t.Fatalf("class keys = %v", f.Functions[0].ClassKeys)
+	}
+	res, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables["MM$succs"] == nil || res.Tables["MM$preds"] == nil {
+		t.Fatalf("tables for split classes missing: %v", keysOf(res.Tables))
+	}
+	if res.Rank("MM$succs") == res.Rank("MM$preds") {
+		t.Error("split classes must have distinct ranks")
+	}
+	out := PlanText(res)
+	if !strings.Contains(out, "succs.lock({put(d,s),put(s,d)})") &&
+		!strings.Contains(out, "succs.lock({put(s,d)})") {
+		t.Errorf("insert plan unexpected:\n%s", out)
+	}
+}
+
+// TestClassDirectiveBad: malformed directives are rejected.
+func TestClassDirectiveBad(t *testing.T) {
+	src := `package g
+//semlock:atomic
+//semlock:class onlyname
+func F(m *semadt.Map) {}`
+	if _, err := ParseFile("g.go", src); err == nil {
+		t.Error("malformed //semlock:class must fail")
+	}
+}
+
+// TestWithoutClassDirectiveMerges: without directives the two multimaps
+// share one class and the same-class pair needs LV2's dynamic ordering.
+func TestWithoutClassDirectiveMerges(t *testing.T) {
+	src := strings.ReplaceAll(graphSrc, "//semlock:class succs MM$succs\n", "")
+	src = strings.ReplaceAll(src, "//semlock:class preds MM$preds\n", "")
+	f, err := ParseFile("g.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tables["Multimap"] == nil {
+		t.Fatalf("merged class table missing: %v", keysOf(res.Tables))
+	}
+	out := PlanText(res)
+	if !strings.Contains(out, "lock2(preds,succs") {
+		t.Errorf("same-class pair should use dynamically ordered locking:\n%s", out)
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package interp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/adtspecs"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/synth"
+)
+
+// genSection builds a random but well-formed atomic section over a
+// fixed vocabulary of ADT variables: maps m0/m1, sets s0/s1 (locals,
+// possibly loaded from maps or allocated), a queue q, and thread-local
+// ints k0..k2. The generator is seeded, so every failure is
+// reproducible by its seed.
+func genSection(rng *rand.Rand, name string) *ir.Atomic {
+	sec := &ir.Atomic{
+		Name: name,
+		Vars: []ir.Param{
+			{Name: "m0", Type: "Map", IsADT: true, NonNull: true},
+			{Name: "m1", Type: "Map", IsADT: true, NonNull: true},
+			{Name: "q", Type: "Queue", IsADT: true, NonNull: true},
+			{Name: "s0", Type: "Set", IsADT: true},
+			{Name: "s1", Type: "Set", IsADT: true},
+			{Name: "k0", Type: "int"},
+			{Name: "k1", Type: "int"},
+			{Name: "k2", Type: "int"},
+		},
+	}
+	sec.Body = genBlock(rng, 3, 2+rng.Intn(5))
+	return sec
+}
+
+func keyVar(rng *rand.Rand) ir.Expr {
+	return ir.VarRef{Name: fmt.Sprintf("k%d", rng.Intn(3))}
+}
+
+func mapVar(rng *rand.Rand) string { return fmt.Sprintf("m%d", rng.Intn(2)) }
+func setVar(rng *rand.Rand) string { return fmt.Sprintf("s%d", rng.Intn(2)) }
+
+func genBlock(rng *rand.Rand, depth, n int) ir.Block {
+	var b ir.Block
+	for i := 0; i < n; i++ {
+		b = append(b, genStmt(rng, depth)...)
+	}
+	return b
+}
+
+func genStmt(rng *rand.Rand, depth int) []ir.Stmt {
+	switch c := rng.Intn(10); {
+	case c < 2: // map read into a set variable
+		return []ir.Stmt{&ir.Call{Recv: mapVar(rng), Method: "get", Args: []ir.Expr{keyVar(rng)}, Assign: setVar(rng)}}
+	case c < 3: // allocate + publish a set
+		sv := setVar(rng)
+		return []ir.Stmt{
+			&ir.Assign{Lhs: sv, NewType: "Set"},
+			&ir.Call{Recv: mapVar(rng), Method: "put", Args: []ir.Expr{keyVar(rng), ir.VarRef{Name: sv}}},
+		}
+	case c < 5: // guarded set operation
+		sv := setVar(rng)
+		var inner ir.Stmt
+		if rng.Intn(2) == 0 {
+			inner = &ir.Call{Recv: sv, Method: "add", Args: []ir.Expr{keyVar(rng)}}
+		} else {
+			inner = &ir.Call{Recv: sv, Method: "contains", Args: []ir.Expr{keyVar(rng)}, Assign: "k2"}
+		}
+		return []ir.Stmt{&ir.If{Cond: ir.NotNull{Var: sv}, Then: ir.Block{inner}}}
+	case c < 6: // map remove
+		return []ir.Stmt{&ir.Call{Recv: mapVar(rng), Method: "remove", Args: []ir.Expr{keyVar(rng)}}}
+	case c < 7: // queue enqueue of a key
+		return []ir.Stmt{&ir.Call{Recv: "q", Method: "enqueue", Args: []ir.Expr{keyVar(rng)}}}
+	case c < 8 && depth > 0: // conditional block
+		return []ir.Stmt{&ir.If{
+			Cond: ir.OpaqueCond{Text: "k0", Reads: []string{"k0"}},
+			Then: genBlock(rng, depth-1, 1+rng.Intn(3)),
+			Else: genBlock(rng, depth-1, rng.Intn(2)),
+		}}
+	case c < 9: // thread-local shuffle
+		return []ir.Stmt{&ir.Assign{Lhs: "k1", Rhs: ir.VarRef{Name: "k0"}}}
+	default: // map containsKey into a local
+		return []ir.Stmt{&ir.Call{Recv: mapVar(rng), Method: "containsKey", Args: []ir.Expr{keyVar(rng)}, Assign: "k2"}}
+	}
+}
+
+// TestFuzzSynthesizedProtocol generates random programs, synthesizes
+// them, and executes them concurrently with checked transactions: any
+// S2PL violation (operation without a covering mode), ordering
+// violation, or deadlock fails the test. This sweeps edge cases of the
+// insertion, optimization and refinement passes that the hand-written
+// tests don't reach.
+func TestFuzzSynthesizedProtocol(t *testing.T) {
+	const programs = 80
+	for seed := int64(0); seed < programs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nSections := 1 + rng.Intn(2)
+		prog := &synth.Program{Specs: adtspecs.All()}
+		for i := 0; i < nSections; i++ {
+			prog.Sections = append(prog.Sections, genSection(rng, fmt.Sprintf("fz%d_%d", seed, i)))
+		}
+		res, err := synth.Synthesize(prog, synth.Options{
+			StopAfter: synth.StageRefine,
+			Phi:       core.NewPhi(8), // small φ keeps 80 table compilations quick
+		})
+		if err != nil {
+			t.Fatalf("seed %d: synthesize: %v", seed, err)
+		}
+		e := interp.NewExecutor(res, true)
+		e.EvalOpaque = func(text string, env map[string]core.Value) core.Value {
+			if text == "k0" {
+				v, _ := env["k0"].(int)
+				return v%2 == 0
+			}
+			panic("unexpected opaque " + text)
+		}
+
+		m0 := e.NewInstance("Map", "Map")
+		m1 := e.NewInstance("Map", "Map")
+		q := e.NewInstance("Queue", "Queue")
+
+		var wg sync.WaitGroup
+		errCh := make(chan error, 4)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				lr := rand.New(rand.NewSource(seed*1000 + int64(g)))
+				for i := 0; i < 25; i++ {
+					env := map[string]core.Value{
+						"m0": m0, "m1": m1, "q": q, "s0": nil, "s1": nil,
+						"k0": lr.Intn(4), "k1": lr.Intn(4), "k2": 0,
+					}
+					if err := e.Run(lr.Intn(nSections), env); err != nil {
+						errCh <- fmt.Errorf("seed %d: %w", seed, err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package interp_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/adtspecs"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/papersec"
+	"repro/internal/synth"
+)
+
+// buildExec synthesizes the given sections with the full pipeline and
+// returns a checked executor.
+func buildExec(t *testing.T, p *synth.Program) *interp.Executor {
+	t.Helper()
+	res, err := synth.Synthesize(p, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return interp.NewExecutor(res, true)
+}
+
+// TestFig1EndToEnd runs the synthesized Fig 1 section from many
+// goroutines over a small key space with checked transactions. Flag is
+// always true, so each transaction creates-or-reuses the id's Set, adds
+// its two unique values, enqueues the Set and removes the id. Atomicity
+// means every enqueued Set carries exactly one transaction's pair.
+func TestFig1EndToEnd(t *testing.T) {
+	prog := &synth.Program{Specs: adtspecs.All()}
+	prog.Sections = append(prog.Sections, papersec.Fig1())
+	e := buildExec(t, prog)
+
+	mapInst := e.NewInstance("Map", "Map")
+	queueInst := e.NewInstance("Queue", "Queue")
+
+	const goroutines = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tid := g*iters + i
+				env := map[string]core.Value{
+					"map":   mapInst,
+					"queue": queueInst,
+					"set":   nil,
+					"id":    tid % 7, // contended key space
+					"x":     2 * tid,
+					"y":     2*tid + 1,
+					"flag":  true,
+				}
+				if err := e.Run(0, env); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("transaction failed: %v", err)
+	}
+
+	// Drain the queue; every set must contain exactly one transaction's
+	// pair {2t, 2t+1}.
+	drained := 0
+	for {
+		v := queueInst.Impl.Invoke("dequeue", nil)
+		if v == nil {
+			break
+		}
+		drained++
+		set := v.(*interp.Instance)
+		size := set.Impl.Invoke("size", nil).(int)
+		if size != 2 {
+			t.Fatalf("enqueued set has %d elements, want 2 (atomicity violated)", size)
+		}
+		// Find the pair: probe by scanning possible values is O(n²);
+		// instead check that for some t both 2t and 2t+1 are present.
+		// We use contains on both parity classes via size-2 + one probe:
+		found := false
+		for tid := 0; tid < goroutines*iters; tid++ {
+			if set.Impl.Invoke("contains", []core.Value{2 * tid}).(bool) {
+				if !set.Impl.Invoke("contains", []core.Value{2*tid + 1}).(bool) {
+					t.Fatalf("set contains %d but not %d (torn transaction)", 2*tid, 2*tid+1)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("enqueued set contains no even element")
+		}
+	}
+	if drained != goroutines*iters {
+		t.Fatalf("drained %d sets, want %d", drained, goroutines*iters)
+	}
+	if got := mapInst.Impl.Invoke("size", nil).(int); got != 0 {
+		t.Errorf("map size = %d at the end, want 0 (every txn removes its id)", got)
+	}
+}
+
+// TestFig7EndToEnd stresses the LV2 dynamic ordering: transactions pick
+// key pairs in both orders over a tiny key space; OS2PL must prevent
+// deadlock and checked mode validates the protocol.
+func TestFig7EndToEnd(t *testing.T) {
+	prog := &synth.Program{Specs: adtspecs.All()}
+	prog.Sections = append(prog.Sections, papersec.Fig7())
+	e := buildExec(t, prog)
+	e.EvalOpaque = func(text string, env map[string]core.Value) core.Value {
+		if text == "s1!=null && s2!=null" {
+			return env["s1"] != nil && env["s2"] != nil
+		}
+		panic("unexpected opaque " + text)
+	}
+
+	m := e.NewInstance("Map", "Map")
+	q := e.NewInstance("Queue", "Queue")
+	// Pre-populate the map with Sets under keys 0..3.
+	for k := 0; k < 4; k++ {
+		m.Impl.Invoke("put", []core.Value{k, e.NewInstance("Set", "Set")})
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				env := map[string]core.Value{
+					"m": m, "q": q, "s1": nil, "s2": nil,
+					"key1": (g + i) % 4,
+					"key2": (g + 3*i + 1) % 4, // frequently reversed pairs
+				}
+				if err := e.Run(0, env); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("transaction failed: %v", err)
+	}
+	if q.Impl.Invoke("size", nil).(int) == 0 {
+		t.Error("no transaction enqueued anything")
+	}
+}
+
+// TestFig9EndToEnd executes the wrapped-loop section: the global
+// wrapper routes size() calls while OS2PL holds on the acyclic wrapped
+// graph. The sum over the populated map must be exact under concurrency
+// with a writer on the same instance... here all transactions read, so
+// the result must equal the sequential sum.
+func TestFig9EndToEnd(t *testing.T) {
+	prog := &synth.Program{Specs: adtspecs.All()}
+	prog.Sections = append(prog.Sections, papersec.Fig9())
+	e := buildExec(t, prog)
+	e.EvalOpaque = func(text string, env map[string]core.Value) core.Value {
+		switch text {
+		case "0":
+			return 0
+		case "i<n":
+			return env["i"].(int) < env["n"].(int)
+		case "i+1":
+			return env["i"].(int) + 1
+		case "sum+sz":
+			return env["sum"].(int) + env["sz"].(int)
+		}
+		panic("unexpected opaque " + text)
+	}
+
+	m := e.NewInstance("Map", "Map")
+	wantSum := 0
+	for k := 0; k < 10; k++ {
+		set := e.NewInstance("Set", "Set")
+		for v := 0; v <= k; v++ {
+			set.Impl.Invoke("add", []core.Value{v})
+		}
+		wantSum += k + 1
+		m.Impl.Invoke("put", []core.Value{k, set})
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				env := map[string]core.Value{
+					"map": m, "set": nil, "sum": 0, "i": 0, "n": 10, "sz": 0,
+				}
+				if err := e.Run(0, env); err != nil {
+					errCh <- err
+					return
+				}
+				if env["sum"].(int) != wantSum {
+					errCh <- fmt.Errorf("sum = %v, want %d", env["sum"], wantSum)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestUncheckedRun covers the unchecked path and nil-receiver guard.
+func TestUncheckedRun(t *testing.T) {
+	prog := &synth.Program{Specs: adtspecs.All()}
+	prog.Sections = append(prog.Sections, papersec.Fig1())
+	res, err := synth.Synthesize(prog, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := interp.NewExecutor(res, false)
+	env := map[string]core.Value{
+		"map": e.NewInstance("Map", "Map"), "queue": e.NewInstance("Queue", "Queue"),
+		"set": nil, "id": 1, "x": 10, "y": 11, "flag": false,
+	}
+	if err := e.Run(0, env); err != nil {
+		t.Fatal(err)
+	}
+	// flag=false left the set in the map.
+	m := env["map"].(*interp.Instance)
+	if m.Impl.Invoke("size", nil).(int) != 1 {
+		t.Error("set not retained in map")
+	}
+	// Null receiver must surface as an error, not a crash.
+	env2 := map[string]core.Value{
+		"map": nil, "queue": nil, "set": nil, "id": 1, "x": 1, "y": 2, "flag": false,
+	}
+	if err := e.Run(0, env2); err == nil {
+		t.Error("null receiver must produce an error")
+	}
+}

@@ -1,0 +1,206 @@
+package interp_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/adtspecs"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/papersec"
+	"repro/internal/synth"
+)
+
+// pairAddSection adds two values to one id's Set — always in a pair, so
+// a consistent snapshot of total set sizes is always even.
+func pairAddSection() *ir.Atomic {
+	return &ir.Atomic{
+		Name: "pairAdd",
+		Vars: []ir.Param{
+			{Name: "map", Type: "Map", IsADT: true, NonNull: true},
+			{Name: "set", Type: "Set", IsADT: true},
+			{Name: "id", Type: "int"},
+			{Name: "x", Type: "int"},
+			{Name: "y", Type: "int"},
+		},
+		Body: ir.Block{
+			&ir.Call{Recv: "map", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "id"}}, Assign: "set"},
+			&ir.If{
+				Cond: ir.NotNull{Var: "set"},
+				Then: ir.Block{
+					&ir.Call{Recv: "set", Method: "add", Args: []ir.Expr{ir.VarRef{Name: "x"}}},
+					&ir.Call{Recv: "set", Method: "add", Args: []ir.Expr{ir.VarRef{Name: "y"}}},
+				},
+			},
+		},
+	}
+}
+
+// TestWrappedClassAtomicity combines the Fig 9 sum loop with concurrent
+// pair-adders. The loop makes the Set class cyclic, so both sections'
+// Set operations go through the global wrapper ADT; atomicity of the
+// sum transaction demands it never observes a half-applied pair — the
+// sum over all sets is always even.
+func TestWrappedClassAtomicity(t *testing.T) {
+	prog := &synth.Program{Specs: adtspecs.All()}
+	prog.Sections = append(prog.Sections, papersec.Fig9(), pairAddSection())
+	res, err := synth.Synthesize(prog, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Wrappers) != 1 {
+		t.Fatalf("expected the Set class wrapped; got %d wrappers", len(res.Wrappers))
+	}
+	// Both sections must route Set calls through the wrapper.
+	for si, sec := range res.Sections {
+		out := ir.Print(sec)
+		if !containsWrapped(out) {
+			t.Fatalf("section %d does not use the wrapper:\n%s", si, out)
+		}
+	}
+
+	e := interp.NewExecutor(res, true)
+	e.EvalOpaque = func(text string, env map[string]core.Value) core.Value {
+		switch text {
+		case "0":
+			return 0
+		case "i<n":
+			return env["i"].(int) < env["n"].(int)
+		case "i+1":
+			return env["i"].(int) + 1
+		case "sum+sz":
+			return env["sum"].(int) + env["sz"].(int)
+		}
+		panic("unexpected opaque " + text)
+	}
+
+	m := e.NewInstance("Map", "Map")
+	const nSets = 4
+	for k := 0; k < nSets; k++ {
+		m.Impl.Invoke("put", []core.Value{k, e.NewInstance("Set", "Set")})
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	// Pair-adders.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				v := (g*150 + i) * 2
+				env := map[string]core.Value{
+					"map": m, "set": nil, "id": (g + i) % nSets, "x": v, "y": v + 1,
+				}
+				if err := e.Run(1, env); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	// Summers: the observed total must always be even.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				env := map[string]core.Value{
+					"map": m, "set": nil, "sum": 0, "i": 0, "n": nSets, "sz": 0,
+				}
+				if err := e.Run(0, env); err != nil {
+					errCh <- err
+					return
+				}
+				if s := env["sum"].(int); s%2 != 0 {
+					errCh <- fmt.Errorf("observed odd sum %d — torn pair visible", s)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Final total: every pair landed.
+	env := map[string]core.Value{"map": m, "set": nil, "sum": 0, "i": 0, "n": nSets, "sz": 0}
+	if err := e.Run(0, env); err != nil {
+		t.Fatal(err)
+	}
+	if got := env["sum"].(int); got != 4*150*2 {
+		t.Errorf("final sum = %d, want %d", got, 4*150*2)
+	}
+}
+
+func containsWrapped(out string) bool { return strings.Contains(out, "p1.") }
+
+// TestCombinedSectionsNoDeadlock runs the Fig 1 and Fig 7 sections
+// concurrently in one program (the Fig 11 configuration) against shared
+// instances, exercising the cross-section lock order map < set < queue.
+func TestCombinedSectionsNoDeadlock(t *testing.T) {
+	prog := &synth.Program{Specs: adtspecs.All()}
+	prog.Sections = append(prog.Sections, papersec.Fig1(), papersec.Fig7())
+	res, err := synth.Synthesize(prog, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := interp.NewExecutor(res, true)
+	e.EvalOpaque = func(text string, env map[string]core.Value) core.Value {
+		switch text {
+		case "s1!=null && s2!=null":
+			return env["s1"] != nil && env["s2"] != nil
+		case "flag":
+			return env["flag"]
+		}
+		panic("unexpected opaque " + text)
+	}
+
+	m := e.NewInstance("Map", "Map")
+	q := e.NewInstance("Queue", "Queue")
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) { // Fig 1 transactions (create, fill, sometimes drain)
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tid := g*200 + i
+				env := map[string]core.Value{
+					"map": m, "queue": q, "set": nil,
+					"id": tid % 4, "x": 2 * tid, "y": 2*tid + 1,
+					"flag": i%2 == 0,
+				}
+				if err := e.Run(0, env); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+		wg.Add(1)
+		go func(g int) { // Fig 7 transactions on the same map/queue
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				env := map[string]core.Value{
+					"m": m, "q": q, "s1": nil, "s2": nil,
+					"key1": (g + i) % 4, "key2": (g + 3*i + 1) % 4,
+				}
+				if err := e.Run(1, env); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders an atomic section in the paper's notation (one statement
+// per line), used by the golden tests that reproduce Figs 2, 13–15, 17
+// and 26–28.
+func Print(a *Atomic) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "atomic %s {\n", a.Name)
+	printBlock(&b, a.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func printBlock(b *strings.Builder, blk Block, depth int) {
+	for _, s := range blk {
+		printStmt(b, s, depth)
+	}
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	switch x := s.(type) {
+	case *Prologue:
+		indent(b, depth)
+		b.WriteString("LOCAL_SET.init(); // prologue\n")
+	case *Epilogue:
+		indent(b, depth)
+		b.WriteString("foreach(t : LOCAL_SET) t.unlockAll(); // epilogue\n")
+	case *LV:
+		indent(b, depth)
+		b.WriteString(lvString(x))
+		b.WriteString(";\n")
+	case *LV2:
+		indent(b, depth)
+		if x.NoLocalSet {
+			fmt.Fprintf(b, "lock2(%s, %s)", strings.Join(x.Vars, ","), setString(x.Set, x.Generic))
+		} else {
+			fmt.Fprintf(b, "LV2(%s%s)", strings.Join(x.Vars, ","), setSuffix(x.Set, x.Generic))
+		}
+		b.WriteString(";\n")
+	case *UnlockAllVar:
+		indent(b, depth)
+		if x.Guarded {
+			fmt.Fprintf(b, "if(%s!=null) %s.unlockAll();\n", x.Var, x.Var)
+		} else {
+			fmt.Fprintf(b, "%s.unlockAll();\n", x.Var)
+		}
+	case *Call:
+		indent(b, depth)
+		if x.Assign != "" {
+			fmt.Fprintf(b, "%s=", x.Assign)
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprString(a)
+		}
+		fmt.Fprintf(b, "%s.%s(%s);\n", x.Recv, x.Method, strings.Join(args, ", "))
+	case *Assign:
+		indent(b, depth)
+		if x.NewType != "" {
+			fmt.Fprintf(b, "%s=new %s();\n", x.Lhs, x.NewType)
+		} else {
+			fmt.Fprintf(b, "%s=%s;\n", x.Lhs, exprString(x.Rhs))
+		}
+	case *If:
+		indent(b, depth)
+		fmt.Fprintf(b, "if(%s) {\n", condString(x.Cond))
+		printBlock(b, x.Then, depth+1)
+		if len(x.Else) > 0 {
+			indent(b, depth)
+			b.WriteString("} else {\n")
+			printBlock(b, x.Else, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *While:
+		indent(b, depth)
+		fmt.Fprintf(b, "while(%s) {\n", condString(x.Cond))
+		printBlock(b, x.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	default:
+		indent(b, depth)
+		fmt.Fprintf(b, "/* unknown stmt %T */\n", s)
+	}
+}
+
+func lvString(x *LV) string {
+	if x.NoLocalSet {
+		lock := fmt.Sprintf("%s.lock(%s)", x.Var, setString(x.Set, x.Generic))
+		if x.Guarded {
+			return fmt.Sprintf("if(%s!=null) %s", x.Var, lock)
+		}
+		return lock
+	}
+	return fmt.Sprintf("LV(%s%s)", x.Var, setSuffix(x.Set, x.Generic))
+}
+
+func setString(set interface{ String() string }, generic bool) string {
+	if generic {
+		return "+"
+	}
+	return set.String()
+}
+
+func setSuffix(set interface{ String() string }, generic bool) string {
+	if generic {
+		return ""
+	}
+	return ", " + set.String()
+}
+
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case VarRef:
+		return x.Name
+	case Lit:
+		return fmt.Sprint(x.Val)
+	case Opaque:
+		return x.Text
+	case nil:
+		return "?"
+	default:
+		return fmt.Sprintf("%v", e)
+	}
+}
+
+func condString(c Cond) string {
+	switch x := c.(type) {
+	case IsNull:
+		return x.Var + "==null"
+	case NotNull:
+		return x.Var + "!=null"
+	case OpaqueCond:
+		return x.Text
+	default:
+		return "?"
+	}
+}

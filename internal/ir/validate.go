@@ -1,0 +1,83 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Validate checks an atomic section's well-formedness before synthesis
+// and returns every problem found:
+//
+//   - duplicate variable declarations;
+//   - calls whose receiver is undeclared or not an ADT pointer;
+//   - ADT pointer variables used as plain assignment targets of
+//     non-pointer expressions are permitted (conservative), but a new
+//     allocation assigned to an undeclared variable is flagged;
+//   - synthetic locking statements present in the input (they are the
+//     synthesizer's output, not its input).
+func (a *Atomic) Validate() []error {
+	var errs []error
+	seen := map[string]bool{}
+	for _, p := range a.Vars {
+		if p.Name == "" {
+			errs = append(errs, fmt.Errorf("%s: variable with empty name", a.Name))
+			continue
+		}
+		if seen[p.Name] {
+			errs = append(errs, fmt.Errorf("%s: variable %q declared twice", a.Name, p.Name))
+		}
+		seen[p.Name] = true
+	}
+
+	var walk func(b Block)
+	walk = func(b Block) {
+		for _, s := range b {
+			switch x := s.(type) {
+			case *Call:
+				if x.Recv == "" {
+					errs = append(errs, fmt.Errorf("%s: call %s with empty receiver", a.Name, x.Method))
+					continue
+				}
+				p, ok := a.Var(x.Recv)
+				if !ok {
+					errs = append(errs, fmt.Errorf("%s: receiver %q of %s.%s is not declared",
+						a.Name, x.Recv, x.Recv, x.Method))
+				} else if !p.IsADT {
+					errs = append(errs, fmt.Errorf("%s: receiver %q of method %s is not an ADT pointer",
+						a.Name, x.Recv, x.Method))
+				}
+			case *Assign:
+				if x.NewType != "" {
+					if p, ok := a.Var(x.Lhs); !ok || !p.IsADT {
+						errs = append(errs, fmt.Errorf("%s: allocation %q = new %s needs an ADT variable declaration",
+							a.Name, x.Lhs, x.NewType))
+					}
+				}
+			case *If:
+				walk(x.Then)
+				walk(x.Else)
+			case *While:
+				walk(x.Body)
+			case *Prologue, *Epilogue, *LV, *LV2, *UnlockAllVar:
+				errs = append(errs, fmt.Errorf("%s: synthetic statement %T in synthesis input", a.Name, s))
+			}
+		}
+	}
+	walk(a.Body)
+	return errs
+}
+
+// ValidateAll validates several sections and joins the diagnostics into
+// one error (nil when everything is well-formed).
+func ValidateAll(secs []*Atomic) error {
+	var msgs []string
+	for _, sec := range secs {
+		for _, err := range sec.Validate() {
+			msgs = append(msgs, err.Error())
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("ir: %s", strings.Join(msgs, "; "))
+}

@@ -1,0 +1,101 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/papersec"
+)
+
+func TestValidateCleanSections(t *testing.T) {
+	for _, sec := range []*ir.Atomic{papersec.Fig1(), papersec.Fig4(), papersec.Fig7(), papersec.Fig9()} {
+		if errs := sec.Validate(); len(errs) != 0 {
+			t.Errorf("%s: %v", sec.Name, errs)
+		}
+	}
+	if err := ir.ValidateAll([]*ir.Atomic{papersec.Fig1(), papersec.Fig7()}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateDiagnostics(t *testing.T) {
+	cases := []struct {
+		name string
+		sec  *ir.Atomic
+		want string
+	}{
+		{
+			name: "duplicate var",
+			sec: &ir.Atomic{Name: "d", Vars: []ir.Param{
+				{Name: "m", Type: "Map", IsADT: true},
+				{Name: "m", Type: "Map", IsADT: true},
+			}},
+			want: "declared twice",
+		},
+		{
+			name: "undeclared receiver",
+			sec: &ir.Atomic{Name: "u", Body: ir.Block{
+				&ir.Call{Recv: "ghost", Method: "get"},
+			}},
+			want: "is not declared",
+		},
+		{
+			name: "non-ADT receiver",
+			sec: &ir.Atomic{Name: "n",
+				Vars: []ir.Param{{Name: "k", Type: "int"}},
+				Body: ir.Block{&ir.Call{Recv: "k", Method: "get"}},
+			},
+			want: "not an ADT pointer",
+		},
+		{
+			name: "allocation without declaration",
+			sec: &ir.Atomic{Name: "a", Body: ir.Block{
+				&ir.Assign{Lhs: "s", NewType: "Set"},
+			}},
+			want: "needs an ADT variable declaration",
+		},
+		{
+			name: "synthetic input",
+			sec: &ir.Atomic{Name: "s", Body: ir.Block{
+				&ir.Prologue{},
+			}},
+			want: "synthetic statement",
+		},
+		{
+			name: "nested in branch",
+			sec: &ir.Atomic{Name: "b", Body: ir.Block{
+				&ir.If{Cond: ir.OpaqueCond{Text: "c"}, Then: ir.Block{
+					&ir.While{Cond: ir.OpaqueCond{Text: "w"}, Body: ir.Block{
+						&ir.Call{Recv: "ghost", Method: "get"},
+					}},
+				}},
+			}},
+			want: "is not declared",
+		},
+	}
+	for _, c := range cases {
+		errs := c.sec.Validate()
+		if len(errs) == 0 {
+			t.Errorf("%s: expected diagnostics", c.name)
+			continue
+		}
+		found := false
+		for _, err := range errs {
+			if strings.Contains(err.Error(), c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: diagnostics %v missing %q", c.name, errs, c.want)
+		}
+	}
+}
+
+func TestValidateAllJoins(t *testing.T) {
+	bad := &ir.Atomic{Name: "x", Body: ir.Block{&ir.Call{Recv: "g", Method: "f"}}}
+	err := ir.ValidateAll([]*ir.Atomic{bad, bad})
+	if err == nil || !strings.Contains(err.Error(), ";") {
+		t.Errorf("joined error expected, got %v", err)
+	}
+}

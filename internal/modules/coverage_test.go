@@ -1,0 +1,153 @@
+// Package modules_test verifies, for every evaluation module, that the
+// hand-written "ours" code paths match the synthesized plans: the mode
+// each implementation acquires covers exactly the runtime operations the
+// implementation performs inside it (the S2PL rule of §2.3, checked
+// statically against the compiled tables).
+package modules_test
+
+import (
+	"testing"
+
+	"repro/internal/apps/gossip"
+	"repro/internal/apps/intruder"
+	"repro/internal/core"
+	"repro/internal/modules/cache"
+	"repro/internal/modules/cia"
+	"repro/internal/modules/graph"
+	"repro/internal/modules/plan"
+)
+
+func opts() plan.Options { return plan.Options{AbstractValues: 8} }
+
+func mustCover(t *testing.T, tbl *core.ModeTable, m core.ModeID, ops ...core.Op) {
+	t.Helper()
+	for _, op := range ops {
+		if !tbl.CoversOp(m, op) {
+			t.Errorf("mode %s does not cover %s", tbl.Mode(m), op)
+		}
+	}
+}
+
+func mustNotCover(t *testing.T, tbl *core.ModeTable, m core.ModeID, ops ...core.Op) {
+	t.Helper()
+	for _, op := range ops {
+		if tbl.CoversOp(m, op) {
+			t.Errorf("mode %s unexpectedly covers %s", tbl.Mode(m), op)
+		}
+	}
+}
+
+// TestCIACoverage: the CIA transaction performs get(k) and put(k, v);
+// the acquired mode must cover both for the transaction's own key and
+// neither for keys in other buckets.
+func TestCIACoverage(t *testing.T) {
+	p := cia.BuildPlan(opts())
+	tbl := p.Table("Map")
+	ref := p.Ref(0, "map")
+	k := 7
+	m := ref.Mode(k)
+	mustCover(t, tbl, m,
+		core.NewOp("get", k),
+		core.NewOp("put", k, "any-value"),
+	)
+	// A key from a different bucket must not be covered.
+	for other := 8; other < 300; other++ {
+		if ref.Mode(other) != m {
+			mustNotCover(t, tbl, m, core.NewOp("get", other), core.NewOp("put", other, 1))
+			break
+		}
+	}
+	// The CIA section never removes; its mode must not license it.
+	mustNotCover(t, tbl, m, core.NewOp("remove", k), core.NewOp("size"))
+}
+
+// TestGraphCoverage: each graph procedure's modes cover exactly its
+// operations.
+func TestGraphCoverage(t *testing.T) {
+	p := graph.BuildPlan(opts())
+	succs := p.Table("Multimap$succs")
+	preds := p.Table("Multimap$preds")
+
+	s, d, n := 3, 9, 5
+	find := p.Ref(0, "succs").Binder("n")(n)
+	mustCover(t, succs, find, core.NewOp("get", n))
+	mustNotCover(t, succs, find, core.NewOp("put", n, d), core.NewOp("remove", n, d))
+
+	ins := p.Ref(2, "succs").Binder("s", "d")(s, d)
+	mustCover(t, succs, ins, core.NewOp("put", s, d))
+	mustNotCover(t, succs, ins, core.NewOp("get", s), core.NewOp("removeAll", s))
+
+	insP := p.Ref(2, "preds").Binder("d", "s")(d, s)
+	mustCover(t, preds, insP, core.NewOp("put", d, s))
+
+	rem := p.Ref(3, "succs").Binder("s", "d")(s, d)
+	mustCover(t, succs, rem, core.NewOp("remove", s, d))
+	mustNotCover(t, succs, rem, core.NewOp("put", s, d))
+
+	// And the cross-mode conflict the swapped-argument bug would lose:
+	// find(s) must conflict with insert(s, d).
+	findS := p.Ref(0, "succs").Binder("n")(s)
+	if succs.Commute(findS, ins) {
+		t.Error("find(s) must conflict with insert(s,d) — get/put on one key")
+	}
+}
+
+// TestCacheCoverage: Get's eden mode covers the promotion put; Put's
+// eden mode covers size, clear and the put.
+func TestCacheCoverage(t *testing.T) {
+	p := cache.BuildPlan(opts())
+	eden := p.Table("Map$eden")
+	long := p.Table("Map$longterm")
+
+	k, v := 11, "val"
+	get := p.Ref(0, "eden").Mode(k)
+	mustCover(t, eden, get, core.NewOp("get", k), core.NewOp("put", k, v))
+	mustNotCover(t, eden, get, core.NewOp("size"), core.NewOp("clear"))
+
+	put := p.Ref(1, "eden").Binder("k", "v")(k, v)
+	mustCover(t, eden, put,
+		core.NewOp("size"), core.NewOp("clear"), core.NewOp("put", k, v))
+
+	lget := p.Ref(0, "longterm").Mode(k)
+	mustCover(t, long, lget, core.NewOp("get", k))
+	mustNotCover(t, long, lget, core.NewOp("put", k, v))
+}
+
+// TestIntruderCoverage: the reassembly mode covers get/put/remove of
+// the flow and the pop mode covers dequeue.
+func TestIntruderCoverage(t *testing.T) {
+	p := intruder.BuildPlan(opts())
+	fmapTbl := p.Table("Map")
+	qTbl := p.Table("Queue")
+
+	flow := 1234
+	m := p.Ref(0, "fmap").Mode(flow)
+	mustCover(t, fmapTbl, m,
+		core.NewOp("get", flow),
+		core.NewOp("put", flow, "state"),
+		core.NewOp("remove", flow),
+	)
+	enc := p.Ref(0, "decoded").Mode("payload")
+	mustCover(t, qTbl, enc, core.NewOp("enqueue", "payload"))
+	mustNotCover(t, qTbl, enc, core.NewOp("dequeue"))
+	pop := p.Ref(1, "decoded").Mode()
+	mustCover(t, qTbl, pop, core.NewOp("dequeue"))
+}
+
+// TestGossipCoverage: the router's modes cover the member-map
+// operations each section performs.
+func TestGossipCoverage(t *testing.T) {
+	p := gossip.BuildPlan(plan.Options{AbstractValues: 8, MaxModes: 1024})
+	members := p.Table("Map$members")
+	groups := p.Table("Map$groups")
+
+	reg := p.Ref(0, "members").Binder("m", "conn")("alice", "conn-id")
+	mustCover(t, members, reg, core.NewOp("put", "alice", "conn-id"))
+
+	mc := p.Ref(3, "members").Mode()
+	mustCover(t, members, mc, core.NewOp("values"))
+	mustNotCover(t, members, mc, core.NewOp("put", "alice", 1))
+
+	rg := p.Ref(0, "groups").Mode("g1")
+	mustCover(t, groups, rg, core.NewOp("get", "g1"), core.NewOp("put", "g1", "anything"))
+}

@@ -1,0 +1,78 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adtspecs"
+	"repro/internal/ir"
+	"repro/internal/papersec"
+)
+
+func buildFig1(t *testing.T, opt Options) *Plan {
+	t.Helper()
+	p, err := Build([]*ir.Atomic{papersec.Fig1()}, adtspecs.All(), nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanAccessors(t *testing.T) {
+	p := buildFig1(t, Options{AbstractValues: 8})
+	if p.Rank("Map") != 0 || p.Rank("Set") != 1 || p.Rank("Queue") != 2 {
+		t.Errorf("ranks: %d %d %d", p.Rank("Map"), p.Rank("Set"), p.Rank("Queue"))
+	}
+	if set := p.LockSet(0, "map").Key(); set != "{get(id),put(id,*),remove(id)}" {
+		t.Errorf("map lock set = %s", set)
+	}
+	if set := p.LockSet(0, "queue").Key(); set != "{enqueue(set)}" {
+		t.Errorf("queue lock set = %s", set)
+	}
+	if !strings.Contains(p.Print(0), "map.lock(") {
+		t.Error("Print missing lock")
+	}
+	ref := p.Ref(0, "map")
+	if got := ref.Vars(); len(got) != 1 || got[0] != "id" {
+		t.Errorf("Ref vars = %v", got)
+	}
+}
+
+func TestPlanGenericUnderNoRefine(t *testing.T) {
+	p := buildFig1(t, Options{NoRefine: true, AbstractValues: 4})
+	// The generic lock resolves to the whole-ADT set.
+	set := p.LockSet(0, "map")
+	if !set.IsConstant() {
+		t.Errorf("generic set must be constant: %s", set)
+	}
+	if len(set) != len(adtspecs.Map().Methods()) {
+		t.Errorf("generic set should cover all methods: %s", set)
+	}
+}
+
+func TestPlanPanics(t *testing.T) {
+	p := buildFig1(t, Options{AbstractValues: 4})
+	for name, f := range map[string]func(){
+		"missing table":    func() { p.Table("Nope") },
+		"missing lock var": func() { p.LockSet(0, "ghost") },
+		"missing ref":      func() { p.Ref(0, "ghost") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild with no sections must panic")
+		}
+	}()
+	MustBuild(nil, adtspecs.All(), nil, Options{})
+}

@@ -1,0 +1,144 @@
+// Package papersec constructs the paper's running-example atomic
+// sections (Figs 1, 4, 7, 9) as IR values. They are shared by the
+// synthesizer's golden tests — which reproduce Figs 2, 13–15, 17, 18 and
+// 26–28 — and by the examples.
+package papersec
+
+import "repro/internal/ir"
+
+// Fig1 is the atomic section of Fig 1 (inspired by Intruder): a Map, a
+// Set and a Queue manipulated together.
+//
+//	atomic {
+//	  set=map.get(id);
+//	  if(set==null) { set=new Set(); map.put(id, set); }
+//	  set.add(x); set.add(y);
+//	  if(flag) { queue.enqueue(set); map.remove(id); }
+//	}
+func Fig1() *ir.Atomic {
+	return &ir.Atomic{
+		Name: "fig1",
+		Vars: []ir.Param{
+			{Name: "map", Type: "Map", IsADT: true, NonNull: true},
+			{Name: "queue", Type: "Queue", IsADT: true, NonNull: true},
+			{Name: "set", Type: "Set", IsADT: true},
+			{Name: "id", Type: "int"},
+			{Name: "x", Type: "int"},
+			{Name: "y", Type: "int"},
+			{Name: "flag", Type: "boolean"},
+		},
+		Body: ir.Block{
+			&ir.Call{Recv: "map", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "id"}}, Assign: "set"},
+			&ir.If{
+				Cond: ir.IsNull{Var: "set"},
+				Then: ir.Block{
+					&ir.Assign{Lhs: "set", NewType: "Set"},
+					&ir.Call{Recv: "map", Method: "put", Args: []ir.Expr{ir.VarRef{Name: "id"}, ir.VarRef{Name: "set"}}},
+				},
+			},
+			&ir.Call{Recv: "set", Method: "add", Args: []ir.Expr{ir.VarRef{Name: "x"}}},
+			&ir.Call{Recv: "set", Method: "add", Args: []ir.Expr{ir.VarRef{Name: "y"}}},
+			&ir.If{
+				Cond: ir.OpaqueCond{Text: "flag", Reads: []string{"flag"}},
+				Then: ir.Block{
+					&ir.Call{Recv: "queue", Method: "enqueue", Args: []ir.Expr{ir.VarRef{Name: "set"}}},
+					&ir.Call{Recv: "map", Method: "remove", Args: []ir.Expr{ir.VarRef{Name: "id"}}},
+				},
+			},
+		},
+	}
+}
+
+// Fig4 is the two-Set section of Fig 4:
+//
+//	void f(Set x, Set y) { atomic { int i = x.size(); y.add(i); } }
+func Fig4() *ir.Atomic {
+	return &ir.Atomic{
+		Name: "fig4",
+		Vars: []ir.Param{
+			{Name: "x", Type: "Set", IsADT: true, NonNull: true},
+			{Name: "y", Type: "Set", IsADT: true, NonNull: true},
+			{Name: "i", Type: "int"},
+		},
+		Body: ir.Block{
+			&ir.Call{Recv: "x", Method: "size", Assign: "i"},
+			&ir.Call{Recv: "y", Method: "add", Args: []ir.Expr{ir.VarRef{Name: "i"}}},
+		},
+	}
+}
+
+// Fig7 is the atomic section of Fig 7: a Map, a Queue and two Sets.
+//
+//	atomic {
+//	  Set s1 = m.get(key1);
+//	  Set s2 = m.get(key2);
+//	  if(s1!=null && s2!=null) {
+//	    s1.add(1); s2.add(2); q.enqueue(s1);
+//	  }
+//	}
+func Fig7() *ir.Atomic {
+	return &ir.Atomic{
+		Name: "fig7",
+		Vars: []ir.Param{
+			{Name: "m", Type: "Map", IsADT: true, NonNull: true},
+			{Name: "q", Type: "Queue", IsADT: true, NonNull: true},
+			{Name: "s1", Type: "Set", IsADT: true},
+			{Name: "s2", Type: "Set", IsADT: true},
+			{Name: "key1", Type: "int"},
+			{Name: "key2", Type: "int"},
+		},
+		Body: ir.Block{
+			&ir.Call{Recv: "m", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "key1"}}, Assign: "s1"},
+			&ir.Call{Recv: "m", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "key2"}}, Assign: "s2"},
+			&ir.If{
+				Cond: ir.OpaqueCond{Text: "s1!=null && s2!=null", Reads: []string{"s1", "s2"}},
+				Then: ir.Block{
+					&ir.Call{Recv: "s1", Method: "add", Args: []ir.Expr{ir.Lit{Val: 1}}},
+					&ir.Call{Recv: "s2", Method: "add", Args: []ir.Expr{ir.Lit{Val: 2}}},
+					&ir.Call{Recv: "q", Method: "enqueue", Args: []ir.Expr{ir.VarRef{Name: "s1"}}},
+				},
+			},
+		},
+	}
+}
+
+// Fig9 is the loop section of Fig 9, whose restrictions-graph has a
+// cycle (Fig 10):
+//
+//	atomic {
+//	  sum=0;
+//	  for(int i=0;i<n;i++) {
+//	    set = map.get(i);
+//	    if(set!=null) sum += set.size();
+//	  }
+//	}
+func Fig9() *ir.Atomic {
+	return &ir.Atomic{
+		Name: "fig9",
+		Vars: []ir.Param{
+			{Name: "map", Type: "Map", IsADT: true, NonNull: true},
+			{Name: "set", Type: "Set", IsADT: true},
+			{Name: "sum", Type: "int"},
+			{Name: "i", Type: "int"},
+			{Name: "n", Type: "int"},
+		},
+		Body: ir.Block{
+			&ir.Assign{Lhs: "sum", Rhs: ir.Opaque{Text: "0"}},
+			&ir.Assign{Lhs: "i", Rhs: ir.Opaque{Text: "0"}},
+			&ir.While{
+				Cond: ir.OpaqueCond{Text: "i<n", Reads: []string{"i", "n"}},
+				Body: ir.Block{
+					&ir.Call{Recv: "map", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "i"}}, Assign: "set"},
+					&ir.If{
+						Cond: ir.NotNull{Var: "set"},
+						Then: ir.Block{
+							&ir.Call{Recv: "set", Method: "size", Assign: "sz"},
+							&ir.Assign{Lhs: "sum", Rhs: ir.Opaque{Text: "sum+sz", Reads: []string{"sum", "sz"}}},
+						},
+					},
+					&ir.Assign{Lhs: "i", Rhs: ir.Opaque{Text: "i+1", Reads: []string{"i"}}},
+				},
+			},
+		},
+	}
+}

@@ -1,0 +1,113 @@
+package semadt
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/adtspecs"
+	"repro/internal/core"
+)
+
+func tableFor(t *testing.T, adtName string) *core.ModeTable {
+	t.Helper()
+	spec := adtspecs.All()[adtName]
+	return core.NewModeTable(spec, []core.SymSet{spec.AllOpsSet()}, core.TableOptions{Phi: core.NewPhi(4)})
+}
+
+func TestMapWrapper(t *testing.T) {
+	m := NewMap(tableFor(t, "Map"))
+	if m.Sem() == nil {
+		t.Fatal("no semantic lock")
+	}
+	if m.Put("k", 1) != nil || m.Get("k") != 1 || !m.ContainsKey("k") {
+		t.Error("map basics broken")
+	}
+	if m.PutIfAbsent("k", 9) != 1 || m.Size() != 1 {
+		t.Error("putIfAbsent broken")
+	}
+	if len(m.Values()) != 1 {
+		t.Error("values broken")
+	}
+	if m.Remove("k") != 1 {
+		t.Error("remove broken")
+	}
+	m.Put("a", 1)
+	m.Clear()
+	if m.Size() != 0 {
+		t.Error("clear broken")
+	}
+}
+
+func TestSetQueueMultimapWrappers(t *testing.T) {
+	s := NewSet(tableFor(t, "Set"))
+	s.Add(1)
+	s.Add(1)
+	if s.Size() != 1 || !s.Contains(1) {
+		t.Error("set broken")
+	}
+	s.Remove(1)
+	s.Clear()
+
+	q := NewQueue(tableFor(t, "Queue"))
+	if !q.IsEmpty() || q.Dequeue() != nil {
+		t.Error("fresh queue broken")
+	}
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if q.Size() != 2 || q.Dequeue() != "a" || q.Dequeue() != "b" {
+		t.Error("queue order broken")
+	}
+
+	mm := NewMultimap(tableFor(t, "Multimap"))
+	if !mm.Put("k", 1) || mm.Put("k", 1) {
+		t.Error("multimap put broken")
+	}
+	if !mm.ContainsEntry("k", 1) || len(mm.Get("k")) != 1 || mm.Size() != 1 {
+		t.Error("multimap reads broken")
+	}
+	if !mm.Remove("k", 1) || len(mm.RemoveAll("k")) != 0 {
+		t.Error("multimap removes broken")
+	}
+}
+
+func TestSemOfAndID(t *testing.T) {
+	m := NewMap(tableFor(t, "Map"))
+	if SemOf(m) != m.Sem() {
+		t.Error("SemOf must return the instance lock")
+	}
+	if SemOf(nil) != nil || SemOf(42) != nil {
+		t.Error("SemOf of non-instances must be nil")
+	}
+	if ID(m) != m.Sem().ID() {
+		t.Error("ID of an instance must be its lock id")
+	}
+	if ID(7) != 7 {
+		t.Error("ID must pass plain values through")
+	}
+}
+
+// TestWrapperConcurrent exercises the wrappers under goroutines (the
+// underlying containers are linearizable; this is a smoke test of the
+// pairing).
+func TestWrapperConcurrent(t *testing.T) {
+	m := NewMap(tableFor(t, "Map"))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := g*1000 + i
+				m.Put(k, k)
+				if m.Get(k) != k {
+					t.Errorf("lost %d", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Size() != 2000 {
+		t.Errorf("size = %d", m.Size())
+	}
+}

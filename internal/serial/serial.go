@@ -1,0 +1,288 @@
+// Package serial checks serializability of recorded concurrent
+// executions — the correctness property S2PL guarantees (§2.3: "An
+// execution that satisfies S2PL is a serializable execution").
+//
+// A test runs a small burst of transactions concurrently, recording
+// each transaction's ADT operations together with their observed
+// results. The checker then searches for a serial order of the
+// transactions whose sequential replay against model ADTs reproduces
+// every observed result. If no such order exists the execution was not
+// serializable. The search is exponential in the burst size, so bursts
+// are kept small (≤ ~8 transactions) and repeated many times.
+package serial
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+)
+
+// OpRecord is one observed ADT operation: which instance (by id), the
+// operation, and the result the concurrent execution returned.
+type OpRecord struct {
+	Instance uint64
+	Op       core.Op
+	Result   core.Value
+}
+
+// TxnLog is one transaction's recorded operations, in program order.
+type TxnLog struct {
+	ID  int
+	Ops []OpRecord
+}
+
+// Model replays operations sequentially; implementations are the
+// reference (single-threaded) ADT semantics.
+type Model interface {
+	// Apply executes op on the model instance and returns its result.
+	Apply(instance uint64, op core.Op) core.Value
+	// Clone returns a deep copy (the search backtracks).
+	Clone() Model
+}
+
+// Check reports whether some permutation of the logs replays against
+// the model (starting from initial) reproducing every recorded result.
+// It returns the witness order when one exists.
+func Check(initial Model, logs []TxnLog) (order []int, ok bool) {
+	n := len(logs)
+	if n > 10 {
+		panic(fmt.Sprintf("serial: burst of %d transactions is too large to check", n))
+	}
+	used := make([]bool, n)
+	var rec func(m Model, chosen []int) ([]int, bool)
+	rec = func(m Model, chosen []int) ([]int, bool) {
+		if len(chosen) == n {
+			return append([]int(nil), chosen...), true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			next := m.Clone()
+			if !replay(next, logs[i]) {
+				continue
+			}
+			used[i] = true
+			if res, ok := rec(next, append(chosen, logs[i].ID)); ok {
+				used[i] = false
+				return res, true
+			}
+			used[i] = false
+		}
+		return nil, false
+	}
+	return rec(initial, nil)
+}
+
+// replay applies one transaction's ops to the model and compares
+// results.
+func replay(m Model, log TxnLog) bool {
+	for _, r := range log.Ops {
+		got := m.Apply(r.Instance, r.Op)
+		if !resultEqual(got, r.Result) {
+			return false
+		}
+	}
+	return true
+}
+
+func resultEqual(a, b core.Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	// Slices (multimap gets) compare as multisets.
+	av, aok := a.([]core.Value)
+	bv, bok := b.([]core.Value)
+	if aok && bok {
+		if len(av) != len(bv) {
+			return false
+		}
+		counts := make(map[core.Value]int, len(av))
+		for _, x := range av {
+			counts[x]++
+		}
+		for _, x := range bv {
+			counts[x]--
+			if counts[x] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// ---- reference models ----
+
+// MapsAndSets is a Model covering the Map, Set, Queue and Multimap
+// classes used by the paper's running examples and modules. Instances
+// are keyed by their semantic-lock ids; unknown instances materialize
+// empty on first use.
+type MapsAndSets struct {
+	Kind map[uint64]string // instance id → "Map" | "Set" | "Queue" | "Multimap"
+	maps map[uint64]map[core.Value]core.Value
+	sets map[uint64]map[core.Value]bool
+	qs   map[uint64][]core.Value
+	mms  map[uint64]map[core.Value]map[core.Value]bool
+}
+
+// NewMapsAndSets creates an empty model with the given instance kinds.
+func NewMapsAndSets(kind map[uint64]string) *MapsAndSets {
+	return &MapsAndSets{
+		Kind: kind,
+		maps: map[uint64]map[core.Value]core.Value{},
+		sets: map[uint64]map[core.Value]bool{},
+		qs:   map[uint64][]core.Value{},
+		mms:  map[uint64]map[core.Value]map[core.Value]bool{},
+	}
+}
+
+// Clone deep-copies the model state.
+func (m *MapsAndSets) Clone() Model {
+	c := NewMapsAndSets(m.Kind)
+	for id, mm := range m.maps {
+		n := make(map[core.Value]core.Value, len(mm))
+		for k, v := range mm {
+			n[k] = v
+		}
+		c.maps[id] = n
+	}
+	for id, ss := range m.sets {
+		n := make(map[core.Value]bool, len(ss))
+		for k := range ss {
+			n[k] = true
+		}
+		c.sets[id] = n
+	}
+	for id, q := range m.qs {
+		c.qs[id] = append([]core.Value(nil), q...)
+	}
+	for id, mm := range m.mms {
+		n := make(map[core.Value]map[core.Value]bool, len(mm))
+		for k, vs := range mm {
+			nv := make(map[core.Value]bool, len(vs))
+			for v := range vs {
+				nv[v] = true
+			}
+			n[k] = nv
+		}
+		c.mms[id] = n
+	}
+	return c
+}
+
+// Apply executes one operation per the sequential ADT specifications.
+func (m *MapsAndSets) Apply(inst uint64, op core.Op) core.Value {
+	switch m.Kind[inst] {
+	case "Map":
+		mm := m.maps[inst]
+		if mm == nil {
+			mm = map[core.Value]core.Value{}
+			m.maps[inst] = mm
+		}
+		switch op.Method {
+		case "get":
+			return mm[op.Args[0]]
+		case "put":
+			old := mm[op.Args[0]]
+			mm[op.Args[0]] = op.Args[1]
+			return old
+		case "remove":
+			old := mm[op.Args[0]]
+			delete(mm, op.Args[0])
+			return old
+		case "containsKey":
+			_, ok := mm[op.Args[0]]
+			return ok
+		case "size":
+			return len(mm)
+		}
+	case "Set":
+		ss := m.sets[inst]
+		if ss == nil {
+			ss = map[core.Value]bool{}
+			m.sets[inst] = ss
+		}
+		switch op.Method {
+		case "add":
+			ss[op.Args[0]] = true
+			return nil
+		case "remove":
+			delete(ss, op.Args[0])
+			return nil
+		case "contains":
+			return ss[op.Args[0]]
+		case "size":
+			return len(ss)
+		case "clear":
+			m.sets[inst] = map[core.Value]bool{}
+			return nil
+		}
+	case "Multimap":
+		mm := m.mms[inst]
+		if mm == nil {
+			mm = map[core.Value]map[core.Value]bool{}
+			m.mms[inst] = mm
+		}
+		switch op.Method {
+		case "put":
+			k, v := op.Args[0], op.Args[1]
+			if mm[k] == nil {
+				mm[k] = map[core.Value]bool{}
+			}
+			if mm[k][v] {
+				return false
+			}
+			mm[k][v] = true
+			return true
+		case "get":
+			var out []core.Value
+			for v := range mm[op.Args[0]] {
+				out = append(out, v)
+			}
+			return out
+		case "remove":
+			k, v := op.Args[0], op.Args[1]
+			if !mm[k][v] {
+				return false
+			}
+			delete(mm[k], v)
+			return true
+		case "removeAll":
+			var out []core.Value
+			for v := range mm[op.Args[0]] {
+				out = append(out, v)
+			}
+			delete(mm, op.Args[0])
+			return out
+		case "containsEntry":
+			return mm[op.Args[0]][op.Args[1]]
+		case "size":
+			n := 0
+			for _, vs := range mm {
+				n += len(vs)
+			}
+			return n
+		}
+	case "Queue":
+		switch op.Method {
+		case "enqueue":
+			m.qs[inst] = append(m.qs[inst], op.Args[0])
+			return nil
+		case "dequeue":
+			q := m.qs[inst]
+			if len(q) == 0 {
+				return nil
+			}
+			v := q[0]
+			m.qs[inst] = q[1:]
+			return v
+		case "size":
+			return len(m.qs[inst])
+		case "isEmpty":
+			return len(m.qs[inst]) == 0
+		}
+	}
+	panic(fmt.Sprintf("serial: model cannot apply %s on %s instance %d", op, m.Kind[inst], inst))
+}

@@ -1,0 +1,203 @@
+package serial_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/adtspecs"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/papersec"
+	"repro/internal/serial"
+	"repro/internal/synth"
+)
+
+func op(m string, args ...core.Value) core.Op { return core.NewOp(m, args...) }
+
+// TestCheckAcceptsSerialHistory: a genuinely serial history passes.
+func TestCheckAcceptsSerialHistory(t *testing.T) {
+	model := serial.NewMapsAndSets(map[uint64]string{1: "Map"})
+	logs := []serial.TxnLog{
+		{ID: 0, Ops: []serial.OpRecord{
+			{Instance: 1, Op: op("put", "k", 10), Result: nil},
+		}},
+		{ID: 1, Ops: []serial.OpRecord{
+			{Instance: 1, Op: op("get", "k"), Result: 10},
+			{Instance: 1, Op: op("put", "k", 20), Result: 10},
+		}},
+		{ID: 2, Ops: []serial.OpRecord{
+			{Instance: 1, Op: op("get", "k"), Result: 20},
+		}},
+	}
+	order, ok := serial.Check(model, logs)
+	if !ok {
+		t.Fatal("serial history rejected")
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("witness order = %v, want [0 1 2]", order)
+	}
+}
+
+// TestCheckRejectsNonSerializable: a classic lost-update anomaly — two
+// transactions both read 0 and both write back 1 — has no serial
+// witness.
+func TestCheckRejectsNonSerializable(t *testing.T) {
+	model := serial.NewMapsAndSets(map[uint64]string{1: "Map"})
+	model.Apply(1, op("put", "k", 0))
+	logs := []serial.TxnLog{
+		{ID: 0, Ops: []serial.OpRecord{
+			{Instance: 1, Op: op("get", "k"), Result: 0},
+			{Instance: 1, Op: op("put", "k", 1), Result: 0},
+		}},
+		{ID: 1, Ops: []serial.OpRecord{
+			{Instance: 1, Op: op("get", "k"), Result: 0},
+			{Instance: 1, Op: op("put", "k", 1), Result: 0},
+		}},
+	}
+	if _, ok := serial.Check(model, logs); ok {
+		t.Error("lost-update history accepted as serializable")
+	}
+}
+
+// TestCheckPermutes: a history serial only in a non-submission order is
+// found.
+func TestCheckPermutes(t *testing.T) {
+	model := serial.NewMapsAndSets(map[uint64]string{1: "Map"})
+	logs := []serial.TxnLog{
+		{ID: 0, Ops: []serial.OpRecord{
+			{Instance: 1, Op: op("get", "k"), Result: 5}, // must run after ID 1
+		}},
+		{ID: 1, Ops: []serial.OpRecord{
+			{Instance: 1, Op: op("put", "k", 5), Result: nil},
+		}},
+	}
+	order, ok := serial.Check(model, logs)
+	if !ok || order[0] != 1 {
+		t.Errorf("order = %v ok=%v, want [1 0]", order, ok)
+	}
+}
+
+// TestFig1BurstsSerializable is the headline check: repeated bursts of
+// concurrent synthesized Fig 1 transactions on a contended key space
+// record their operation results, and every burst must have a serial
+// witness — the S2PL serializability theorem (§2.3) observed end to
+// end.
+func TestFig1BurstsSerializable(t *testing.T) {
+	prog := &synth.Program{Specs: adtspecs.All()}
+	prog.Sections = append(prog.Sections, papersec.Fig1())
+	res, err := synth.Synthesize(prog, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := interp.NewExecutor(res, true)
+
+	const bursts = 60
+	const txnsPerBurst = 6
+	tid := 0
+	for b := 0; b < bursts; b++ {
+		mapInst := e.NewInstance("Map", "Map")
+		queueInst := e.NewInstance("Queue", "Queue")
+		kinds := map[uint64]string{
+			mapInst.Sem.ID():   "Map",
+			queueInst.Sem.ID(): "Queue",
+		}
+		var mu sync.Mutex
+		logs := make([]serial.TxnLog, txnsPerBurst)
+		var wg sync.WaitGroup
+		for i := 0; i < txnsPerBurst; i++ {
+			wg.Add(1)
+			go func(i, tid int) {
+				defer wg.Done()
+				var ops []serial.OpRecord
+				env := map[string]core.Value{
+					"map": mapInst, "queue": queueInst, "set": nil,
+					"id": tid % 2, "x": 2 * tid, "y": 2*tid + 1,
+					"flag": tid%3 != 0,
+				}
+				err := e.RunWithHook(0, env, func(inst uint64, o core.Op, r core.Value) {
+					ops = append(ops, serial.OpRecord{Instance: inst, Op: o, Result: r})
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				logs[i] = serial.TxnLog{ID: i, Ops: ops}
+				mu.Unlock()
+			}(i, tid)
+			tid++
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		// Fresh Set instances appear inside the burst; register their
+		// kinds from the logs.
+		for _, l := range logs {
+			for _, r := range l.Ops {
+				if _, known := kinds[r.Instance]; !known {
+					kinds[r.Instance] = "Set"
+				}
+			}
+		}
+		model := serial.NewMapsAndSets(kinds)
+		if _, ok := serial.Check(model, logs); !ok {
+			for _, l := range logs {
+				t.Logf("txn %d: %v", l.ID, l.Ops)
+			}
+			t.Fatalf("burst %d: no serial witness — serializability violated", b)
+		}
+	}
+}
+
+// TestFig4BurstsSerializable: the two-Set transfer-style section under
+// contention, including dynamically ordered two-instance locking.
+func TestFig4BurstsSerializable(t *testing.T) {
+	prog := &synth.Program{Specs: adtspecs.All()}
+	prog.Sections = append(prog.Sections, papersec.Fig4())
+	res, err := synth.Synthesize(prog, synth.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := interp.NewExecutor(res, true)
+
+	for b := 0; b < 60; b++ {
+		s1 := e.NewInstance("Set", "Set")
+		s2 := e.NewInstance("Set", "Set")
+		kinds := map[uint64]string{s1.Sem.ID(): "Set", s2.Sem.ID(): "Set"}
+		var mu sync.Mutex
+		const n = 6
+		logs := make([]serial.TxnLog, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var ops []serial.OpRecord
+				x, y := s1, s2
+				if i%2 == 1 {
+					x, y = s2, s1
+				}
+				env := map[string]core.Value{"x": x, "y": y, "i": 0}
+				err := e.RunWithHook(0, env, func(inst uint64, o core.Op, r core.Value) {
+					ops = append(ops, serial.OpRecord{Instance: inst, Op: o, Result: r})
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				logs[i] = serial.TxnLog{ID: i, Ops: ops}
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		model := serial.NewMapsAndSets(kinds)
+		if _, ok := serial.Check(model, logs); !ok {
+			t.Fatalf("burst %d: Fig 4 execution not serializable", b)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestUtilizationLaw validates the simulator against basic queueing
+// arithmetic: T threads each alternating c ticks of private work with a
+// critical section of s ticks under one mutex. The mutex is a server
+// with demand T·s per (c+s) of offered thread time:
+//
+//   - while T·s ≤ c+s the system is not saturated and throughput is
+//     close to T/(c+s) transactions per tick;
+//   - past saturation throughput is pinned at exactly 1/s.
+func TestUtilizationLaw(t *testing.T) {
+	const c, s = 90, 10
+	const perThread = 400
+	for _, T := range []int{1, 2, 4, 8, 10, 16, 32} {
+		sm := New()
+		mu := NewMutex("m")
+		for i := 0; i < T; i++ {
+			n := 0
+			sm.AddThread(func() []Step {
+				if n >= perThread {
+					return nil
+				}
+				n++
+				return []Step{W(c), Acq(mu, 0), W(s), Rel(mu, 0)}
+			})
+		}
+		mk, txns := sm.Run()
+		gotTput := float64(txns) / float64(mk)
+		var want float64
+		if T*s <= c+s {
+			want = float64(T) / float64(c+s)
+		} else {
+			want = 1.0 / float64(s)
+		}
+		if math.Abs(gotTput-want)/want > 0.05 {
+			t.Errorf("T=%d: throughput %.4f, analytic %.4f", T, gotTput, want)
+		}
+	}
+}
+
+// TestSaturatedMutexExact: a pure critical-section workload is exactly
+// serialized: makespan equals total work regardless of thread count.
+func TestSaturatedMutexExact(t *testing.T) {
+	for _, T := range []int{1, 3, 7} {
+		sm := New()
+		mu := NewMutex("m")
+		for i := 0; i < T; i++ {
+			n := 0
+			sm.AddThread(func() []Step {
+				if n >= 100 {
+					return nil
+				}
+				n++
+				return []Step{Acq(mu, 0), W(5), Rel(mu, 0)}
+			})
+		}
+		mk, txns := sm.Run()
+		if mk != int64(T)*100*5 {
+			t.Errorf("T=%d: makespan %d, want %d", T, mk, T*100*5)
+		}
+		if txns != int64(T)*100 {
+			t.Errorf("T=%d: txns %d", T, txns)
+		}
+	}
+}
+
+// TestStripedAnalytic: with K stripes and each thread pinned to its own
+// stripe, throughput is T independent servers — perfect scaling.
+func TestStripedAnalytic(t *testing.T) {
+	const T = 8
+	sm := New()
+	r := NewStriped("s", T)
+	for i := 0; i < T; i++ {
+		stripe := i
+		n := 0
+		sm.AddThread(func() []Step {
+			if n >= 100 {
+				return nil
+			}
+			n++
+			return []Step{Acq(r, stripe), W(10), Rel(r, stripe)}
+		})
+	}
+	mk, _ := sm.Run()
+	if mk != 100*10 {
+		t.Errorf("makespan %d, want 1000 (perfect overlap)", mk)
+	}
+}

@@ -1,0 +1,200 @@
+package sim
+
+import "testing"
+
+// genN returns a generator producing n copies of the given transaction.
+func genN(n int, steps func() []Step) func() []Step {
+	i := 0
+	return func() []Step {
+		if i >= n {
+			return nil
+		}
+		i++
+		return steps()
+	}
+}
+
+// TestSerialWork: one thread, pure work — makespan is the sum.
+func TestSerialWork(t *testing.T) {
+	s := New()
+	s.AddThread(genN(10, func() []Step { return []Step{W(7)} }))
+	mk, txns := s.Run()
+	if mk != 70 || txns != 10 {
+		t.Errorf("makespan=%d txns=%d, want 70/10", mk, txns)
+	}
+}
+
+// TestParallelWork: independent threads overlap perfectly.
+func TestParallelWork(t *testing.T) {
+	s := New()
+	for i := 0; i < 8; i++ {
+		s.AddThread(genN(10, func() []Step { return []Step{W(7)} }))
+	}
+	mk, txns := s.Run()
+	if mk != 70 || txns != 80 {
+		t.Errorf("makespan=%d txns=%d, want 70/80 (perfect overlap)", mk, txns)
+	}
+}
+
+// TestMutexSerializes: work under one mutex sums across threads.
+func TestMutexSerializes(t *testing.T) {
+	s := New()
+	mu := NewMutex("m")
+	for i := 0; i < 4; i++ {
+		s.AddThread(genN(5, func() []Step {
+			return []Step{Acq(mu, 0), W(10), Rel(mu, 0)}
+		}))
+	}
+	mk, txns := s.Run()
+	if mk != 4*5*10 || txns != 20 {
+		t.Errorf("makespan=%d txns=%d, want 200/20 (full serialization)", mk, txns)
+	}
+}
+
+// TestStripedScales: threads on distinct stripes do not interfere.
+func TestStripedScales(t *testing.T) {
+	s := New()
+	r := NewStriped("s", 8)
+	for i := 0; i < 8; i++ {
+		stripe := i
+		s.AddThread(genN(5, func() []Step {
+			return []Step{Acq(r, stripe), W(10), Rel(r, stripe)}
+		}))
+	}
+	mk, _ := s.Run()
+	if mk != 50 {
+		t.Errorf("makespan=%d, want 50 (distinct stripes overlap)", mk)
+	}
+	// Same stripe: serialized.
+	s2 := New()
+	r2 := NewStriped("s", 8)
+	for i := 0; i < 8; i++ {
+		s2.AddThread(genN(5, func() []Step {
+			return []Step{Acq(r2, 3), W(10), Rel(r2, 3)}
+		}))
+	}
+	mk2, _ := s2.Run()
+	if mk2 != 400 {
+		t.Errorf("same-stripe makespan=%d, want 400", mk2)
+	}
+}
+
+// TestRWLock: readers overlap, writers exclude.
+func TestRWLock(t *testing.T) {
+	s := New()
+	rw := NewRW("rw")
+	for i := 0; i < 4; i++ {
+		s.AddThread(genN(3, func() []Step {
+			return []Step{Acq(rw, 0), W(10), Rel(rw, 0)}
+		}))
+	}
+	mk, _ := s.Run()
+	if mk != 30 {
+		t.Errorf("reader makespan=%d, want 30", mk)
+	}
+	s2 := New()
+	rw2 := NewRW("rw")
+	s2.AddThread(genN(3, func() []Step { return []Step{Acq(rw2, 0), W(10), Rel(rw2, 0)} }))
+	s2.AddThread(genN(3, func() []Step { return []Step{Acq(rw2, 1), W(10), Rel(rw2, 1)} }))
+	mk2, _ := s2.Run()
+	if mk2 != 60 {
+		t.Errorf("reader+writer makespan=%d, want 60 (serialized)", mk2)
+	}
+}
+
+// TestStripedRW covers the striped readers/writer resource.
+func TestStripedRW(t *testing.T) {
+	r := NewStripedRW("srw", 4)
+	if !r.fc(2*1, 2*1) {
+		t.Error("reads on one stripe must be compatible")
+	}
+	if r.fc(2*1, 2*1+1) {
+		t.Error("read/write on one stripe must conflict")
+	}
+	if !r.fc(2*1+1, 2*2+1) {
+		t.Error("writes on distinct stripes must be compatible")
+	}
+}
+
+// TestLockOverhead: per-acquire overhead is charged.
+func TestLockOverhead(t *testing.T) {
+	s := New()
+	s.LockOverhead = 3
+	mu := NewMutex("m")
+	s.AddThread(genN(4, func() []Step { return []Step{Acq(mu, 0), W(10), Rel(mu, 0)} }))
+	mk, _ := s.Run()
+	if mk != 4*(10+3) {
+		t.Errorf("makespan=%d, want 52", mk)
+	}
+}
+
+// TestDeterminism: identical runs give identical results.
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		s := New()
+		r := NewStriped("s", 4)
+		for i := 0; i < 6; i++ {
+			stripe := i % 4
+			n := 0
+			s.AddThread(func() []Step {
+				if n >= 20 {
+					return nil
+				}
+				n++
+				st := (stripe + n) % 4
+				return []Step{W(int64(n % 3)), Acq(r, st), W(5), Rel(r, st)}
+			})
+		}
+		return s.Run()
+	}
+	m1, t1 := run()
+	m2, t2 := run()
+	if m1 != m2 || t1 != t2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", m1, t1, m2, t2)
+	}
+}
+
+// TestFIFOWakeup: waiters are admitted in arrival order when
+// compatible; a blocked writer does not starve behind a reader stream
+// forever in this simple FIFO policy... here we just check the basic
+// wake path works with multiple waiters.
+func TestFIFOWakeup(t *testing.T) {
+	s := New()
+	mu := NewMutex("m")
+	order := []int{}
+	for i := 0; i < 3; i++ {
+		id := i
+		n := 0
+		s.AddThread(func() []Step {
+			if n >= 1 {
+				return nil
+			}
+			n++
+			_ = id
+			return []Step{W(int64(id)), Acq(mu, 0), W(10), Rel(mu, 0)}
+		})
+	}
+	mk, txns := s.Run()
+	_ = order
+	if txns != 3 {
+		t.Fatalf("txns=%d", txns)
+	}
+	// Thread 0 starts at 0, holds [0,10); thread 1 arrives at 1, waits,
+	// holds [10,20); thread 2 arrives at 2, holds [20,30).
+	if mk != 30 {
+		t.Errorf("makespan=%d, want 30", mk)
+	}
+}
+
+// TestReleaseWithoutAcquirePanics guards the bookkeeping.
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s := New()
+	mu := NewMutex("m")
+	s.AddThread(genN(1, func() []Step { return []Step{Rel(mu, 0)} }))
+	s.Run()
+}

@@ -1,0 +1,162 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// wrapperInfo describes one global-wrapper ADT introduced for a cyclic
+// component of the restrictions-graph (§3.4).
+type wrapperInfo struct {
+	Key       string   // class key of the wrapper
+	GlobalVar string   // the paper's p_C
+	Members   []string // the wrapped class keys
+	Spec      *core.Spec
+	// methodName maps (member class key, original method) to the
+	// wrapper method name.
+	methodName map[[2]string]string
+}
+
+// wrapCycles finds the cyclic components of the restrictions-graph and
+// rewrites the program so every call on a member class goes through a
+// fresh global wrapper ADT whose operations take the original instance
+// as their first argument (as in Fig 15's GlobalWrapper1). It returns
+// the rewritten program (sections are cloned) and the wrappers created.
+func wrapCycles(p *Program, cs *Classes, g *Graph) (*Program, []*wrapperInfo) {
+	comps := g.CyclicComponents()
+	if len(comps) == 0 {
+		return p, nil
+	}
+
+	memberOf := make(map[string]*wrapperInfo)
+	var wrappers []*wrapperInfo
+	for i, comp := range comps {
+		w := &wrapperInfo{
+			Key:        "GlobalWrapper" + fmt.Sprint(i+1),
+			GlobalVar:  "p" + fmt.Sprint(i+1),
+			Members:    comp,
+			methodName: make(map[[2]string]string),
+		}
+		w.Spec = buildWrapperSpec(w, cs)
+		wrappers = append(wrappers, w)
+		for _, m := range comp {
+			memberOf[m] = w
+		}
+	}
+
+	out := &Program{Specs: make(map[string]*core.Spec), ClassOf: nil}
+	for k, v := range p.Specs {
+		out.Specs[k] = v
+	}
+	for _, w := range wrappers {
+		out.Specs[w.Key] = w.Spec
+	}
+	// Wrapper variables form one class each (keyed by the wrapper
+	// type); original variables keep their abstraction.
+	wrapKeys := make(map[string]bool, len(wrappers))
+	for _, w := range wrappers {
+		wrapKeys[w.Key] = true
+	}
+	orig := p.ClassOf
+	out.ClassOf = func(sec *ir.Atomic, v string) string {
+		if prm, ok := sec.Var(v); ok && wrapKeys[prm.Type] {
+			return prm.Type
+		}
+		if orig != nil {
+			return orig(sec, v)
+		}
+		return sec.ADTType(v)
+	}
+
+	for si, sec := range p.Sections {
+		nsec := sec.Clone()
+		used := make(map[string]bool)
+		nsec.Body = rewriteBlock(nsec.Body, func(c *ir.Call) {
+			key, ok := cs.ClassOfVar(si, c.Recv)
+			if !ok {
+				return
+			}
+			w, wrapped := memberOf[key]
+			if !wrapped {
+				return
+			}
+			c.Args = append([]ir.Expr{ir.VarRef{Name: c.Recv}}, c.Args...)
+			c.Method = w.methodName[[2]string{key, c.Method}]
+			c.Recv = w.GlobalVar
+			used[w.GlobalVar] = true
+		})
+		for _, w := range wrappers {
+			if used[w.GlobalVar] {
+				nsec.Vars = append(nsec.Vars, ir.Param{
+					Name: w.GlobalVar, Type: w.Key, IsADT: true, NonNull: true,
+				})
+			}
+		}
+		out.Sections = append(out.Sections, nsec)
+	}
+	return out, wrappers
+}
+
+// buildWrapperSpec derives the wrapper's commutativity specification:
+// wrapped operations on instances of different member classes always
+// commute (distinct ADT instances share no state, §2.1); operations on
+// the same member class commute when the instances differ (first
+// arguments unequal) or when the original condition holds on the
+// shifted argument positions.
+func buildWrapperSpec(w *wrapperInfo, cs *Classes) *core.Spec {
+	multi := len(w.Members) > 1
+	var sigs []core.MethodSig
+	type method struct {
+		member string
+		orig   core.MethodSig
+		name   string
+	}
+	var methods []method
+	for _, m := range w.Members {
+		spec := cs.ByKey[m].Spec
+		for _, sig := range spec.Methods() {
+			name := sig.Name
+			if multi {
+				name = m + "_" + sig.Name
+			}
+			w.methodName[[2]string{m, sig.Name}] = name
+			sigs = append(sigs, core.MethodSig{Name: name, Arity: sig.Arity + 1})
+			methods = append(methods, method{member: m, orig: sig, name: name})
+		}
+	}
+	spec := core.NewSpec(w.Key, sigs...)
+	for i, a := range methods {
+		for j, b := range methods {
+			if j < i {
+				continue
+			}
+			if a.member != b.member {
+				spec.Commute(a.name, b.name, core.Always)
+				continue
+			}
+			orig := cs.ByKey[a.member].Spec.Cond(a.orig.Name, b.orig.Name)
+			spec.Commute(a.name, b.name,
+				core.OrCond(core.ArgsNE(0, 0), core.ShiftCond(orig, 1, 1)))
+		}
+	}
+	return spec
+}
+
+// rewriteBlock applies f to every Call statement in place (the blocks
+// themselves are already clones) and returns the block.
+func rewriteBlock(b ir.Block, f func(*ir.Call)) ir.Block {
+	for _, s := range b {
+		switch x := s.(type) {
+		case *ir.Call:
+			f(x)
+		case *ir.If:
+			rewriteBlock(x.Then, f)
+			rewriteBlock(x.Else, f)
+		case *ir.While:
+			rewriteBlock(x.Body, f)
+		}
+	}
+	return b
+}

@@ -1,0 +1,311 @@
+package synth_test
+
+import (
+	"testing"
+
+	"repro/internal/adtspecs"
+	"repro/internal/ir"
+	"repro/internal/papersec"
+	"repro/internal/synth"
+)
+
+// paperProgram bundles the paper's example sections with the Fig 3(b)
+// style specifications.
+func paperProgram(secs ...*ir.Atomic) *synth.Program {
+	return &synth.Program{Sections: secs, Specs: adtspecs.All()}
+}
+
+func synthesizeAt(t *testing.T, p *synth.Program, stage synth.Stage) *synth.Result {
+	t.Helper()
+	res, err := synth.Synthesize(p, synth.Options{StopAfter: stage})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	return res
+}
+
+func expectSection(t *testing.T, got *ir.Atomic, want string) {
+	t.Helper()
+	if s := ir.Print(got); s != want {
+		t.Errorf("synthesized section mismatch:\n--- got ---\n%s--- want ---\n%s", s, want)
+	}
+}
+
+// TestFig14 reproduces the basic (non-optimized) insertion for the
+// atomic section of Fig 1, using the order map < set < queue.
+func TestFig14(t *testing.T) {
+	res := synthesizeAt(t, paperProgram(papersec.Fig1()), synth.StageInsert)
+	expectSection(t, res.Sections[0], `atomic fig1 {
+  LOCAL_SET.init(); // prologue
+  LV(map);
+  set=map.get(id);
+  if(set==null) {
+    set=new Set();
+    LV(map);
+    map.put(id, set);
+  }
+  LV(map);
+  LV(set);
+  set.add(x);
+  LV(map);
+  LV(set);
+  set.add(y);
+  if(flag) {
+    LV(map);
+    LV(queue);
+    queue.enqueue(set);
+    LV(map);
+    map.remove(id);
+  }
+  foreach(t : LOCAL_SET) t.unlockAll(); // epilogue
+}
+`)
+}
+
+// TestFig13 reproduces the basic insertion for the atomic section of
+// Fig 7 (m < s1,s2 < q), including the LV2 dynamic ordering of the two
+// same-class Sets.
+func TestFig13(t *testing.T) {
+	res := synthesizeAt(t, paperProgram(papersec.Fig7()), synth.StageInsert)
+	expectSection(t, res.Sections[0], `atomic fig7 {
+  LOCAL_SET.init(); // prologue
+  LV(m);
+  s1=m.get(key1);
+  LV(m);
+  s2=m.get(key2);
+  if(s1!=null && s2!=null) {
+    LV2(s1,s2);
+    s1.add(1);
+    LV(s2);
+    s2.add(2);
+    LV(q);
+    q.enqueue(s1);
+  }
+  foreach(t : LOCAL_SET) t.unlockAll(); // epilogue
+}
+`)
+}
+
+// TestFig15 reproduces the cyclic-component handling for the loop
+// section of Fig 9: the Set class self-loops in the restrictions-graph
+// (Fig 10), so its objects are wrapped behind the global ADT p1 and
+// set.size() becomes p1.size(set).
+func TestFig15(t *testing.T) {
+	res := synthesizeAt(t, paperProgram(papersec.Fig9()), synth.StageInsert)
+	if len(res.Wrappers) != 1 {
+		t.Fatalf("wrappers = %d, want 1", len(res.Wrappers))
+	}
+	w := res.Wrappers[0]
+	if w.GlobalVar != "p1" || len(w.Members) != 1 || w.Members[0] != "Set" {
+		t.Errorf("wrapper = %+v, want p1 wrapping [Set]", w)
+	}
+	expectSection(t, res.Sections[0], `atomic fig9 {
+  LOCAL_SET.init(); // prologue
+  sum=0;
+  i=0;
+  while(i<n) {
+    LV(map);
+    set=map.get(i);
+    if(set!=null) {
+      LV(map);
+      LV(p1);
+      sz=p1.size(set);
+      sum=sum+sz;
+    }
+    i=i+1;
+  }
+  foreach(t : LOCAL_SET) t.unlockAll(); // epilogue
+}
+`)
+}
+
+// TestFig26 reproduces the removal of redundant LV statements.
+func TestFig26(t *testing.T) {
+	res := synthesizeAt(t, paperProgram(papersec.Fig1()), synth.StageRemoveRedundant)
+	expectSection(t, res.Sections[0], `atomic fig1 {
+  LOCAL_SET.init(); // prologue
+  LV(map);
+  set=map.get(id);
+  if(set==null) {
+    set=new Set();
+    map.put(id, set);
+  }
+  LV(set);
+  set.add(x);
+  set.add(y);
+  if(flag) {
+    LV(queue);
+    queue.enqueue(set);
+    map.remove(id);
+  }
+  foreach(t : LOCAL_SET) t.unlockAll(); // epilogue
+}
+`)
+}
+
+// TestFig27 reproduces the LOCAL_SET elision: every LV becomes a guarded
+// direct lock, per-variable unlocks appear at the end, and the
+// prologue/epilogue disappear.
+func TestFig27(t *testing.T) {
+	res := synthesizeAt(t, paperProgram(papersec.Fig1()), synth.StageElideLocalSet)
+	expectSection(t, res.Sections[0], `atomic fig1 {
+  if(map!=null) map.lock(+);
+  set=map.get(id);
+  if(set==null) {
+    set=new Set();
+    map.put(id, set);
+  }
+  if(set!=null) set.lock(+);
+  set.add(x);
+  set.add(y);
+  if(flag) {
+    if(queue!=null) queue.lock(+);
+    queue.enqueue(set);
+    map.remove(id);
+  }
+  if(map!=null) map.unlockAll();
+  if(set!=null) set.unlockAll();
+  if(queue!=null) queue.unlockAll();
+}
+`)
+}
+
+// TestFig28 reproduces the early lock release: the queue's unlockAll
+// moves to just after queue.enqueue, before map.remove.
+func TestFig28(t *testing.T) {
+	res := synthesizeAt(t, paperProgram(papersec.Fig1()), synth.StageEarlyRelease)
+	expectSection(t, res.Sections[0], `atomic fig1 {
+  if(map!=null) map.lock(+);
+  set=map.get(id);
+  if(set==null) {
+    set=new Set();
+    map.put(id, set);
+  }
+  if(set!=null) set.lock(+);
+  set.add(x);
+  set.add(y);
+  if(flag) {
+    if(queue!=null) queue.lock(+);
+    queue.enqueue(set);
+    if(queue!=null) queue.unlockAll();
+    map.remove(id);
+  }
+  if(map!=null) map.unlockAll();
+  if(set!=null) set.unlockAll();
+}
+`)
+}
+
+// TestFig17 reproduces the removal of redundant null checks: map and
+// queue are non-null globals, and set is non-null after the
+// if(set==null) branch on both arms.
+func TestFig17(t *testing.T) {
+	res := synthesizeAt(t, paperProgram(papersec.Fig1()), synth.StageNullChecks)
+	expectSection(t, res.Sections[0], `atomic fig1 {
+  map.lock(+);
+  set=map.get(id);
+  if(set==null) {
+    set=new Set();
+    map.put(id, set);
+  }
+  set.lock(+);
+  set.add(x);
+  set.add(y);
+  if(flag) {
+    queue.lock(+);
+    queue.enqueue(set);
+    queue.unlockAll();
+    map.remove(id);
+  }
+  map.unlockAll();
+  set.unlockAll();
+}
+`)
+}
+
+// TestFig2 reproduces the final compiler output of Fig 2: the optimized
+// section with refined symbolic sets.
+func TestFig2(t *testing.T) {
+	res := synthesizeAt(t, paperProgram(papersec.Fig1()), synth.StageRefine)
+	expectSection(t, res.Sections[0], `atomic fig1 {
+  map.lock({get(id),put(id,*),remove(id)});
+  set=map.get(id);
+  if(set==null) {
+    set=new Set();
+    map.put(id, set);
+  }
+  set.lock({add(*)});
+  set.add(x);
+  set.add(y);
+  if(flag) {
+    queue.lock({enqueue(set)});
+    queue.enqueue(set);
+    queue.unlockAll();
+    map.remove(id);
+  }
+  map.unlockAll();
+  set.unlockAll();
+}
+`)
+}
+
+// TestFig18 reproduces the inferred symbolic sets for the variable map
+// at each call of Fig 1 (the annotations of Fig 18).
+func TestFig18(t *testing.T) {
+	p := paperProgram(papersec.Fig1())
+	sets, err := synth.RefinedSetsAtCalls(p, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The set holding just before each call. Note Fig 18's annotations
+	// sit after each line: the {put(id,*),remove(id)} annotation holds
+	// before "set=new Set()", whose kill is what stars the put's second
+	// argument; immediately before the put itself the set still names
+	// the (freshly assigned) variable.
+	want := map[string]string{ // recv.method → Map set just before it
+		"map.get":       "{get(id),put(id,*),remove(id)}",
+		"map.put":       "{put(id,set),remove(id)}",
+		"set.add":       "{remove(id)}", // both adds
+		"queue.enqueue": "{remove(id)}",
+		"map.remove":    "{remove(id)}",
+	}
+	found := make(map[string]bool)
+	for call, byClass := range sets {
+		key := call.Recv + "." + call.Method
+		w, ok := want[key]
+		if !ok {
+			t.Errorf("unexpected call %s", key)
+			continue
+		}
+		found[key] = true
+		if got := byClass["Map"].Key(); got != w {
+			t.Errorf("Map set before %s = %s, want %s", key, got, w)
+		}
+	}
+	for key := range want {
+		if !found[key] {
+			t.Errorf("call %s not analyzed", key)
+		}
+	}
+}
+
+// TestFig18BeforePut checks the un-merged set just before map.put still
+// names the set variable position as * (killed by "set=new Set()").
+func TestFig18BeforePut(t *testing.T) {
+	p := paperProgram(papersec.Fig1())
+	sets, err := synth.RefinedSetsAtCalls(p, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for call, byClass := range sets {
+		if call.Method != "put" {
+			continue
+		}
+		// Directly before the put, the op is put(id,set): the analysis
+		// evaluates arguments at the call point, where set is the fresh
+		// Set.
+		if got := byClass["Map"].Key(); got != "{put(id,set),remove(id)}" {
+			t.Errorf("Map set before put = %s, want {put(id,set),remove(id)}", got)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package synth
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// insertLocking inserts the basic (non-optimized) locking code of §3.3
+// into a cloned section: a prologue initializing LOCAL_SET, an LV/LV2
+// group before every ADT call covering the set LS(l), and the epilogue
+// unlocking everything. Locking is generic ("lock(+)", the whole-ADT
+// symbolic set); refinement later narrows the sets (§4).
+//
+// LS(l), for a call l: x.f(...), is the set of variables y with y ≤ x
+// (class rank ≤) that have a (future) ADT use reachable from l. Vars of
+// the same class are grouped into one LV2 (dynamic unique-id ordering,
+// Fig 12); classes are emitted in rank order.
+func insertLocking(si int, sec *ir.Atomic, cs *Classes) *ir.Atomic {
+	out := sec.Clone()
+	cfg := ir.BuildCFG(out)
+
+	// Compute the LV groups for every call statement up front (the
+	// insertion below restructures blocks, invalidating nothing since
+	// the CFG references statement pointers of the clone).
+	groups := make(map[*ir.Call][]ir.Stmt)
+	for _, l := range cfg.CallNodes() {
+		call := cfg.Nodes[l].Stmt.(*ir.Call)
+		x := call.Recv
+		xKey, _ := cs.ClassOfVar(si, x)
+		xRank := cs.ByKey[xKey].Rank
+
+		// LS(l): ADT vars y with rank(y) ≤ rank(x) and a use at or
+		// after l.
+		byRank := make(map[int][]string)
+		for _, prm := range out.Vars {
+			if !prm.IsADT {
+				continue
+			}
+			yKey, ok := cs.ClassOfVar(si, prm.Name)
+			if !ok {
+				continue
+			}
+			r := cs.ByKey[yKey].Rank
+			if r > xRank {
+				continue
+			}
+			if !cfg.UsedAtOrAfter(l, prm.Name) {
+				continue
+			}
+			byRank[r] = append(byRank[r], prm.Name)
+		}
+		var ranks []int
+		for r := range byRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		var stmts []ir.Stmt
+		for _, r := range ranks {
+			vars := byRank[r]
+			sort.Strings(vars)
+			if len(vars) == 1 {
+				stmts = append(stmts, &ir.LV{Var: vars[0], Generic: true})
+			} else {
+				stmts = append(stmts, &ir.LV2{Vars: vars, Generic: true})
+			}
+		}
+		groups[call] = stmts
+	}
+
+	out.Body = insertBefore(out.Body, groups)
+	out.Body = append(ir.Block{&ir.Prologue{}}, out.Body...)
+	out.Body = append(out.Body, &ir.Epilogue{})
+	return out
+}
+
+// insertBefore rebuilds a block inserting each call's LV group directly
+// before it.
+func insertBefore(b ir.Block, groups map[*ir.Call][]ir.Stmt) ir.Block {
+	var out ir.Block
+	for _, s := range b {
+		switch x := s.(type) {
+		case *ir.Call:
+			out = append(out, groups[x]...)
+			out = append(out, x)
+		case *ir.If:
+			x.Then = insertBefore(x.Then, groups)
+			x.Else = insertBefore(x.Else, groups)
+			out = append(out, x)
+		case *ir.While:
+			x.Body = insertBefore(x.Body, groups)
+			out = append(out, x)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}

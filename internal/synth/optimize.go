@@ -1,0 +1,564 @@
+package synth
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// ---- shared structural forward-analysis framework ----
+//
+// Facts are sets of variable names flowing forward through the section;
+// branches refine facts per arm, joins intersect, loops iterate to a
+// fixpoint. record is invoked with the facts holding just before each
+// statement on the final (converged) pass.
+
+type facts map[string]bool
+
+func (f facts) clone() facts {
+	c := make(facts, len(f))
+	for k := range f {
+		c[k] = true
+	}
+	return c
+}
+
+func intersect(a, b facts) facts {
+	out := make(facts)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func factsEqual(a, b facts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+type forwardAnalysis struct {
+	// transfer updates facts for a non-branching statement.
+	transfer func(s ir.Stmt, in facts)
+	// branch returns the facts for the then and else arms.
+	branch func(c ir.Cond, in facts) (thenIn, elseIn facts)
+	// record is called with the facts holding before each statement.
+	record func(s ir.Stmt, in facts)
+}
+
+func (fa *forwardAnalysis) run(b ir.Block, in facts) facts {
+	cur := in
+	for _, s := range b {
+		if fa.record != nil {
+			fa.record(s, cur)
+		}
+		switch x := s.(type) {
+		case *ir.If:
+			thenIn, elseIn := fa.branch(x.Cond, cur)
+			thenOut := fa.run(x.Then, thenIn)
+			elseOut := elseIn
+			if x.Else != nil {
+				elseOut = fa.run(x.Else, elseIn)
+			}
+			cur = intersect(thenOut, elseOut)
+		case *ir.While:
+			head := cur
+			for {
+				bodyIn, _ := fa.branch(x.Cond, head)
+				bodyOut := fa.run(x.Body, bodyIn)
+				next := intersect(head, bodyOut)
+				if factsEqual(next, head) {
+					break
+				}
+				head = next
+			}
+			// One more pass so record sees converged facts.
+			bodyIn, exitIn := fa.branch(x.Cond, head)
+			fa.run(x.Body, bodyIn)
+			cur = exitIn
+		default:
+			fa.transfer(s, cur)
+		}
+	}
+	return cur
+}
+
+func sameBranch(_ ir.Cond, in facts) (facts, facts) { return in.clone(), in.clone() }
+
+// ---- Transformation 1: removing redundant LV (Appendix A) ----
+
+// removeRedundantLV removes LV/LV2 statements that are provably
+// redundant:
+//
+//   - rule 1: the variable's object is already locked on every path from
+//     the section entry (and the variable has not been reassigned since
+//     the lock), so the LV has no effect — e.g. the LV(map) at Fig 14
+//     line 9 removed in Fig 26;
+//   - rule 2: the variable has no ADT use reachable from the LV, so the
+//     lock is never needed.
+//
+// The section is modified in place.
+func removeRedundantLV(sec *ir.Atomic) {
+	// Pass 1: must-locked facts before every lock statement.
+	lockedAt := make(map[ir.Stmt]facts)
+	fa := &forwardAnalysis{
+		branch: sameBranch,
+		transfer: func(s ir.Stmt, in facts) {
+			switch x := s.(type) {
+			case *ir.LV:
+				in[x.Var] = true
+			case *ir.LV2:
+				for _, v := range x.Vars {
+					in[v] = true
+				}
+			case *ir.Assign:
+				delete(in, x.Lhs)
+			case *ir.Call:
+				if x.Assign != "" {
+					delete(in, x.Assign)
+				}
+			}
+		},
+		record: func(s ir.Stmt, in facts) {
+			switch s.(type) {
+			case *ir.LV, *ir.LV2:
+				lockedAt[s] = in.clone()
+			}
+		},
+	}
+	fa.run(sec.Body, make(facts))
+
+	// Rule 2 needs reachable-use queries on the current AST.
+	cfg := ir.BuildCFG(sec)
+
+	redundant := func(s ir.Stmt) bool {
+		switch x := s.(type) {
+		case *ir.LV:
+			if lockedAt[s][x.Var] {
+				return true
+			}
+			if id, ok := cfg.NodeOf(s); ok && !cfg.UsedAtOrAfter(id, x.Var) {
+				return true
+			}
+		case *ir.LV2:
+			all := true
+			for _, v := range x.Vars {
+				if !lockedAt[s][v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		return false
+	}
+	sec.Body = filterBlock(sec.Body, redundant)
+}
+
+// filterBlock removes statements for which drop returns true, recursing
+// into branches and loops.
+func filterBlock(b ir.Block, drop func(ir.Stmt) bool) ir.Block {
+	var out ir.Block
+	for _, s := range b {
+		if drop(s) {
+			continue
+		}
+		switch x := s.(type) {
+		case *ir.If:
+			x.Then = filterBlock(x.Then, drop)
+			x.Else = filterBlock(x.Else, drop)
+		case *ir.While:
+			x.Body = filterBlock(x.Body, drop)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ---- Transformation 2: removing redundant LOCAL_SET usage ----
+
+// elideLocalSet converts LV(x) into "if(x!=null) x.lock(...)" and adds
+// "if(x!=null) x.unlockAll()" at the section end for every variable x
+// for which LOCAL_SET is provably unnecessary (Appendix A):
+//
+//	(1) no path contains two locking operations on variables that may
+//	    point to the same object (same equivalence class), so
+//	    re-locking cannot occur;
+//	(2) x is not modified on any path from an LV(x) to the section end,
+//	    so the end-of-section unlock releases the locked object.
+//
+// The paper's condition (3) — x is null at the end of LV-free paths —
+// exists because the paper's unlockAll must only run on ADTs the
+// transaction actually locked; our runtime's per-transaction unlock is a
+// no-op on unheld instances, so spurious unlocks are harmless and (3)
+// is not required. (Fig 27 itself relies on this tolerance: on ¬flag
+// paths queue is non-null, never locked, and still unlockAll'd.)
+//
+// When every lock statement is elided, the prologue and epilogue are
+// removed (Fig 27).
+func elideLocalSet(si int, sec *ir.Atomic, cs *Classes) {
+	cfg := ir.BuildCFG(sec)
+
+	type lockOcc struct {
+		stmt ir.Stmt
+		vars []string
+	}
+	var occs []lockOcc
+	walkStmts(sec.Body, func(s ir.Stmt) {
+		switch x := s.(type) {
+		case *ir.LV:
+			occs = append(occs, lockOcc{s, []string{x.Var}})
+		case *ir.LV2:
+			occs = append(occs, lockOcc{s, x.Vars})
+		}
+	})
+
+	classOf := func(v string) string {
+		k, _ := cs.ClassOfVar(si, v)
+		return k
+	}
+
+	// Condition (1), per class: no lock occurrence of the class reaches
+	// another (or itself through a loop).
+	classOK := make(map[string]bool)
+	for _, o := range occs {
+		for _, v := range o.vars {
+			classOK[classOf(v)] = true
+		}
+	}
+	for key := range classOK {
+		var ids []int
+		for _, o := range occs {
+			locksClass := false
+			for _, v := range o.vars {
+				if classOf(v) == key {
+					locksClass = true
+				}
+			}
+			if locksClass {
+				if id, ok := cfg.NodeOf(o.stmt); ok {
+					ids = append(ids, id)
+				}
+			}
+		}
+		for _, u := range ids {
+			for _, v := range ids {
+				if cfg.ReachesProperly(u, v) {
+					classOK[key] = false
+				}
+			}
+		}
+	}
+
+	// Condition (2), per variable: no assignment after a lock of it.
+	varOK := func(v string) bool {
+		if !classOK[classOf(v)] {
+			return false
+		}
+		for _, o := range occs {
+			holds := false
+			for _, ov := range o.vars {
+				if ov == v {
+					holds = true
+				}
+			}
+			if !holds {
+				continue
+			}
+			u, _ := cfg.NodeOf(o.stmt)
+			for _, n := range cfg.Nodes {
+				if cfg.AssignedVar(n.ID) == v && cfg.ReachesProperly(u, n.ID) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// Apply: flip eligible lock statements and collect unlock vars.
+	var elided []string
+	anyKept := false
+	walkStmts(sec.Body, func(s ir.Stmt) {
+		switch x := s.(type) {
+		case *ir.LV:
+			if varOK(x.Var) {
+				x.NoLocalSet = true
+				x.Guarded = true
+				elided = append(elided, x.Var)
+			} else {
+				anyKept = true
+			}
+		case *ir.LV2:
+			ok := true
+			for _, v := range x.Vars {
+				if !varOK(v) {
+					ok = false
+				}
+			}
+			if ok {
+				x.NoLocalSet = true
+				elided = append(elided, x.Vars...)
+			} else {
+				anyKept = true
+			}
+		}
+	})
+	if len(elided) == 0 {
+		return
+	}
+
+	// Deterministic unlock order: class rank, then name.
+	sort.Slice(elided, func(i, j int) bool {
+		ri := cs.ByKey[classOf(elided[i])].Rank
+		rj := cs.ByKey[classOf(elided[j])].Rank
+		if ri != rj {
+			return ri < rj
+		}
+		return elided[i] < elided[j]
+	})
+	var unlocks ir.Block
+	seen := make(map[string]bool)
+	for _, v := range elided {
+		if !seen[v] {
+			seen[v] = true
+			unlocks = append(unlocks, &ir.UnlockAllVar{Var: v, Guarded: true})
+		}
+	}
+
+	// Insert unlocks before the epilogue; drop prologue/epilogue when
+	// nothing uses LOCAL_SET anymore.
+	var out ir.Block
+	for _, s := range sec.Body {
+		if _, isEpi := s.(*ir.Epilogue); isEpi {
+			out = append(out, unlocks...)
+			if anyKept {
+				out = append(out, s)
+			}
+			continue
+		}
+		if _, isPro := s.(*ir.Prologue); isPro && !anyKept {
+			continue
+		}
+		out = append(out, s)
+	}
+	sec.Body = out
+}
+
+// walkStmts visits every statement in the block tree.
+func walkStmts(b ir.Block, f func(ir.Stmt)) {
+	for _, s := range b {
+		f(s)
+		switch x := s.(type) {
+		case *ir.If:
+			walkStmts(x.Then, f)
+			walkStmts(x.Else, f)
+		case *ir.While:
+			walkStmts(x.Body, f)
+		}
+	}
+}
+
+// ---- Transformation 3: early lock release ----
+
+// earlyRelease moves trailing "if(x!=null) x.unlockAll()" statements to
+// the earliest program point at which (Appendix A):
+//
+//	(1) no operation on x's object is reachable;
+//	(2) no locking operation is reachable (two-phase rule);
+//	(3) the point post-dominates every lock of x (so the object is
+//	    always released; paths bypassing the point never locked x).
+//
+// A move is performed only when some ADT operation remains reachable
+// from the new point — otherwise the unlock already sits at an
+// equivalent position and stays at the section end (this keeps map and
+// set at the end in Fig 28 while queue moves inside the branch).
+func earlyRelease(sec *ir.Atomic) {
+	// Trailing unlock statements at the section's top level.
+	var trailing []*ir.UnlockAllVar
+	for _, s := range sec.Body {
+		if u, ok := s.(*ir.UnlockAllVar); ok {
+			trailing = append(trailing, u)
+		}
+	}
+	for _, u := range trailing {
+		// Rebuild the CFG each round: a previous move changes node ids.
+		cfg := ir.BuildCFG(sec)
+		dist := cfg.ShortestDistanceFromEntry()
+		var lockNodes []int
+		locksOf := make(map[string][]int)
+		walkStmts(sec.Body, func(s ir.Stmt) {
+			switch x := s.(type) {
+			case *ir.LV:
+				if id, ok := cfg.NodeOf(s); ok {
+					lockNodes = append(lockNodes, id)
+					locksOf[x.Var] = append(locksOf[x.Var], id)
+				}
+			case *ir.LV2:
+				if id, ok := cfg.NodeOf(s); ok {
+					lockNodes = append(lockNodes, id)
+					for _, v := range x.Vars {
+						locksOf[v] = append(locksOf[v], id)
+					}
+				}
+			}
+		})
+		callNodes := cfg.CallNodes()
+		x := u.Var
+		// Candidate points: immediately after each statement S
+		// (represented by S's CFG end node).
+		best := -1
+		bestDist := 1 << 30
+		var bestStmt ir.Stmt
+		walkStmts(sec.Body, func(s ir.Stmt) {
+			if _, isUnlock := s.(*ir.UnlockAllVar); isUnlock {
+				return
+			}
+			n, ok := cfg.EndNodeOf(s)
+			if !ok {
+				return
+			}
+			// (1) no use of x after the point.
+			for _, c := range callNodes {
+				if cfg.Nodes[c].Stmt.(*ir.Call).Recv == x && cfg.ReachesProperly(n, c) {
+					return
+				}
+			}
+			// (2) no lock after the point.
+			for _, l := range lockNodes {
+				if cfg.ReachesProperly(n, l) {
+					return
+				}
+			}
+			// (3) the point post-dominates every lock of x.
+			for _, l := range locksOf[x] {
+				if !cfg.PostDominates(n, l) {
+					return
+				}
+			}
+			// Only worthwhile when work remains after the point.
+			works := false
+			for _, c := range callNodes {
+				if cfg.ReachesProperly(n, c) {
+					works = true
+				}
+			}
+			if !works {
+				return
+			}
+			if dist[n] >= 0 && dist[n] < bestDist {
+				bestDist = dist[n]
+				best = n
+				bestStmt = s
+			}
+		})
+		if best < 0 {
+			continue
+		}
+		// Move: remove from the tail, insert right after bestStmt.
+		sec.Body = removeStmt(sec.Body, u)
+		sec.Body = insertAfter(sec.Body, bestStmt, u)
+	}
+}
+
+func removeStmt(b ir.Block, target ir.Stmt) ir.Block {
+	return filterBlock(b, func(s ir.Stmt) bool { return s == target })
+}
+
+func insertAfter(b ir.Block, after ir.Stmt, ins ir.Stmt) ir.Block {
+	var out ir.Block
+	for _, s := range b {
+		switch x := s.(type) {
+		case *ir.If:
+			x.Then = insertAfter(x.Then, after, ins)
+			x.Else = insertAfter(x.Else, after, ins)
+		case *ir.While:
+			x.Body = insertAfter(x.Body, after, ins)
+		}
+		out = append(out, s)
+		if s == after {
+			out = append(out, ins)
+		}
+	}
+	return out
+}
+
+// ---- Transformation 4: removing redundant if-statements ----
+
+// removeNullChecks drops the "if(x!=null)" guard from lock and unlock
+// statements at points where x is provably non-null: non-null on entry
+// (declared NonNull), allocated by "new", or dominated by a null-check
+// branch that pins the fact (Appendix A; Fig 27 → Fig 17).
+func removeNullChecks(sec *ir.Atomic) {
+	nonNullAt := make(map[ir.Stmt]facts)
+	fa := &forwardAnalysis{
+		transfer: func(s ir.Stmt, in facts) {
+			switch x := s.(type) {
+			case *ir.Assign:
+				switch {
+				case x.NewType != "":
+					in[x.Lhs] = true
+				default:
+					if vr, ok := x.Rhs.(ir.VarRef); ok && in[vr.Name] {
+						in[x.Lhs] = true
+					} else if _, isLit := x.Rhs.(ir.Lit); isLit {
+						in[x.Lhs] = true
+					} else {
+						delete(in, x.Lhs)
+					}
+				}
+			case *ir.Call:
+				if x.Assign != "" {
+					delete(in, x.Assign) // result may be null (e.g. get)
+				}
+			}
+		},
+		branch: func(c ir.Cond, in facts) (facts, facts) {
+			thenIn, elseIn := in.clone(), in.clone()
+			switch x := c.(type) {
+			case ir.IsNull:
+				delete(thenIn, x.Var)
+				elseIn[x.Var] = true
+			case ir.NotNull:
+				thenIn[x.Var] = true
+				delete(elseIn, x.Var)
+			}
+			return thenIn, elseIn
+		},
+		record: func(s ir.Stmt, in facts) {
+			switch s.(type) {
+			case *ir.LV, *ir.LV2, *ir.UnlockAllVar:
+				nonNullAt[s] = in.clone()
+			}
+		},
+	}
+	init := make(facts)
+	for _, p := range sec.Vars {
+		if p.NonNull {
+			init[p.Name] = true
+		}
+	}
+	fa.run(sec.Body, init)
+
+	walkStmts(sec.Body, func(s ir.Stmt) {
+		switch x := s.(type) {
+		case *ir.LV:
+			if x.Guarded && nonNullAt[s][x.Var] {
+				x.Guarded = false
+			}
+		case *ir.UnlockAllVar:
+			if x.Guarded && nonNullAt[s][x.Var] {
+				x.Guarded = false
+			}
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package synth
+
+import (
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// refineSets runs the backward analysis of §4: for every CFG node n and
+// equivalence class c it computes the symbolic set conservatively
+// describing the ADT operations that may still be invoked on class-c
+// instances at or after n. Assigning a variable v kills v in the flowing
+// sets (its occurrences generalize to *), which is what turns
+// put(id,set) into put(id,*) in Fig 18 once the analysis crosses
+// "set = new Set()".
+//
+// When mergeSameMethod is set, symbolic sets containing several
+// operations of one method are widened argument-wise (differing
+// positions become *): {add(x),add(y)} becomes {add(*)}, matching the
+// set.lock({add(*)}) of Fig 2 and bounding the locking-mode count.
+type refineResult struct {
+	in []map[string]core.SymSet // per node id, class key → set
+}
+
+func refineSets(si int, cs *Classes, cfg *ir.CFG, mergeSameMethod bool) *refineResult {
+	n := len(cfg.Nodes)
+	res := &refineResult{in: make([]map[string]core.SymSet, n)}
+	for i := range res.in {
+		res.in[i] = make(map[string]core.SymSet)
+	}
+
+	// Worklist fixpoint, seeded with every node.
+	inWork := make([]bool, n)
+	var work []int
+	for i := n - 1; i >= 0; i-- {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[id] = false
+		node := cfg.Nodes[id]
+
+		// out[n] = ⋃ in[s] over successors.
+		out := make(map[string]core.SymSet)
+		for _, s := range node.Succs {
+			for k, set := range res.in[s] {
+				out[k] = out[k].Union(set)
+			}
+		}
+		// Kill: assigned variable generalizes to * in every class set.
+		if v := cfg.AssignedVar(id); v != "" {
+			for k, set := range out {
+				out[k] = starOutVar(set, v)
+			}
+		}
+		// Gen: the node's own ADT operation.
+		if node.Kind == ir.KindStmt {
+			if c, ok := node.Stmt.(*ir.Call); ok {
+				if key, ok := cs.ClassOfVar(si, c.Recv); ok {
+					out[key] = out[key].Union(core.SymSetOf(symOpOfCall(c)))
+				}
+			}
+		}
+		changed := len(out) != len(res.in[id])
+		if !changed {
+			for k, set := range out {
+				if !set.Equal(res.in[id][k]) {
+					changed = true
+					break
+				}
+			}
+		}
+		if changed {
+			res.in[id] = out
+			for _, p := range node.Preds {
+				if !inWork[p] {
+					inWork[p] = true
+					work = append(work, p)
+				}
+			}
+		}
+	}
+
+	if mergeSameMethod {
+		for i := range res.in {
+			for k, set := range res.in[i] {
+				res.in[i][k] = mergeSameMethodOps(set)
+			}
+		}
+	}
+	return res
+}
+
+// At returns the refined symbolic set for class key at the point just
+// before node id.
+func (r *refineResult) At(id int, key string) core.SymSet { return r.in[id][key] }
+
+// symOpOfCall lowers a call's argument expressions to symbolic-operation
+// arguments: literals become constants, variable reads become symbolic
+// variables, anything else is *.
+func symOpOfCall(c *ir.Call) core.SymOp {
+	args := make([]core.SymArg, len(c.Args))
+	for i, a := range c.Args {
+		switch x := a.(type) {
+		case ir.Lit:
+			args[i] = core.ConstArg(x.Val)
+		case ir.VarRef:
+			args[i] = core.VarArg(x.Name)
+		default:
+			args[i] = core.Star()
+		}
+	}
+	return core.SymOpOf(c.Method, args...)
+}
+
+// starOutVar replaces occurrences of variable v with * in every
+// symbolic operation of the set.
+func starOutVar(set core.SymSet, v string) core.SymSet {
+	any := false
+	out := make([]core.SymOp, len(set))
+	for i, op := range set {
+		var args []core.SymArg
+		for j, a := range op.Args {
+			if a.Kind == core.SymVar && a.Var == v {
+				if args == nil {
+					args = append([]core.SymArg(nil), op.Args...)
+				}
+				args[j] = core.Star()
+			}
+		}
+		if args == nil {
+			out[i] = op
+		} else {
+			out[i] = core.SymOp{Method: op.Method, Args: args}
+			any = true
+		}
+	}
+	if !any {
+		return set
+	}
+	return core.SymSetOf(out...)
+}
+
+// mergeSameMethodOps widens a set so that each method appears at most
+// once per arity: argument positions that differ across the merged
+// operations become *.
+func mergeSameMethodOps(set core.SymSet) core.SymSet {
+	type key struct {
+		m string
+		n int
+	}
+	groups := make(map[key][]core.SymOp)
+	var order []key
+	for _, op := range set {
+		k := key{op.Method, len(op.Args)}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], op)
+	}
+	var out []core.SymOp
+	for _, k := range order {
+		ops := groups[k]
+		merged := ops[0]
+		for _, op := range ops[1:] {
+			args := make([]core.SymArg, len(merged.Args))
+			for i := range args {
+				if symArgEqual(merged.Args[i], op.Args[i]) {
+					args[i] = merged.Args[i]
+				} else {
+					args[i] = core.Star()
+				}
+			}
+			merged = core.SymOp{Method: k.m, Args: args}
+		}
+		out = append(out, merged)
+	}
+	return core.SymSetOf(out...)
+}
+
+func symArgEqual(a, b core.SymArg) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case core.SymStar:
+		return true
+	case core.SymVar:
+		return a.Var == b.Var
+	default:
+		return a.Val == b.Val
+	}
+}

@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Report renders a complete human-readable account of a synthesis
+// result: the pointer abstraction with its lock order, the
+// restrictions-graph, any global wrappers, each transformed section in
+// the paper's notation, and a per-class summary of the compiled locking
+// modes. semlockc's -plan output is built on this.
+func Report(res *Result) string {
+	var b strings.Builder
+
+	b.WriteString("== pointer abstraction and lock order ==\n")
+	for _, key := range res.Classes.SortedKeys() {
+		c := res.Classes.ByKey[key]
+		fmt.Fprintf(&b, "  rank %d: class %s (spec %s)", c.Rank, c.Key, c.Spec.ADT)
+		if c.Wrapped {
+			fmt.Fprintf(&b, " — global wrapper %s over %v", c.GlobalVar, c.Members)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("\n== restrictions-graph ==\n")
+	if g := res.Graph.String(); g == "" {
+		b.WriteString("  (no edges)\n")
+	} else {
+		fmt.Fprintf(&b, "  %s\n", g)
+	}
+	if res.PreWrapGraph != nil && res.PreWrapGraph.String() != res.Graph.String() {
+		fmt.Fprintf(&b, "  before wrapping: %s\n", res.PreWrapGraph)
+		for _, comp := range res.PreWrapGraph.CyclicComponents() {
+			fmt.Fprintf(&b, "  cyclic component wrapped: %v\n", comp)
+		}
+	}
+
+	b.WriteString("\n== synthesized sections ==\n")
+	for _, sec := range res.Sections {
+		b.WriteString(ir.Print(sec))
+		b.WriteString("\n")
+	}
+
+	b.WriteString("== locking modes per class ==\n")
+	keys := make([]string, 0, len(res.Tables))
+	for k := range res.Tables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		tbl := res.Tables[key]
+		fmt.Fprintf(&b, "  %s: %d modes, %d counters after merging, %d mechanisms",
+			key, len(tbl.Modes()), tbl.CanonicalCount(), tbl.NumMechanisms())
+		if tbl.NumMechanisms() == 0 {
+			b.WriteString(" (all modes commute: lock-free class)")
+		}
+		b.WriteString("\n")
+		if len(tbl.Modes()) <= 8 {
+			for i, m := range tbl.Modes() {
+				fmt.Fprintf(&b, "      mode %d: %s\n", i, m)
+			}
+		}
+	}
+	return b.String()
+}

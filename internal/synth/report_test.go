@@ -1,0 +1,41 @@
+package synth_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/papersec"
+	"repro/internal/synth"
+)
+
+func TestReport(t *testing.T) {
+	res := synthesizeAt(t, paperProgram(papersec.Fig1(), papersec.Fig9()), synth.StageRefine)
+	out := synth.Report(res)
+	for _, want := range []string{
+		"== pointer abstraction and lock order ==",
+		"rank 0: class Map",
+		"== restrictions-graph ==",
+		"Map->Set",
+		"cyclic component wrapped: [Set]",
+		"global wrapper p1 over [Set]",
+		"== synthesized sections ==",
+		"map.lock({get(id),put(id,*),remove(id)});",
+		"== locking modes per class ==",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportNoEdges(t *testing.T) {
+	res := synthesizeAt(t, paperProgram(papersec.Fig4()), synth.StageRefine)
+	out := synth.Report(res)
+	if !strings.Contains(out, "(no edges)") {
+		t.Errorf("edge-free graph should print placeholder:\n%s", out)
+	}
+	// Small tables print their modes.
+	if !strings.Contains(out, "mode 0:") {
+		t.Errorf("small mode tables should be listed:\n%s", out)
+	}
+}

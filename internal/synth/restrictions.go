@@ -1,0 +1,207 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Graph is the restrictions-graph of §3.2: nodes are equivalence classes
+// of pointer variables; an edge u → v records that some execution path
+// may have to lock an instance of u before an instance of v (because v's
+// pointer is assigned between the two uses, so v's identity is unknown
+// at u's lock point).
+type Graph struct {
+	Nodes []string
+	Edges map[string]map[string]bool
+}
+
+// newGraph creates an empty graph over the given nodes.
+func newGraph(nodes []string) *Graph {
+	g := &Graph{Nodes: append([]string(nil), nodes...), Edges: make(map[string]map[string]bool)}
+	for _, n := range g.Nodes {
+		g.Edges[n] = make(map[string]bool)
+	}
+	return g
+}
+
+func (g *Graph) addEdge(u, v string) { g.Edges[u][v] = true }
+
+// HasEdge reports an edge u → v.
+func (g *Graph) HasEdge(u, v string) bool { return g.Edges[u][v] }
+
+// String renders the graph deterministically, e.g. "Map->Set Map->Queue".
+func (g *Graph) String() string {
+	var parts []string
+	nodes := append([]string(nil), g.Nodes...)
+	sort.Strings(nodes)
+	for _, u := range nodes {
+		var vs []string
+		for v := range g.Edges[u] {
+			vs = append(vs, v)
+		}
+		sort.Strings(vs)
+		for _, v := range vs {
+			parts = append(parts, u+"->"+v)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// buildRestrictions computes the restrictions-graph over all atomic
+// sections of the program (as in Fig 11, which combines the sections of
+// Figs 1 and 7).
+//
+// For every pair of calls l: x.f(...) and l': x'.f'(...) in one section
+// with l' reachable from l by a path of length ≥ 1 (l' may equal l when
+// a loop makes the call self-reachable, Fig 9), an edge [x] → [x'] is
+// added when x' may be assigned between the two calls — in that case the
+// identity of the ADT x' will point to is unknown at l, so it cannot be
+// locked before [x]'s instance.
+func buildRestrictions(p *Program, cs *Classes) *Graph {
+	g := newGraph(cs.Keys())
+	for si, sec := range p.Sections {
+		cfg := ir.BuildCFG(sec)
+		calls := cfg.CallNodes()
+		for _, l := range calls {
+			x := cfg.Nodes[l].Stmt.(*ir.Call).Recv
+			cx, _ := cs.ClassOfVar(si, x)
+			for _, lp := range calls {
+				if !cfg.ReachesProperly(l, lp) {
+					continue
+				}
+				xp := cfg.Nodes[lp].Stmt.(*ir.Call).Recv
+				if !cfg.AssignedBetween(l, lp, xp) {
+					continue
+				}
+				cxp, _ := cs.ClassOfVar(si, xp)
+				g.addEdge(cx, cxp)
+			}
+		}
+	}
+	return g
+}
+
+// SCCs returns the strongly connected components of the graph (Tarjan).
+// Components are returned with their member keys sorted.
+func (g *Graph) SCCs() [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var ws []string
+		for w := range g.Edges[v] {
+			ws = append(ws, w)
+		}
+		sort.Strings(ws)
+		for _, w := range ws {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			out = append(out, comp)
+		}
+	}
+	nodes := append([]string(nil), g.Nodes...)
+	sort.Strings(nodes)
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return out
+}
+
+// CyclicComponents returns the SCCs that contain a cycle: components of
+// size > 1, or single nodes with a self-loop (§3.4, Fig 16).
+func (g *Graph) CyclicComponents() [][]string {
+	var out [][]string
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 || g.HasEdge(comp[0], comp[0]) {
+			out = append(out, comp)
+		}
+	}
+	return out
+}
+
+// topoOrder sorts the nodes of an acyclic graph topologically (Kahn),
+// breaking ties by the first-appearance order of the classes in the
+// program — this reproduces the paper's orders (map < set < queue for
+// Fig 1, m < s1,s2 < q for Fig 7). It fails on cyclic graphs.
+func topoOrder(g *Graph, appearance []string) ([]string, error) {
+	pos := make(map[string]int, len(appearance))
+	for i, k := range appearance {
+		pos[k] = i
+	}
+	indeg := make(map[string]int)
+	for _, n := range g.Nodes {
+		indeg[n] = 0
+	}
+	for u, es := range g.Edges {
+		for v := range es {
+			if u == v {
+				return nil, fmt.Errorf("synth: self-loop on %s; cyclic components must be wrapped first", u)
+			}
+			indeg[v]++
+		}
+	}
+	var ready []string
+	for _, n := range g.Nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	byAppearance := func(xs []string) {
+		sort.Slice(xs, func(i, j int) bool { return pos[xs[i]] < pos[xs[j]] })
+	}
+	byAppearance(ready)
+	var order []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		var released []string
+		for v := range g.Edges[n] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				released = append(released, v)
+			}
+		}
+		byAppearance(released)
+		ready = append(ready, released...)
+		byAppearance(ready)
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("synth: restrictions-graph has a cycle; %d of %d nodes ordered", len(order), len(g.Nodes))
+	}
+	return order, nil
+}
