@@ -28,9 +28,9 @@ const (
 type store struct {
 	data *adt.Treap
 	sem  *core.Semantic
-	put  func(...core.Value) core.ModeID
-	pair func(...core.Value) core.ModeID
-	scan func(...core.Value) core.ModeID
+	put  func(core.Value) core.ModeID
+	pair func(core.Value, core.Value) core.ModeID
+	scan func(core.Value, core.Value) core.ModeID
 }
 
 func newStore() *store {
@@ -51,9 +51,9 @@ func newStore() *store {
 	return &store{
 		data: adt.NewTreap(),
 		sem:  core.NewSemantic(tbl),
-		put:  tbl.Set(putSet).Binder("k"),
-		pair: tbl.Set(pairSet).Binder("k", "k2"),
-		scan: tbl.Set(scanSet).Binder("lo", "hi"),
+		put:  tbl.Set(putSet).Binder1("k"),
+		pair: tbl.Set(pairSet).Binder2("k", "k2"),
+		scan: tbl.Set(scanSet).Binder2("lo", "hi"),
 	}
 }
 

@@ -8,14 +8,19 @@ import (
 )
 
 // AblationSim reproduces the design-choice ablations of DESIGN.md
-// (A1–A4) on the ComputeIfAbsent workload:
+// (A1–A5) on the ComputeIfAbsent workload:
 //
 //	A1 refinement off   — generic lock(+): one exclusive whole-ADT mode;
 //	A2 abstract values  — φ range n ∈ {1, 4, 16, 64};
 //	A3 partitioning off — one internal mechanism lock serializes every
 //	                      acquisition (Fig 20's single internal lock);
 //	A4 fast path off    — every acquisition takes its partition's
-//	                      internal lock even when uncontended.
+//	                      internal lock even when uncontended;
+//	A5 mechanism v1     — unpadded counters: every counter RMW holds its
+//	                      shared cache line, modeled as 16 counters per
+//	                      line (64B line / 4B counter). The real-execution
+//	                      side of A5 (broadcast wakeups, O(modes) scans)
+//	                      is measured by `benchall -exp lockmech`.
 func AblationSim(cfg SimConfig) *Figure {
 	const keySpace = 1 << 17
 	fig := &Figure{
@@ -24,7 +29,7 @@ func AblationSim(cfg SimConfig) *Figure {
 		YLabel: "transactions per kilotick (virtual-time simulation)",
 		Xs:     ThreadCounts,
 		Notes: []string{
-			"ours-64 = full system; norefine = A1; phi-n = A2; nopart = A3; nofast = A4",
+			"ours-64 = full system; norefine = A1; phi-n = A2; nopart = A3; nofast = A4; mechv1 = A5",
 		},
 	}
 
@@ -46,6 +51,11 @@ func AblationSim(cfg SimConfig) *Figure {
 		{name: "phi-16", buckets: 16},
 		{name: "nopart", buckets: 64, mech: 1, mechHold: 4},
 		{name: "nofast", buckets: 64, mech: 64, mechHold: 1},
+		// A5: the v1 mechanism's unpadded counter array. A 64-byte line
+		// holds 16 int32 counters, so acquisitions of 16 consecutive
+		// bucket modes serialize on one line; the four line resources
+		// model that false sharing.
+		{name: "mechv1", buckets: 64, mech: 4, mechHold: 1},
 	}
 
 	build := func(v variant, threads int) func(tid int) func() []sim.Step {
@@ -70,7 +80,9 @@ func AblationSim(cfg SimConfig) *Figure {
 				var steps []sim.Step
 				steps = append(steps, sim.W(semOverhead))
 				if len(mechs) > 0 {
-					m := mechs[b%len(mechs)]
+					// Contiguous bucket ranges share a mechanism resource (for
+				// mechv1, the 16 counters of one cache line).
+				m := mechs[b*len(mechs)/v.buckets]
 					steps = append(steps, sim.Acq(m, 0), sim.W(v.mechHold), sim.Rel(m, 0))
 				}
 				steps = append(steps, sim.Acq(stripes, b), sim.W(opCost))

@@ -1,0 +1,346 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/adtspecs"
+	"repro/internal/core"
+)
+
+// LockmechBench is the lock-mechanism microbenchmark behind
+// `benchall -exp lockmech`: it measures ns per acquire/release cycle of
+// the v2 mechanism against the v1 mechanism (ablation A5,
+// Semantic.DisableMechV2) on four workloads chosen to isolate the v2
+// design points:
+//
+//	no-conflict      — every goroutine cycles a distinct fine-grained
+//	                   mode of a wildcard-free class: independent small
+//	                   mechanisms, the uncontended fast path.
+//	same-mode        — every goroutine cycles one self-commuting mode
+//	                   (get(α0)): all RMWs land on one counter slot, no
+//	                   blocking; measures the shared-counter path.
+//	wildcard-vs-fine — every goroutine mixes fine-grained ops on its own
+//	                   bucket with periodic size() acquisitions on a
+//	                   wide-φ class (φ=256, so the wildcard's conflict
+//	                   mask spans 257 slots): v1 pays an O(slots) counter
+//	                   scan per wildcard acquisition where v2 pays an
+//	                   O(words) summary scan, and the interleaved claims
+//	                   produce real transient conflicts.
+//	all-conflict     — every goroutine cycles the same self-conflicting
+//	                   fine mode while holding across a scheduler yield:
+//	                   pure blocking churn. Every waiter waits on one
+//	                   slot here, so targeted wakeups degenerate to a
+//	                   broadcast and the two mechanisms should be close —
+//	                   the workload bounds the v2 blocking-path overhead
+//	                   rather than showing it off. (The wakeup-precision
+//	                   claim itself is asserted exactly, not by wall
+//	                   time, in core's TestTargetedWakeup.)
+//
+// Each cell runs a fixed total number of acquire/release cycles split
+// evenly across the goroutines, so cells are comparable across thread
+// counts.
+type LockmechConfig struct {
+	TotalOps int   // acquire/release cycles per cell (split across goroutines)
+	Threads  []int // goroutine counts; defaults to ThreadCounts
+}
+
+// LockmechCell is one measured cell of the lockmech experiment.
+type LockmechCell struct {
+	Workload     string  `json:"workload"`
+	Mech         string  `json:"mech"` // "v2" or "v1"
+	Threads      int     `json:"threads"`
+	NsPerAcquire float64 `json:"ns_per_acquire"`
+	FastPath     uint64  `json:"fast_path"`
+	Slow         uint64  `json:"slow"`
+	Waits        uint64  `json:"waits"`
+}
+
+// LockmechReport is the full result of the lockmech experiment, the
+// content of BENCH_lockmech.json.
+type LockmechReport struct {
+	GOMAXPROCS int                        `json:"gomaxprocs"`
+	TotalOps   int                        `json:"total_ops_per_cell"`
+	Cells      []LockmechCell             `json:"cells"`
+	Speedup    map[string]map[int]float64 `json:"speedup_v2_over_v1"` // workload → threads → v1 ns / v2 ns
+	Criteria   map[string]float64         `json:"criteria"`
+}
+
+const (
+	mechV2Name = "v2"
+	mechV1Name = "v1"
+
+	// lockmechReps measured passes per cell; the fastest one is kept.
+	// Single-pass cells at T=1 are dominated by scheduler and frequency
+	// noise on small hosts, which the min over repetitions removes.
+	lockmechReps = 3
+)
+
+var lockmechWorkloads = []string{"no-conflict", "same-mode", "wildcard-vs-fine", "all-conflict"}
+
+// lockmechTables compiles the mode tables the workloads run on. The
+// fixed identity φ guarantees goroutine g's key lands in bucket g, so
+// "distinct keys" really means distinct counter slots.
+func lockmechTables() (fine, rw, wild *core.ModeTable, fineKey, rwGet, wildKey func(core.Value) core.ModeID, wildSize func() core.ModeID) {
+	spec := adtspecs.Map()
+	keySet := core.SymSetOf(
+		core.SymOpOf("get", core.VarArg("k")),
+		core.SymOpOf("put", core.VarArg("k"), core.Star()),
+		core.SymOpOf("remove", core.VarArg("k")),
+	)
+	getSet := core.SymSetOf(core.SymOpOf("get", core.VarArg("k")))
+	putSet := core.SymSetOf(core.SymOpOf("put", core.VarArg("k"), core.Star()))
+	sizeSet := core.SymSetOf(core.SymOpOf("size"))
+
+	identityPhi := func(n int) core.Phi {
+		assign := make(map[core.Value]int, n)
+		for i := 0; i < n; i++ {
+			assign[i] = i
+		}
+		return core.NewFixedPhi(n, 0, assign)
+	}
+
+	// Wildcard-free: each key mode partitions into its own mechanism.
+	fine = core.NewModeTable(spec, []core.SymSet{keySet}, core.TableOptions{Phi: identityPhi(64)})
+	fineKey = fine.Set(keySet).Binder1("k")
+
+	// Reader/writer split: get(α) commutes with itself, conflicts with
+	// put(α) — a mechanism with concurrent holders on one slot.
+	rw = core.NewModeTable(spec, []core.SymSet{getSet, putSet}, core.TableOptions{Phi: identityPhi(64)})
+	rwGet = rw.Set(getSet).Binder1("k")
+
+	// Fine modes plus the size() wildcard, at φ=256 to stress conflict-
+	// mask width: one merged mechanism where size()'s mask spans 257
+	// slots (summaries on), so each wildcard acquisition is an O(slots)
+	// exact scan for v1 against an O(words) summary scan for v2.
+	wild = core.NewModeTable(spec, []core.SymSet{keySet, sizeSet}, core.TableOptions{Phi: identityPhi(256)})
+	wildKey = wild.Set(keySet).Binder1("k")
+	wildSizeSel := wild.Set(sizeSet)
+	wildSize = func() core.ModeID { return wildSizeSel.Mode() }
+	return
+}
+
+// runLockmechCell runs one (workload, mechanism, threads) cell and
+// returns the measured cell.
+func runLockmechCell(workload, mech string, threads, totalOps int) LockmechCell {
+	fine, rw, wild, fineKey, rwGet, wildKey, wildSize := lockmechTables()
+
+	var s *core.Semantic
+	switch workload {
+	case "no-conflict", "all-conflict":
+		s = core.NewSemantic(fine)
+	case "same-mode":
+		s = core.NewSemantic(rw)
+	case "wildcard-vs-fine":
+		s = core.NewSemantic(wild)
+	default:
+		panic("bench: unknown lockmech workload " + workload)
+	}
+	s.DisableMechV2 = mech == mechV1Name
+
+	ops := totalOps / threads
+	if ops < 1 {
+		ops = 1
+	}
+	// body returns goroutine g's per-cycle work.
+	body := func(g int) func(i int) {
+		switch workload {
+		case "no-conflict":
+			m := fineKey(g % 64)
+			return func(int) { s.Acquire(m); s.Release(m) }
+		case "same-mode":
+			m := rwGet(0)
+			return func(int) { s.Acquire(m); s.Release(m) }
+		case "wildcard-vs-fine":
+			// Three fine ops on our own bucket, then one wildcard op.
+			mf, mw := wildKey(g%256), wildSize()
+			return func(i int) {
+				m := mf
+				if i&3 == 0 {
+					m = mw
+				}
+				s.Acquire(m)
+				s.Release(m)
+			}
+		case "all-conflict":
+			// Hold across a yield so critical sections genuinely overlap
+			// (on a small host an unyielding holder is never preempted
+			// mid-section and no blocking would ever happen).
+			m := fineKey(0)
+			return func(int) {
+				s.Acquire(m)
+				runtime.Gosched()
+				s.Release(m)
+			}
+		}
+		panic("bench: unknown lockmech workload " + workload)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			work := body(g)
+			<-start
+			for i := 0; i < ops; i++ {
+				work(i)
+			}
+		}(g)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	st := s.Stats()
+	return LockmechCell{
+		Workload:     workload,
+		Mech:         mech,
+		Threads:      threads,
+		NsPerAcquire: float64(elapsed.Nanoseconds()) / float64(ops*threads),
+		FastPath:     st.FastPath,
+		Slow:         st.Slow,
+		Waits:        st.Waits,
+	}
+}
+
+// LockmechBench runs the full experiment grid and computes the summary
+// criteria: the contended wildcard-vs-fine speedup of v2 over v1 and the
+// uncontended fast-path ratio (best no-conflict v2 ns / best v1 ns;
+// ≤ 1 means no regression).
+func LockmechBench(cfg LockmechConfig) *LockmechReport {
+	if cfg.TotalOps == 0 {
+		cfg.TotalOps = 200000
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = ThreadCounts
+	}
+	rep := &LockmechReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		TotalOps:   cfg.TotalOps,
+		Speedup:    map[string]map[int]float64{},
+		Criteria:   map[string]float64{},
+	}
+
+	cells := map[string]map[string]map[int]LockmechCell{} // workload → mech → T
+	for _, w := range lockmechWorkloads {
+		cells[w] = map[string]map[int]LockmechCell{mechV2Name: {}, mechV1Name: {}}
+		for _, T := range cfg.Threads {
+			// The mechanisms alternate pass by pass so slow drift (CPU
+			// frequency, host interference) hits both sides of every
+			// comparison equally; a warm-up pass absorbs first-touch
+			// noise, and of the measured passes the fastest is kept (the
+			// least-interference estimate of the mechanism's cost).
+			best := map[string]LockmechCell{}
+			for _, mech := range []string{mechV2Name, mechV1Name} {
+				runLockmechCell(w, mech, T, cfg.TotalOps/10)
+			}
+			for r := 0; r < lockmechReps; r++ {
+				for _, mech := range []string{mechV2Name, mechV1Name} {
+					c := runLockmechCell(w, mech, T, cfg.TotalOps)
+					if b, ok := best[mech]; !ok || c.NsPerAcquire < b.NsPerAcquire {
+						best[mech] = c
+					}
+				}
+			}
+			for _, mech := range []string{mechV2Name, mechV1Name} {
+				cells[w][mech][T] = best[mech]
+				rep.Cells = append(rep.Cells, best[mech])
+			}
+		}
+		sp := map[int]float64{}
+		for _, T := range cfg.Threads {
+			v2 := cells[w][mechV2Name][T].NsPerAcquire
+			v1 := cells[w][mechV1Name][T].NsPerAcquire
+			if v2 > 0 {
+				sp[T] = v1 / v2
+			}
+		}
+		rep.Speedup[w] = sp
+	}
+
+	// Criteria. The contended wildcard-vs-fine speedup is the geometric
+	// mean over the contended thread counts (T ≥ 2); the fast-path ratio
+	// compares the mechanisms' best observed uncontended cycle (see below).
+	var logSum float64
+	var nContended int
+	for _, T := range cfg.Threads {
+		if T < 2 {
+			continue
+		}
+		if sp := rep.Speedup["wildcard-vs-fine"][T]; sp > 0 {
+			logSum += math.Log(sp)
+			nContended++
+		}
+	}
+	if nContended > 0 {
+		rep.Criteria["wildcard_vs_fine_contended_speedup"] = math.Exp(logSum / float64(nContended))
+	}
+	// Every no-conflict cell is the same uncontended measurement here —
+	// zero waits, all fast path, GOMAXPROCS bounds real parallelism — so
+	// each thread count contributes one paired v2/v1 comparison whose
+	// sides ran interleaved (temporally adjacent, same drift), and the
+	// ratio is their geometric mean: len(Threads) controlled comparisons
+	// instead of one noisy cell.
+	fpLog, nPairs := 0.0, 0
+	for _, T := range cfg.Threads {
+		if sp := rep.Speedup["no-conflict"][T]; sp > 0 {
+			fpLog += math.Log(1 / sp)
+			nPairs++
+		}
+	}
+	if nPairs > 0 {
+		rep.Criteria["uncontended_fastpath_v2_over_v1_ns_ratio"] = math.Exp(fpLog / float64(nPairs))
+	}
+	return rep
+}
+
+// Format renders the report as aligned tables, one per workload.
+func (r *LockmechReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lockmech — mechanism v2 vs v1 (A5), ns per acquire/release cycle\n")
+	fmt.Fprintf(&b, "GOMAXPROCS=%d, %d cycles per cell\n", r.GOMAXPROCS, r.TotalOps)
+	byKey := map[string]LockmechCell{}
+	for _, c := range r.Cells {
+		byKey[fmt.Sprintf("%s/%s/%d", c.Workload, c.Mech, c.Threads)] = c
+	}
+	var threads []int
+	seen := map[int]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Threads] {
+			seen[c.Threads] = true
+			threads = append(threads, c.Threads)
+		}
+	}
+	sort.Ints(threads)
+	for _, w := range lockmechWorkloads {
+		fmt.Fprintf(&b, "\n%s\n", w)
+		fmt.Fprintf(&b, "%-8s%12s%12s%10s%12s%12s\n", "threads", "v2 ns", "v1 ns", "speedup", "v2 waits", "v1 waits")
+		for _, T := range threads {
+			c2 := byKey[fmt.Sprintf("%s/%s/%d", w, mechV2Name, T)]
+			c1 := byKey[fmt.Sprintf("%s/%s/%d", w, mechV1Name, T)]
+			fmt.Fprintf(&b, "%-8d%12.1f%12.1f%10.2f%12d%12d\n",
+				T, c2.NsPerAcquire, c1.NsPerAcquire, r.Speedup[w][T], c2.Waits, c1.Waits)
+		}
+	}
+	fmt.Fprintf(&b, "\ncriteria:\n")
+	for _, k := range sortedStringKeys(r.Criteria) {
+		fmt.Fprintf(&b, "  %s = %.3f\n", k, r.Criteria[k])
+	}
+	return b.String()
+}
+
+func sortedStringKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -62,15 +63,51 @@ type ModeTable struct {
 	part      []int
 	localIdx  []int
 	partSizes []int
+	// summaryOn[p] is the static per-mechanism decision to maintain
+	// per-word summary counters: it is worth two extra atomic RMWs per
+	// acquire/release cycle only when some mode in the mechanism has a
+	// wide conflict mask (a wildcard such as size() or clear()) whose
+	// exact scan would touch many padded counter lines. Small
+	// fine-grained mechanisms — the common case after partitioning —
+	// skip summaries entirely and scan exactly, keeping the uncontended
+	// fast path at one RMW, the same as the v1 mechanism.
+	summaryOn []bool
 	// conflict[m] lists the (local) counter slots mode m conflicts with
 	// inside its own mechanism, with the count threshold above which the
-	// slot blocks m (1 for m's own slot, 0 otherwise).
+	// slot blocks m (1 for m's own slot, 0 otherwise). The v1 mechanism
+	// (ablation A5) scans these directly; the v2 mechanism scans the
+	// word-bitset form in masks[m].
 	conflict [][]conflictRef
+	masks    []maskInfo
 }
 
 type conflictRef struct {
 	slot      int
 	threshold int32
+}
+
+// wordMask is one 64-slot word of a mode's conflict bitset: the index
+// of the word in the mechanism's summary array plus the conflicting
+// local slots within that word, one bit per slot.
+type wordMask struct {
+	w    int32
+	bits uint64
+}
+
+// maskInfo is the precompiled conflict-scan structure of one mode for
+// the v2 lock mechanism: the sparse word bitset of conflicting slots
+// (only words with at least one conflicting slot appear) and the mode's
+// own counter slot, whose threshold is 1 instead of 0 because the
+// scanner has already incremented it (Fig 20's increment-then-scan).
+type maskInfo struct {
+	words    []wordMask
+	selfSlot int32
+	selfWord int32
+	// refs is the flat slot list (shared with ModeTable.conflict) that
+	// mechanisms with summaries off scan directly: for the few slots of a
+	// small fine-grained mechanism the threshold-baked linear walk is
+	// cheaper than iterating the bitset words.
+	refs []conflictRef
 }
 
 // NewModeTable compiles the locking modes for an ADT class from its
@@ -272,7 +309,54 @@ func (t *ModeTable) partition(disabled bool) {
 			t.conflict[i] = append(t.conflict[i], ref)
 		}
 	}
+
+	// Word-bitset form of the same conflict lists for the v2 mechanism:
+	// the O(conflicting modes) ref list becomes O(occupied words) of
+	// summary checks on the common path.
+	t.masks = make([]maskInfo, n)
+	for i := 0; i < n; i++ {
+		if t.part[i] < 0 {
+			continue
+		}
+		self := int32(t.localIdx[i])
+		mi := maskInfo{selfSlot: self, selfWord: self >> 6, refs: t.conflict[i]}
+		byWord := make(map[int32]uint64)
+		for _, ref := range t.conflict[i] {
+			byWord[int32(ref.slot)>>6] |= 1 << (uint(ref.slot) & 63)
+		}
+		for w, bits := range byWord {
+			mi.words = append(mi.words, wordMask{w: w, bits: bits})
+		}
+		sort.Slice(mi.words, func(a, b int) bool { return mi.words[a].w < mi.words[b].w })
+		t.masks[i] = mi
+	}
+
+	// Decide per mechanism whether summary counters pay for themselves:
+	// only when some mode's conflict mask covers at least
+	// summaryCutoffSlots slots does the summary shortcut save more scan
+	// work than its maintenance costs on every claim.
+	t.summaryOn = make([]bool, nMech)
+	for i := 0; i < n; i++ {
+		p := t.part[i]
+		if p < 0 || t.summaryOn[p] {
+			continue
+		}
+		total := 0
+		for _, wm := range t.masks[i].words {
+			total += bits.OnesCount64(wm.bits)
+		}
+		if total >= summaryCutoffSlots {
+			t.summaryOn[p] = true
+		}
+	}
 }
+
+// summaryCutoffSlots is the conflict-mask width at which a mechanism
+// switches from exact per-slot scans to summary-based scans. Below it,
+// an exact scan touches so few counter lines that the two summary RMWs
+// per acquire/release would dominate; above it, wildcard scans become
+// O(words) instead of O(slots).
+const summaryCutoffSlots = 16
 
 // Phi returns the (possibly coarsened) abstract-value hash the table was
 // compiled with.
@@ -374,15 +458,88 @@ func (r SetRef) Binder(names ...string) func(vals ...Value) ModeID {
 		}
 		perm[i] = found
 	}
+	identity := true
+	for i, j := range perm {
+		if i != j {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		// The caller's order is already the canonical Vars() order; no
+		// reordering buffer at all.
+		return func(vals ...Value) ModeID {
+			if len(vals) != len(perm) {
+				panic(fmt.Sprintf("core: bound mode selector expects %d values, got %d", len(perm), len(vals)))
+			}
+			return r.Mode(vals...)
+		}
+	}
 	return func(vals ...Value) ModeID {
 		if len(vals) != len(perm) {
 			panic(fmt.Sprintf("core: bound mode selector expects %d values, got %d", len(perm), len(vals)))
 		}
-		ordered := make([]Value, len(perm))
-		for i, j := range perm {
-			ordered[i] = vals[j]
+		// Selector runs on the per-operation mode-selection path: keep
+		// the reorder buffer on the stack for the common arities.
+		var buf [4]Value
+		ordered := buf[:0]
+		if len(perm) > len(buf) {
+			ordered = make([]Value, 0, len(perm))
+		}
+		for _, j := range perm {
+			ordered = append(ordered, vals[j])
 		}
 		return r.Mode(ordered...)
+	}
+}
+
+// Binder1 is the fixed-arity form of Binder for one-variable sets: the
+// returned selector takes its single value directly, so a call through
+// it builds no variadic []Value slice at all — the variadic Binder
+// closure costs one heap-allocated argument slice per call at every
+// indirect call site. Constant sets (e.g. under the no-refinement
+// ablation) are accepted and select their single mode regardless of the
+// value.
+func (r SetRef) Binder1(name string) func(Value) ModeID {
+	vars := r.Vars()
+	if len(vars) == 0 {
+		id := r.Mode()
+		return func(Value) ModeID { return id }
+	}
+	if len(vars) != 1 || vars[0] != name {
+		panic(fmt.Sprintf("core: Binder1(%q): set %s has variables %v", name, r.SymSet(), vars))
+	}
+	e := &r.t.sets[r.idx]
+	phi := r.t.phi
+	return func(v Value) ModeID { return e.modes[phi.Abstract(v)] }
+}
+
+// Binder2 is the fixed-arity form of Binder for two-variable sets; names
+// give the caller's argument order, which may be either permutation of
+// Vars(). As with Binder1, calls through the returned selector are
+// allocation-free.
+func (r SetRef) Binder2(n1, n2 string) func(Value, Value) ModeID {
+	vars := r.Vars()
+	if len(vars) == 0 {
+		id := r.Mode()
+		return func(Value, Value) ModeID { return id }
+	}
+	var swap bool
+	switch {
+	case len(vars) == 2 && n1 == vars[0] && n2 == vars[1]:
+	case len(vars) == 2 && n1 == vars[1] && n2 == vars[0]:
+		swap = true
+	default:
+		panic(fmt.Sprintf("core: Binder2(%q,%q): set %s has variables %v", n1, n2, r.SymSet(), vars))
+	}
+	e := &r.t.sets[r.idx]
+	phi := r.t.phi
+	n := phi.N()
+	return func(a, b Value) ModeID {
+		if swap {
+			a, b = b, a
+		}
+		return e.modes[phi.Abstract(a)*n+phi.Abstract(b)]
 	}
 }
 

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/padded"
 )
 
 // instanceIDs hands out unique identifiers for ADT instances; the ids
@@ -31,15 +34,26 @@ type LockStats struct {
 // (OS2PL ordering); a single Acquire never blocks on a mode held by its
 // own transaction because transactions never lock the same instance
 // twice (LOCAL_SET, §3.1).
+//
+// Two mechanism generations coexist: v2 (cache-line-padded counters,
+// word-summary conflict scan, targeted wakeups, adaptive fast-path
+// retries) is the default; the original Fig 20 mechanism (shared-line
+// counters, O(conflicting modes) scan, broadcast wakeups) remains
+// available behind DisableMechV2 as ablation A5.
 type Semantic struct {
 	table *ModeTable
-	mechs []mechanism
+	mechs []mechV2
+	v1    []mechanism
 	id    uint64
 
 	// DisableFastPath forces every acquisition through the internal
 	// lock, skipping the optimistic counter scan of Fig 20 lines 3–4 —
 	// ablation A4.
 	DisableFastPath bool
+	// DisableMechV2 routes acquisitions through the original Fig 20
+	// mechanism — ablation A5. Set it before the first Acquire (the two
+	// generations keep separate counters).
+	DisableMechV2 bool
 }
 
 // NewSemantic creates the semantic lock for one ADT instance of the class
@@ -47,11 +61,13 @@ type Semantic struct {
 func NewSemantic(table *ModeTable) *Semantic {
 	s := &Semantic{
 		table: table,
-		mechs: make([]mechanism, table.NumMechanisms()),
+		mechs: make([]mechV2, table.NumMechanisms()),
+		v1:    make([]mechanism, table.NumMechanisms()),
 		id:    instanceIDs.Add(1),
 	}
 	for i := range s.mechs {
-		s.mechs[i].init(table.partSizes[i])
+		s.mechs[i].init(table.partSizes[i], table.summaryOn[i])
+		s.v1[i].init(table.partSizes[i])
 	}
 	return s
 }
@@ -69,7 +85,24 @@ func (s *Semantic) Acquire(m ModeID) {
 	if p < 0 {
 		return // mode conflicts with nothing; no mechanism needed
 	}
-	s.mechs[p].acquire(s.table.localIdx[m], s.table.conflict[m], s.DisableFastPath)
+	if s.DisableMechV2 {
+		s.v1[p].acquire(s.table.localIdx[m], s.table.conflict[m], s.DisableFastPath)
+		return
+	}
+	// The successful first attempt — the overwhelmingly common case — is
+	// straight-lined here so it runs one call deep (tryAcquire); retries
+	// and blocking live in acquireContended.
+	mech := &s.mechs[p]
+	c := &s.table.masks[m]
+	if s.DisableFastPath {
+		mech.slowAcquire(c)
+		return
+	}
+	if mech.tryAcquire(c) {
+		mech.fastPath.Add(1)
+		return
+	}
+	mech.acquireContended(c)
 }
 
 // TryAcquire attempts to acquire mode m without blocking; it reports
@@ -79,7 +112,10 @@ func (s *Semantic) TryAcquire(m ModeID) bool {
 	if p < 0 {
 		return true
 	}
-	return s.mechs[p].tryAcquire(s.table.localIdx[m], s.table.conflict[m])
+	if s.DisableMechV2 {
+		return s.v1[p].tryAcquire(s.table.localIdx[m], s.table.conflict[m])
+	}
+	return s.mechs[p].tryAcquire(&s.table.masks[m])
 }
 
 // Release undoes one Acquire of mode m.
@@ -88,16 +124,29 @@ func (s *Semantic) Release(m ModeID) {
 	if p < 0 {
 		return
 	}
-	s.mechs[p].release(s.table.localIdx[m])
+	if s.DisableMechV2 {
+		s.v1[p].release(s.table.localIdx[m])
+		return
+	}
+	// Spelled out instead of calling retreat+wake: both inline here, so
+	// an uncontended release (no registered waiter on the slot) makes no
+	// calls at all — one atomic RMW and one atomic load.
+	mech := &s.mechs[p]
+	slot := int32(s.table.localIdx[m])
+	mech.retreat(slot)
+	if mech.waitMask[slot>>6].Load()&(1<<(uint(slot)&63)) != 0 {
+		mech.wakeSlow(slot)
+	}
 }
 
-// Stats returns the instance's cumulative acquisition statistics.
+// Stats returns the instance's cumulative acquisition statistics, summed
+// over both mechanism generations.
 func (s *Semantic) Stats() LockStats {
 	var out LockStats
 	for i := range s.mechs {
-		out.FastPath += s.mechs[i].fastPath.Load()
-		out.Slow += s.mechs[i].slow.Load()
-		out.Waits += s.mechs[i].waits.Load()
+		out.FastPath += s.mechs[i].fastPath.Load() + s.v1[i].fastPath.Load()
+		out.Slow += s.mechs[i].slow.Load() + s.v1[i].slow.Load()
+		out.Waits += s.mechs[i].waits.Load() + s.v1[i].waits.Load()
 	}
 	return out
 }
@@ -108,16 +157,360 @@ func (s *Semantic) Holders(m ModeID) int32 {
 	if p < 0 {
 		return 0
 	}
+	if s.DisableMechV2 {
+		return s.v1[p].counts[s.table.localIdx[m]].Load()
+	}
 	return s.mechs[p].counts[s.table.localIdx[m]].Load()
 }
 
-// mechanism is one independent lock mechanism (Fig 20): an atomic counter
-// per locking mode plus an internal lock used only to block and wake
-// waiters. The acquisition protocol is increment-then-scan (Dekker
-// style): a thread first makes its own claim visible, then scans the
-// conflicting counters; under sequential consistency two conflicting
-// acquirers cannot both miss each other, so at most the false-conflict
-// case (both back off and retry serialized by the internal lock) occurs.
+// ---------------------------------------------------------------------
+// Lock mechanism v2
+// ---------------------------------------------------------------------
+
+// mechV2 is one independent lock mechanism: the Fig 20 design (an atomic
+// counter per locking mode, an internal lock to block and wake waiters,
+// increment-then-scan Dekker acquisition) rebuilt for scalability.
+//
+//   - Counters live in padded.Int32 slots, one cache line each, so
+//     acquisitions of commuting modes never contend in hardware.
+//
+//   - Counter slots are grouped into 64-slot words, and each word keeps a
+//     padded summary counter of the claims in flight on its slots. A
+//     claim increments its word's summary BEFORE its own counter and
+//     decrements it AFTER, so at every instant summary[w] over-
+//     approximates the occupancy of word w: summary[w] == 0 proves the
+//     word empty and lets the scan skip all its slots in one load. Only
+//     a hot word falls back to the exact per-slot scan over the mode's
+//     conflict-mask bits. (The summary is deliberately a claim count
+//     rather than a nonzero-slot count maintained on 0↔1 transitions:
+//     transition-maintained indicators under-approximate while the
+//     transition owner is preempted between its counter and summary
+//     updates — the hazard the SNZI literature exists to solve — and an
+//     under-approximating summary would miss established holders.)
+//
+//   - Summaries are a static per-mechanism decision (ModeTable.summaryOn):
+//     maintenance costs two extra RMWs per acquire/release cycle, which
+//     only a wide conflict mask (a wildcard mode) amortizes. The small
+//     fine-grained mechanisms that partitioning produces in the common
+//     case skip summaries and scan their few conflicting slots exactly,
+//     keeping the uncontended fast path at one RMW — v1 parity.
+//
+//   - The Dekker argument is unchanged: an acquirer publishes its claim
+//     (summary, then counter) before scanning, so of two conflicting
+//     acquirers at least one observes the other, via either the summary
+//     or the exact counter.
+//
+//   - Blocking uses a waiter registry keyed by each waiter's conflict
+//     mask instead of a single broadcast condition variable: release(s)
+//     wakes only waiters whose mask covers slot s. waitMask[w] publishes
+//     (ahead of time, under mu) which slots have interested waiters, so
+//     an uncontended release stays one atomic load. No lost wakeups: a
+//     waiter registers (and its waitMask bits are stored) before its
+//     failing re-scan, and a releaser decrements before checking
+//     waitMask, so either the waiter's scan sees the decrement or the
+//     releaser sees the waiter.
+//
+//   - The fast-path retry bound adapts: retries that eventually succeed
+//     raise the bound (spinning is paying off), a fall-through to the
+//     slow path lowers it. The bound stays within [1, 8]; LockStats
+//     expose the resulting fast/slow split.
+type mechV2 struct {
+	mu       sync.Mutex
+	waiters  []*waiterV2     // registry; mu-protected
+	waitMask []padded.Uint64 // per-word slots with registered waiters; stored under mu, loaded lock-free
+	counts   []padded.Int32  // per-slot holder counts, one cache line each
+	summary  []padded.Int32  // per-word claim counts (over-approximate occupancy)
+	spin     padded.Int32    // adaptive fast-path retry bound
+
+	// useSummary is the compile-time decision to maintain summary
+	// counters (see ModeTable.summaryOn). When false, claims touch only
+	// their own counter and scans are exact.
+	useSummary bool
+
+	fastPath atomic.Uint64
+	slow     atomic.Uint64
+	waits    atomic.Uint64
+}
+
+// waiterV2 is one blocked acquirer: the conflict mask it is waiting on
+// and a 1-buffered signal channel (buffering makes a signal that races
+// with the waiter's re-scan stick instead of getting lost).
+type waiterV2 struct {
+	mask []wordMask
+	ch   chan struct{}
+}
+
+// waiterPool recycles waiterV2s so the slow path allocates nothing in
+// steady state. A waiter is only returned after deregistration under mu,
+// past which no releaser can reach it; any token a racing signal left in
+// the channel is drained on reuse.
+var waiterPool = sync.Pool{New: func() any {
+	return &waiterV2{ch: make(chan struct{}, 1)}
+}}
+
+func getWaiter(mask []wordMask) *waiterV2 {
+	w := waiterPool.Get().(*waiterV2)
+	select {
+	case <-w.ch: // stale token from the previous use
+	default:
+	}
+	w.mask = mask
+	return w
+}
+
+func putWaiter(w *waiterV2) {
+	w.mask = nil
+	waiterPool.Put(w)
+}
+
+const (
+	minSpin     = 1
+	maxSpin     = 8
+	initialSpin = 2
+)
+
+func (m *mechV2) init(nSlots int, useSummary bool) {
+	words := (nSlots + 63) >> 6
+	m.counts = make([]padded.Int32, nSlots)
+	m.summary = make([]padded.Int32, words)
+	m.waitMask = make([]padded.Uint64, words)
+	m.spin.Store(initialSpin)
+	m.useSummary = useSummary
+}
+
+// claim publishes one acquisition attempt: summary first, counter
+// second, so the summary never under-approximates occupancy.
+func (m *mechV2) claim(slot int32) {
+	if m.useSummary {
+		m.summary[slot>>6].Add(1)
+	}
+	m.counts[slot].Add(1)
+}
+
+// retreat withdraws a claim: counter first, summary second (the reverse
+// of claim, preserving the over-approximation invariant).
+func (m *mechV2) retreat(slot int32) {
+	m.counts[slot].Add(-1)
+	if m.useSummary {
+		m.summary[slot>>6].Add(-1)
+	}
+}
+
+// conflicts reports whether any conflicting slot has a holder. The
+// caller must already have claimed its own slot (the self-slot
+// threshold accounts for that). Cold words — summary zero, or just the
+// caller's own claim in the caller's word — are skipped with a single
+// load; hot words fall back to the exact per-slot scan.
+func (m *mechV2) conflicts(c *maskInfo) bool {
+	if !m.useSummary {
+		// Exact scan over the flat slot list: for the few conflicting
+		// slots of a summary-less mechanism this is cheaper than
+		// iterating the bitset words.
+		for _, r := range c.refs {
+			if m.counts[r.slot].Load() > r.threshold {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range c.words {
+		wm := &c.words[i]
+		s := m.summary[wm.w].Load()
+		if wm.w == c.selfWord {
+			if s <= 1 {
+				continue // only our own claim lives in this word
+			}
+		} else if s == 0 {
+			continue
+		}
+		bs := wm.bits
+		base := wm.w << 6
+		for bs != 0 {
+			slot := base + int32(bits.TrailingZeros64(bs))
+			bs &= bs - 1
+			var threshold int32
+			if slot == c.selfSlot {
+				threshold = 1
+			}
+			if m.counts[slot].Load() > threshold {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (m *mechV2) tryAcquire(c *maskInfo) bool {
+	// The summary-less flavor is written out flat (claim, exact scan,
+	// retreat) rather than through claim/conflicts/retreat: the exact
+	// scan then inlines here, keeping the partitioned fast path at v1's
+	// instruction count (one call from acquire, no further calls).
+	if !m.useSummary {
+		m.counts[c.selfSlot].Add(1)
+		for _, r := range c.refs {
+			if m.counts[r.slot].Load() > r.threshold {
+				m.counts[c.selfSlot].Add(-1)
+				// Our transient claim may have made a concurrent scanner
+				// back off and sleep; its mask covers our slot, so a
+				// targeted wake suffices.
+				m.wake(c.selfSlot)
+				return false
+			}
+		}
+		return true
+	}
+	m.claim(c.selfSlot)
+	if !m.conflicts(c) {
+		return true
+	}
+	m.retreat(c.selfSlot)
+	m.wake(c.selfSlot)
+	return false
+}
+
+// acquireContended continues an acquisition whose first tryAcquire
+// failed: bounded adaptive retries, then the blocking slow path. The
+// first attempt happens in Semantic.Acquire before the adaptive bound
+// is even loaded, so the uncontended path pays no extra atomic load.
+func (m *mechV2) acquireContended(c *maskInfo) {
+	bound := m.spin.Load()
+	for attempt := int32(1); attempt < bound; attempt++ {
+		if m.tryAcquire(c) {
+			m.fastPath.Add(1)
+			if bound < maxSpin {
+				// Retrying paid off; spend more retries next time.
+				m.spin.Store(bound + 1)
+			}
+			return
+		}
+	}
+	if bound > minSpin {
+		// Conflicts persisted through every retry; fall through to the
+		// slow path sooner next time.
+		m.spin.Store(bound - 1)
+	}
+	m.slowAcquire(c)
+}
+
+// slowAcquire serializes claim-and-scan through the internal lock and
+// sleeps on the waiter's own channel while conflicts persist. The waiter
+// is registered before its first scan under mu and stays registered
+// until it acquires, so a releaser that decrements after a failed scan
+// is guaranteed to find it in the registry.
+func (m *mechV2) slowAcquire(c *maskInfo) {
+	m.slow.Add(1)
+	w := getWaiter(c.words)
+	m.mu.Lock()
+	m.registerLocked(w)
+	for {
+		m.claim(c.selfSlot)
+		if !m.conflicts(c) {
+			m.deregisterLocked(w)
+			m.mu.Unlock()
+			putWaiter(w)
+			return
+		}
+		m.retreat(c.selfSlot)
+		// Unlike tryAcquire's retreat, no signal is needed here: every
+		// slow-path scan runs under mu, so our transient claim was
+		// invisible to other slow scanners, and a fast-path scanner it
+		// bounced re-scans under mu on its own way into slowAcquire.
+		// (Signalling here would also let two same-slot waiters wake each
+		// other in a storm that starves the holder.)
+		m.waits.Add(1)
+		m.mu.Unlock()
+		<-w.ch
+		m.mu.Lock()
+	}
+}
+
+// wake signals the waiters whose conflict mask covers slot. The
+// lock-free waitMask load keeps the no-waiter case (the common one) to a
+// single atomic read; it is split from the locked path below so this
+// check inlines into Release, making an uncontended release call-free.
+func (m *mechV2) wake(slot int32) {
+	if m.waitMask[slot>>6].Load()&(1<<(uint(slot)&63)) != 0 {
+		m.wakeSlow(slot)
+	}
+}
+
+func (m *mechV2) wakeSlow(slot int32) {
+	m.mu.Lock()
+	m.signalLocked(slot)
+	m.mu.Unlock()
+}
+
+// signalLocked sends a wake token to every registered waiter whose mask
+// covers slot. Callers hold mu.
+func (m *mechV2) signalLocked(slot int32) {
+	w, bit := slot>>6, uint64(1)<<(uint(slot)&63)
+	for _, wt := range m.waiters {
+		for i := range wt.mask {
+			if wt.mask[i].w == w && wt.mask[i].bits&bit != 0 {
+				select {
+				case wt.ch <- struct{}{}:
+				default: // token already pending; one is enough
+				}
+				break
+			}
+		}
+	}
+}
+
+// registerLocked adds w to the registry and publishes its mask bits.
+// Callers hold mu.
+func (m *mechV2) registerLocked(w *waiterV2) {
+	m.waiters = append(m.waiters, w)
+	for i := range w.mask {
+		wm := &w.mask[i]
+		m.waitMask[wm.w].Store(m.waitMask[wm.w].Load() | wm.bits)
+	}
+}
+
+// deregisterLocked removes w and recomputes waitMask from the remaining
+// waiters. Each word is recomputed into a local and written with one
+// Store — never zeroed first — so a concurrent lock-free reader can
+// observe a stale-high mask (a harmless extra mu acquisition) but never
+// a transiently-cleared bit of a still-registered waiter (which would be
+// a lost wakeup). Callers hold mu.
+func (m *mechV2) deregisterLocked(w *waiterV2) {
+	for i, x := range m.waiters {
+		if x == w {
+			last := len(m.waiters) - 1
+			m.waiters[i] = m.waiters[last]
+			m.waiters[last] = nil
+			m.waiters = m.waiters[:last]
+			break
+		}
+	}
+	for wd := range m.waitMask {
+		var bits uint64
+		for _, wt := range m.waiters {
+			for i := range wt.mask {
+				if int(wt.mask[i].w) == wd {
+					bits |= wt.mask[i].bits
+					break
+				}
+			}
+		}
+		m.waitMask[wd].Store(bits)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Lock mechanism v1 (ablation A5)
+// ---------------------------------------------------------------------
+
+// mechanism is the original lock mechanism (Fig 20 as first built): an
+// unpadded atomic counter per locking mode plus an internal lock whose
+// condition variable broadcasts to every waiter on release. The
+// acquisition protocol is increment-then-scan (Dekker style): a thread
+// first makes its own claim visible, then scans the conflicting
+// counters; under sequential consistency two conflicting acquirers
+// cannot both miss each other, so at most the false-conflict case (both
+// back off and retry serialized by the internal lock) occurs. Kept
+// verbatim behind Semantic.DisableMechV2 so ablation A5 can quantify
+// what the v2 layout, summary scan, and targeted wakeups buy.
 type mechanism struct {
 	mu      sync.Mutex
 	cond    *sync.Cond

@@ -14,7 +14,8 @@ import (
 // A Txn is used by one goroutine at a time and may be Reset and reused.
 type Txn struct {
 	held       []heldLock
-	unlockedAt int // count of releases performed; >0 bars further locking
+	heldIdx    map[*Semantic]struct{} // membership index; built past holdsIndexThreshold
+	unlockedAt int                    // count of releases performed; >0 bars further locking
 	checked    bool
 
 	// order-tracking for the checked OS2PL assertion
@@ -45,11 +46,23 @@ func (t *Txn) Reset() {
 	}
 	t.unlockedAt = 0
 	t.haveLast = false
+	t.heldIdx = nil
 }
+
+// holdsIndexThreshold is the held-lock count past which Txn switches its
+// LOCAL_SET membership test from the linear scan (cache-friendly, no
+// allocation — wins for the typical handful of instances) to a map
+// index. Without the index, lock-heavy transactions pay O(held²) in
+// accumulated Holds scans, since Lock calls Holds on every acquisition.
+const holdsIndexThreshold = 16
 
 // Holds reports whether the transaction already holds a lock on the
 // instance (the LOCAL_SET membership test of the LV macro, Fig 5).
 func (t *Txn) Holds(s *Semantic) bool {
+	if t.heldIdx != nil {
+		_, ok := t.heldIdx[s]
+		return ok
+	}
 	for i := range t.held {
 		if t.held[i].sem == s {
 			return true
@@ -80,6 +93,14 @@ func (t *Txn) Lock(s *Semantic, m ModeID, rank int) {
 	}
 	s.Acquire(m)
 	t.held = append(t.held, heldLock{sem: s, mode: m, rank: rank})
+	if t.heldIdx != nil {
+		t.heldIdx[s] = struct{}{}
+	} else if len(t.held) > holdsIndexThreshold {
+		t.heldIdx = make(map[*Semantic]struct{}, 2*len(t.held))
+		for i := range t.held {
+			t.heldIdx[t.held[i].sem] = struct{}{}
+		}
+	}
 	t.lastRank, t.lastID, t.haveLast = rank, s.id, true
 }
 
@@ -129,6 +150,7 @@ func (t *Txn) UnlockInstance(s *Semantic) {
 		if t.held[i].sem == s {
 			s.Release(t.held[i].mode)
 			t.held = append(t.held[:i], t.held[i+1:]...)
+			delete(t.heldIdx, s)
 			t.unlockedAt++
 			return
 		}
@@ -144,6 +166,7 @@ func (t *Txn) UnlockAll() {
 		t.unlockedAt++
 	}
 	t.held = t.held[:0]
+	t.heldIdx = nil
 }
 
 // HeldCount returns how many instance locks the transaction holds.

@@ -128,8 +128,9 @@ type ours struct {
 	eden, longterm   *adt.HashMap
 	edenSem, longSem *core.Semantic
 	limit            int
-	getEden, getLong func(...core.Value) core.ModeID
-	putEden, putLong func(...core.Value) core.ModeID
+	getEden, getLong func(core.Value) core.ModeID
+	putEden          func(core.Value, core.Value) core.ModeID
+	putLong          func(core.Value) core.ModeID
 }
 
 func newOurs(limit int, opt plan.Options) *ours {
@@ -137,10 +138,10 @@ func newOurs(limit int, opt plan.Options) *ours {
 	o := &ours{eden: adt.NewHashMap(), longterm: adt.NewHashMap(), limit: limit}
 	o.edenSem = core.NewSemantic(p.Table("Map$eden"))
 	o.longSem = core.NewSemantic(p.Table("Map$longterm"))
-	o.getEden = p.Ref(0, "eden").Binder("k")
-	o.getLong = p.Ref(0, "longterm").Binder("k")
-	o.putEden = p.Ref(1, "eden").Binder("k", "v")
-	o.putLong = p.Ref(1, "longterm").Binder("eden")
+	o.getEden = p.Ref(0, "eden").Binder1("k")
+	o.getLong = p.Ref(0, "longterm").Binder1("k")
+	o.putEden = p.Ref(1, "eden").Binder2("k", "v")
+	o.putLong = p.Ref(1, "longterm").Binder1("eden")
 	return o
 }
 

@@ -137,12 +137,12 @@ type ours struct {
 	// Mode selectors bound to each call site's natural argument order
 	// (core.SetRef.Binder), so the (s,d)/(d,s) positions cannot be
 	// confused with the sets' canonical variable order.
-	findSucc func(...core.Value) core.ModeID // findSuccessors: succs {get(n)}
-	findPred func(...core.Value) core.ModeID // findPredecessors: preds {get(n)}
-	insSucc  func(...core.Value) core.ModeID // insertEdge: succs {put(s,d)}
-	insPred  func(...core.Value) core.ModeID // insertEdge: preds {put(d,s)}
-	remSucc  func(...core.Value) core.ModeID // removeEdge: succs {remove(s,d)}
-	remPred  func(...core.Value) core.ModeID // removeEdge: preds {remove(d,s)}
+	findSucc func(core.Value) core.ModeID             // findSuccessors: succs {get(n)}
+	findPred func(core.Value) core.ModeID             // findPredecessors: preds {get(n)}
+	insSucc  func(core.Value, core.Value) core.ModeID // insertEdge: succs {put(s,d)}
+	insPred  func(core.Value, core.Value) core.ModeID // insertEdge: preds {put(d,s)}
+	remSucc  func(core.Value, core.Value) core.ModeID // removeEdge: succs {remove(s,d)}
+	remPred  func(core.Value, core.Value) core.ModeID // removeEdge: preds {remove(d,s)}
 }
 
 func newOurs(opt plan.Options) *ours {
@@ -153,12 +153,12 @@ func newOurs(opt plan.Options) *ours {
 	o := &ours{succs: adt.NewMultimap(), preds: adt.NewMultimap()}
 	o.succsSem = core.NewSemantic(p.Table("Multimap$succs"))
 	o.predsSem = core.NewSemantic(p.Table("Multimap$preds"))
-	o.findSucc = p.Ref(0, "succs").Binder("n")
-	o.findPred = p.Ref(1, "preds").Binder("n")
-	o.insSucc = p.Ref(2, "succs").Binder("s", "d")
-	o.insPred = p.Ref(2, "preds").Binder("d", "s")
-	o.remSucc = p.Ref(3, "succs").Binder("s", "d")
-	o.remPred = p.Ref(3, "preds").Binder("d", "s")
+	o.findSucc = p.Ref(0, "succs").Binder1("n")
+	o.findPred = p.Ref(1, "preds").Binder1("n")
+	o.insSucc = p.Ref(2, "succs").Binder2("s", "d")
+	o.insPred = p.Ref(2, "preds").Binder2("d", "s")
+	o.remSucc = p.Ref(3, "succs").Binder2("s", "d")
+	o.remPred = p.Ref(3, "preds").Binder2("d", "s")
 	return o
 }
 

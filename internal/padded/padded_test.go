@@ -1,0 +1,46 @@
+package padded
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The whole point of the package is the layout; assert it.
+func TestLayout(t *testing.T) {
+	if s := unsafe.Sizeof(Int32{}); s != CacheLineSize {
+		t.Errorf("Int32 size = %d, want %d", s, CacheLineSize)
+	}
+	if s := unsafe.Sizeof(Uint64{}); s != CacheLineSize {
+		t.Errorf("Uint64 size = %d, want %d", s, CacheLineSize)
+	}
+	// Slice elements must land in distinct cache lines.
+	xs := make([]Int32, 4)
+	for i := 1; i < len(xs); i++ {
+		d := uintptr(unsafe.Pointer(&xs[i])) - uintptr(unsafe.Pointer(&xs[i-1]))
+		if d != CacheLineSize {
+			t.Errorf("adjacent Int32 elements %d bytes apart, want %d", d, CacheLineSize)
+		}
+	}
+}
+
+func TestOps(t *testing.T) {
+	var i Int32
+	if i.Add(5) != 5 || i.Load() != 5 {
+		t.Error("Int32 Add/Load")
+	}
+	if !i.CompareAndSwap(5, 7) || i.Load() != 7 {
+		t.Error("Int32 CompareAndSwap")
+	}
+	i.Store(1)
+	if i.Load() != 1 {
+		t.Error("Int32 Store")
+	}
+	var u Uint64
+	if u.Add(3) != 3 || u.Load() != 3 {
+		t.Error("Uint64 Add/Load")
+	}
+	u.Store(9)
+	if u.Load() != 9 {
+		t.Error("Uint64 Store")
+	}
+}
