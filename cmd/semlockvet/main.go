@@ -1,0 +1,35 @@
+// Command semlockvet runs the repository's lint suite (internal/lint)
+// over the module: paddedcopy, txndiscipline, modemask, unlockpath.
+//
+// Usage:
+//
+//	semlockvet [packages]
+//
+// Package patterns default to ./... and are resolved by `go list` from
+// the enclosing module root. Exits 1 if any analyzer reports a finding.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.All())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "semlockvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	fmt.Printf("semlockvet: %d packages clean\n", len(pkgs))
+}

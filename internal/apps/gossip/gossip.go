@@ -26,6 +26,8 @@ import (
 	"repro/internal/modules/plan"
 )
 
+//semlockvet:file-ignore txndiscipline -- this file transcribes the synthesized plans by hand; it drives the raw mechanism on purpose
+
 // Conn is an in-process client connection: the I/O sink of the router.
 type Conn struct {
 	Member   string

@@ -26,6 +26,8 @@ import (
 	"repro/internal/modules/plan"
 )
 
+//semlockvet:file-ignore txndiscipline -- this file transcribes the synthesized plans by hand; it drives the raw mechanism on purpose
+
 // Config is the workload configuration (STAMP's -a -l -n -s).
 type Config struct {
 	Attacks   int   // percentage of flows carrying an attack signature

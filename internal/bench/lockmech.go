@@ -13,6 +13,8 @@ import (
 	"repro/internal/core"
 )
 
+//semlockvet:file-ignore txndiscipline -- this harness benchmarks the bare lock mechanism, below the Txn layer
+
 // LockmechBench is the lock-mechanism microbenchmark behind
 // `benchall -exp lockmech`: it measures ns per acquire/release cycle of
 // the v2 mechanism against the v1 mechanism (ablation A5,

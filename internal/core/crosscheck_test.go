@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/adtspecs"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/papersec"
+	"repro/internal/synth"
+)
+
+// TestCheckedAcquisitionOrderMatchesVerifier cross-checks the runtime
+// against the static certificate: internal/verify proves (ordering
+// obligation) that every path acquires locks in strictly increasing
+// class-rank order, with an LV2 group as one dynamically id-ordered
+// event. Here concurrent checked executions of the synthesized Fig 7
+// section record their actual acquisition logs, and each log must be
+// exactly a realization of that prediction — ranks strictly increasing
+// across events, ids strictly increasing inside an equal-rank group,
+// every rank and group width drawn from the section's lock statements.
+// Run under -race this also exercises the lock mechanism itself.
+func TestCheckedAcquisitionOrderMatchesVerifier(t *testing.T) {
+	seeder := &ir.Atomic{
+		Name: "seed",
+		Vars: []ir.Param{
+			{Name: "m", Type: "Map", IsADT: true, NonNull: true},
+			{Name: "s", Type: "Set", IsADT: true, NonNull: true},
+			{Name: "k", Type: "int"},
+		},
+		Body: ir.Block{
+			&ir.Call{Recv: "m", Method: "put", Args: []ir.Expr{ir.VarRef{Name: "k"}, ir.VarRef{Name: "s"}}},
+		},
+	}
+	res, err := synth.Synthesize(
+		&synth.Program{Sections: []*ir.Atomic{papersec.Fig7(), seeder}, Specs: adtspecs.All()},
+		synth.DefaultOptions(), // Verify: true — synthesis fails unless the certificate holds
+	)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if vs := synth.VerifyResult(res); len(vs) > 0 {
+		t.Fatalf("certificate does not hold: %v", vs[0])
+	}
+
+	// Static prediction from the verified section: the event rank of
+	// every lock statement, and the group width (an LV2 may contribute
+	// up to len(Vars) acquisitions at its rank).
+	maxAtRank := map[int]int{}
+	var collect func(b ir.Block)
+	collect = func(b ir.Block) {
+		for _, s := range b {
+			switch x := s.(type) {
+			case *ir.LV:
+				k, _ := res.Classes.ClassOfVar(0, x.Var)
+				if n := maxAtRank[res.Rank(k)]; n < 1 {
+					maxAtRank[res.Rank(k)] = 1
+				}
+			case *ir.LV2:
+				k, _ := res.Classes.ClassOfVar(0, x.Vars[0])
+				if n := maxAtRank[res.Rank(k)]; n < len(x.Vars) {
+					maxAtRank[res.Rank(k)] = len(x.Vars)
+				}
+			case *ir.If:
+				collect(x.Then)
+				collect(x.Else)
+			case *ir.While:
+				collect(x.Body)
+			}
+		}
+	}
+	collect(res.Sections[0].Body)
+	if len(maxAtRank) < 2 {
+		t.Fatalf("fig7 should lock several classes, got rank map %v", maxAtRank)
+	}
+
+	e := interp.NewExecutor(res, true)
+	e.EvalOpaque = func(text string, env map[string]core.Value) core.Value {
+		if text == "s1!=null && s2!=null" {
+			return env["s1"] != nil && env["s2"] != nil
+		}
+		t.Fatalf("unexpected opaque condition %q", text)
+		return nil
+	}
+	m := e.NewInstance("Map", "Map")
+	q := e.NewInstance("Queue", "Queue")
+	const keys = 4
+	for k := 0; k < keys; k++ {
+		env := map[string]core.Value{"m": m, "s": e.NewInstance("Set", "Set"), "k": k}
+		if err := e.Run(1, env); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+	}
+
+	const goroutines, iters = 4, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			tx := core.NewCheckedTxn()
+			for i := 0; i < iters; i++ {
+				tx.Reset()
+				if n := len(tx.Acquisitions()); n != 0 {
+					errs <- errorf("Reset kept %d acquisitions", n)
+					return
+				}
+				env := map[string]core.Value{
+					"m": m, "q": q, "s1": nil, "s2": nil,
+					"key1": rng.Intn(keys), "key2": rng.Intn(keys),
+				}
+				if err := e.RunWithTxn(0, env, tx, nil); err != nil {
+					errs <- err
+					return
+				}
+				if err := checkLog(tx.Acquisitions(), maxAtRank); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// checkLog asserts one transaction's acquisition log realizes the
+// verifier's predicted order.
+func checkLog(log []core.Acquisition, maxAtRank map[int]int) error {
+	for i := 0; i < len(log); {
+		j := i
+		for j < len(log) && log[j].Rank == log[i].Rank {
+			j++
+		}
+		width, known := maxAtRank[log[i].Rank]
+		if !known {
+			return errorf("acquisition at rank %d matches no lock statement", log[i].Rank)
+		}
+		if j-i > width {
+			return errorf("%d acquisitions at rank %d, statically at most %d", j-i, log[i].Rank, width)
+		}
+		for k := i + 1; k < j; k++ {
+			if log[k].ID <= log[k-1].ID {
+				return errorf("ids not increasing within rank %d group: %v", log[i].Rank, log)
+			}
+		}
+		if j < len(log) && log[j].Rank < log[i].Rank {
+			return errorf("ranks not increasing: %v", log)
+		}
+		i = j
+	}
+	return nil
+}
+
+func errorf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -22,6 +22,18 @@ type Txn struct {
 	lastRank int
 	lastID   uint64
 	haveLast bool
+
+	// acquisition log, recorded by checked transactions so harnesses can
+	// cross-check the runtime order against the static verifier.
+	log []Acquisition
+}
+
+// Acquisition is one recorded lock acquisition of a checked transaction:
+// the instance's class rank, its unique id, and the mode taken.
+type Acquisition struct {
+	Rank int
+	ID   uint64
+	Mode ModeID
 }
 
 type heldLock struct {
@@ -47,6 +59,7 @@ func (t *Txn) Reset() {
 	t.unlockedAt = 0
 	t.haveLast = false
 	t.heldIdx = nil
+	t.log = t.log[:0]
 }
 
 // holdsIndexThreshold is the held-lock count past which Txn switches its
@@ -102,6 +115,9 @@ func (t *Txn) Lock(s *Semantic, m ModeID, rank int) {
 		}
 	}
 	t.lastRank, t.lastID, t.haveLast = rank, s.id, true
+	if t.checked {
+		t.log = append(t.log, Acquisition{Rank: rank, ID: s.id, Mode: m})
+	}
 }
 
 // LockOrdered acquires the same mode on several same-rank instances in
@@ -197,3 +213,9 @@ func (t *Txn) Assert(s *Semantic, op Op) {
 
 // Checked reports whether protocol checking is enabled.
 func (t *Txn) Checked() bool { return t.checked }
+
+// Acquisitions returns the lock acquisitions the transaction performed
+// since it was created or Reset, in order. Only checked transactions
+// record acquisitions; for unchecked transactions the result is nil.
+// The returned slice is valid until the next Reset.
+func (t *Txn) Acquisitions() []Acquisition { return t.log }

@@ -95,14 +95,22 @@ func (e *Executor) Run(si int, env map[string]core.Value) error {
 }
 
 // RunWithHook is Run with an operation observer (nil behaves like Run).
-func (e *Executor) RunWithHook(si int, env map[string]core.Value, hook OpHook) (err error) {
-	sec := e.Res.Sections[si]
+func (e *Executor) RunWithHook(si int, env map[string]core.Value, hook OpHook) error {
 	var tx *core.Txn
 	if e.Checked {
 		tx = core.NewCheckedTxn()
 	} else {
 		tx = core.NewTxn()
 	}
+	return e.RunWithTxn(si, env, tx, hook)
+}
+
+// RunWithTxn is RunWithHook with a caller-supplied transaction, so
+// harnesses can inspect the transaction afterwards (e.g. the recorded
+// acquisition order of a checked transaction). The transaction must be
+// fresh or Reset; its locks are released before returning.
+func (e *Executor) RunWithTxn(si int, env map[string]core.Value, tx *core.Txn, hook OpHook) (err error) {
+	sec := e.Res.Sections[si]
 	// Bind wrapper globals.
 	for key, inst := range e.wrappers {
 		gv := e.Res.Classes.ByKey[key].GlobalVar

@@ -1,0 +1,99 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StmtPos locates a statement inside an atomic section as a structural
+// path from the section body: each step is a block index, qualified by
+// the arm taken at a branching statement ("then", "else", "body"). It is
+// the positional context shared by Validate diagnostics and the
+// internal/verify counterexamples, so both print locations identically.
+type StmtPos struct {
+	// Section is the section name.
+	Section string
+	// Path is the structural path, e.g. "body[1].then[0]".
+	Path string
+}
+
+// String renders the position as "section: path".
+func (p StmtPos) String() string {
+	if p.Path == "" {
+		return p.Section
+	}
+	return p.Section + ": " + p.Path
+}
+
+// PosOf returns the position of a statement in the section, searching
+// the block tree by statement identity (pointer equality). The second
+// result is false when the statement is not part of the section.
+func (a *Atomic) PosOf(target Stmt) (StmtPos, bool) {
+	if path, ok := findPath(a.Body, target, "body"); ok {
+		return StmtPos{Section: a.Name, Path: path}, true
+	}
+	return StmtPos{Section: a.Name}, false
+}
+
+func findPath(b Block, target Stmt, prefix string) (string, bool) {
+	for i, s := range b {
+		here := fmt.Sprintf("%s[%d]", prefix, i)
+		if s == target {
+			return here, true
+		}
+		switch x := s.(type) {
+		case *If:
+			if p, ok := findPath(x.Then, target, here+".then"); ok {
+				return p, true
+			}
+			if p, ok := findPath(x.Else, target, here+".else"); ok {
+				return p, true
+			}
+		case *While:
+			if p, ok := findPath(x.Body, target, here+".body"); ok {
+				return p, true
+			}
+		}
+	}
+	return "", false
+}
+
+// StmtText renders a statement as a single line in the paper's notation
+// (nested bodies of branching statements are elided to "..."), for use
+// in diagnostics and counterexample traces.
+func StmtText(s Stmt) string {
+	switch x := s.(type) {
+	case *If:
+		return "if(" + condString(x.Cond) + ") {...}"
+	case *While:
+		return "while(" + condString(x.Cond) + ") {...}"
+	case nil:
+		return "<nil>"
+	default:
+		var b strings.Builder
+		printStmt(&b, s, 0)
+		return strings.TrimSuffix(strings.TrimSpace(b.String()), ";")
+	}
+}
+
+// Trace is an execution path through one section: a sequence of
+// statements from the section entry to a point of interest. The
+// verifier's counterexamples are Traces.
+type Trace struct {
+	Sec   *Atomic
+	Stmts []Stmt
+}
+
+// String renders the trace one statement per line, each with its
+// structural position, e.g.
+//
+//	get: body[0]: LV(map)
+//	get: body[1]: v=map.get(k)
+func (tr Trace) String() string {
+	var b strings.Builder
+	for _, s := range tr.Stmts {
+		pos, _ := tr.Sec.PosOf(s)
+		fmt.Fprintf(&b, "%s: %s\n", pos, StmtText(s))
+	}
+	return b.String()
+}

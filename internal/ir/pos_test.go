@@ -1,0 +1,77 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPosOfAndTrace(t *testing.T) {
+	get := &Call{Recv: "m", Method: "get", Args: []Expr{VarRef{Name: "k"}}, Assign: "v"}
+	add := &Call{Recv: "s", Method: "add", Args: []Expr{VarRef{Name: "v"}}}
+	inner := &Assign{Lhs: "s", NewType: "Set"}
+	cond := &If{Cond: IsNull{Var: "v"}, Then: Block{inner, add}}
+	sec := &Atomic{
+		Name: "demo",
+		Vars: []Param{
+			{Name: "m", Type: "Map", IsADT: true},
+			{Name: "s", Type: "Set", IsADT: true},
+			{Name: "k"}, {Name: "v"},
+		},
+		Body: Block{get, cond},
+	}
+
+	for _, tc := range []struct {
+		stmt Stmt
+		want string
+	}{
+		{get, "demo: body[0]"},
+		{cond, "demo: body[1]"},
+		{inner, "demo: body[1].then[0]"},
+		{add, "demo: body[1].then[1]"},
+	} {
+		pos, ok := sec.PosOf(tc.stmt)
+		if !ok {
+			t.Fatalf("PosOf(%s): not found", StmtText(tc.stmt))
+		}
+		if pos.String() != tc.want {
+			t.Errorf("PosOf(%s) = %q, want %q", StmtText(tc.stmt), pos.String(), tc.want)
+		}
+	}
+	if _, ok := sec.PosOf(&Call{Recv: "m", Method: "get"}); ok {
+		t.Errorf("PosOf found a statement that is not in the section")
+	}
+
+	tr := Trace{Sec: sec, Stmts: []Stmt{get, cond, add}}
+	got := tr.String()
+	for _, line := range []string{
+		"demo: body[0]: v=m.get(k)",
+		"demo: body[1]: if(v==null) {...}",
+		"demo: body[1].then[1]: s.add(v)",
+	} {
+		if !strings.Contains(got, line) {
+			t.Errorf("trace lacks %q:\n%s", line, got)
+		}
+	}
+}
+
+// TestValidatePositions pins the positional form of Validate
+// diagnostics to the same "section: path" rendering the verifier's
+// counterexamples use.
+func TestValidatePositions(t *testing.T) {
+	bad := &Call{Recv: "ghost", Method: "get"}
+	sec := &Atomic{
+		Name: "demo",
+		Vars: []Param{{Name: "m", Type: "Map", IsADT: true}, {Name: "c"}},
+		Body: Block{
+			&If{Cond: OpaqueCond{Text: "c", Reads: []string{"c"}}, Then: Block{bad}},
+		},
+	}
+	errs := sec.Validate()
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors, want 1: %v", len(errs), errs)
+	}
+	want := "demo: body[0].then[0]: "
+	if !strings.HasPrefix(errs[0].Error(), want) {
+		t.Errorf("error %q does not start with position %q", errs[0].Error(), want)
+	}
+}

@@ -15,6 +15,10 @@ import (
 //     allocation assigned to an undeclared variable is flagged;
 //   - synthetic locking statements present in the input (they are the
 //     synthesizer's output, not its input).
+//
+// Diagnostics carry the statement's structural position (see StmtPos),
+// in the same "section: path" form the internal/verify counterexamples
+// use.
 func (a *Atomic) Validate() []error {
 	var errs []error
 	seen := map[string]bool{}
@@ -29,28 +33,32 @@ func (a *Atomic) Validate() []error {
 		seen[p.Name] = true
 	}
 
+	at := func(s Stmt) string {
+		pos, _ := a.PosOf(s)
+		return pos.String()
+	}
 	var walk func(b Block)
 	walk = func(b Block) {
 		for _, s := range b {
 			switch x := s.(type) {
 			case *Call:
 				if x.Recv == "" {
-					errs = append(errs, fmt.Errorf("%s: call %s with empty receiver", a.Name, x.Method))
+					errs = append(errs, fmt.Errorf("%s: call %s with empty receiver", at(s), x.Method))
 					continue
 				}
 				p, ok := a.Var(x.Recv)
 				if !ok {
 					errs = append(errs, fmt.Errorf("%s: receiver %q of %s.%s is not declared",
-						a.Name, x.Recv, x.Recv, x.Method))
+						at(s), x.Recv, x.Recv, x.Method))
 				} else if !p.IsADT {
 					errs = append(errs, fmt.Errorf("%s: receiver %q of method %s is not an ADT pointer",
-						a.Name, x.Recv, x.Method))
+						at(s), x.Recv, x.Method))
 				}
 			case *Assign:
 				if x.NewType != "" {
 					if p, ok := a.Var(x.Lhs); !ok || !p.IsADT {
 						errs = append(errs, fmt.Errorf("%s: allocation %q = new %s needs an ADT variable declaration",
-							a.Name, x.Lhs, x.NewType))
+							at(s), x.Lhs, x.NewType))
 					}
 				}
 			case *If:
@@ -59,7 +67,7 @@ func (a *Atomic) Validate() []error {
 			case *While:
 				walk(x.Body)
 			case *Prologue, *Epilogue, *LV, *LV2, *UnlockAllVar:
-				errs = append(errs, fmt.Errorf("%s: synthetic statement %T in synthesis input", a.Name, s))
+				errs = append(errs, fmt.Errorf("%s: synthetic statement %T in synthesis input", at(s), s))
 			}
 		}
 	}

@@ -1,0 +1,340 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---------------------------------------------------------------------
+// paddedcopy
+// ---------------------------------------------------------------------
+
+// PaddedCopy flags copies of internal/padded counter types. The padded
+// types exist to pin one hot atomic counter per cache line; a by-value
+// copy duplicates the counter (updates split between the copies) and is
+// never what the lock mechanism means. They must move by pointer or
+// live in-place inside arrays.
+var PaddedCopy = &Analyzer{
+	Name: "paddedcopy",
+	Doc:  "flags internal/padded counters copied by value",
+	Run:  runPaddedCopy,
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func paddedTypeName(t types.Type) (string, bool) {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/padded") {
+		return "", false
+	}
+	if _, isStruct := n.Underlying().(*types.Struct); !isStruct {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func runPaddedCopy(p *Pass) {
+	if strings.HasSuffix(p.PkgPath, "internal/padded") {
+		return // the package's own internals are exempt
+	}
+	checkField := func(f *ast.Field, what string) {
+		if name, ok := paddedTypeName(p.TypeOf(f.Type)); ok {
+			p.Reportf(f.Pos(), "padded.%s %s by value; use *padded.%s", name, what, name)
+		}
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncType:
+				if x.Params != nil {
+					for _, f := range x.Params.List {
+						checkField(f, "passed")
+					}
+				}
+				if x.Results != nil {
+					for _, f := range x.Results.List {
+						checkField(f, "returned")
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					if _, isLit := rhs.(*ast.CompositeLit); isLit {
+						continue // zero-value initialization, not a copy
+					}
+					if _, isCall := rhs.(*ast.CallExpr); isCall {
+						continue // the offending result type is flagged at its signature
+					}
+					if len(x.Lhs) == len(x.Rhs) && isBlank(x.Lhs[i]) {
+						continue // discarded, not duplicated
+					}
+					if name, ok := paddedTypeName(p.TypeOf(rhs)); ok {
+						p.Reportf(rhs.Pos(), "assignment copies padded.%s by value", name)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range x.Values {
+					if _, isLit := v.(*ast.CompositeLit); isLit {
+						continue
+					}
+					if _, isCall := v.(*ast.CallExpr); isCall {
+						continue
+					}
+					if i < len(x.Names) && x.Names[i].Name == "_" {
+						continue
+					}
+					if name, ok := paddedTypeName(p.TypeOf(v)); ok {
+						p.Reportf(v.Pos(), "declaration copies padded.%s by value", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					if name, ok := paddedTypeName(p.TypeOf(x.Value)); ok {
+						p.Reportf(x.Value.Pos(), "range copies padded.%s elements by value; index the slice instead", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// txndiscipline
+// ---------------------------------------------------------------------
+
+// TxnDiscipline flags direct calls to the raw lock mechanism —
+// core.Semantic's Acquire, TryAcquire, Release — outside internal/core.
+// Every acquisition in the system must flow through core.Txn, which
+// enforces the LOCAL_SET re-lock elision, the two-phase rule, and the
+// OS2PL rank order; a raw Acquire bypasses all three. (Test files are
+// not loaded by semlockvet, so benchmarks of the bare mechanism remain
+// possible.)
+var TxnDiscipline = &Analyzer{
+	Name: "txndiscipline",
+	Doc:  "flags raw Semantic lock calls outside internal/core",
+	Run:  runTxnDiscipline,
+}
+
+var rawLockMethods = map[string]bool{"Acquire": true, "TryAcquire": true, "Release": true}
+
+// namedFromCore reports whether t (possibly behind a pointer) is the
+// named core type.
+func namedFromCore(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+func runTxnDiscipline(p *Pass) {
+	if strings.HasSuffix(p.PkgPath, "internal/core") {
+		return // the transaction layer itself drives the mechanism
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !rawLockMethods[sel.Sel.Name] {
+				return true
+			}
+			if namedFromCore(p.TypeOf(sel.X), "Semantic") {
+				p.Reportf(call.Pos(),
+					"raw Semantic.%s outside internal/core; acquire through core.Txn so two-phase and OS2PL order are enforced",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// modemask
+// ---------------------------------------------------------------------
+
+// ModeMask flags mask construction of the form `1 << slot` (an untyped
+// constant shifted by a non-constant count) in a context where the
+// shift adopts type int. The lock mechanism's wait and conflict masks
+// are uint64 words; an int-typed shift truncates slots ≥ 31 on 32-bit
+// builds and invites a sign-bit surprise at slot 63. Write
+// `uint64(1) << (slot & 63)` so the width is explicit.
+var ModeMask = &Analyzer{
+	Name: "modemask",
+	Doc:  "flags untyped-constant shifts that default to int where a 64-bit mask is intended",
+	Run:  runModeMask,
+}
+
+func runModeMask(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || be.Op != token.SHL {
+				return true
+			}
+			xtv, xok := p.Info.Types[be.X]
+			if !xok || xtv.Value == nil {
+				return true // shifted operand is not a constant
+			}
+			if ytv, yok := p.Info.Types[be.Y]; !yok || ytv.Value != nil {
+				return true // constant count: a width, not a runtime mask
+			}
+			tv, ok := p.Info.Types[be]
+			if !ok {
+				return true
+			}
+			basic, ok := tv.Type.(*types.Basic)
+			if !ok || basic.Kind() != types.Int {
+				return true
+			}
+			p.Reportf(be.Pos(),
+				"constant %s shifted by a variable count defaults to int; write uint64(%s) << ... for a 64-bit mask",
+				xtv.Value, xtv.Value)
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// unlockpath
+// ---------------------------------------------------------------------
+
+// UnlockPath checks, in internal/modules, that a function which locks
+// through a core.Txn releases on every return path: either a deferred
+// UnlockAll, or an explicit UnlockAll/UnlockInstance between the lock
+// and each return. The check is syntactic (source order approximates
+// paths), which is exactly right for the module code's straight-line
+// lock/work/unlock shape — and `defer tx.UnlockAll()` is always the
+// recommended fix it suggests.
+var UnlockPath = &Analyzer{
+	Name: "unlockpath",
+	Doc:  "flags Txn locks in internal/modules without UnlockAll on every return path",
+	Run:  runUnlockPath,
+}
+
+func runUnlockPath(p *Pass) {
+	if !strings.Contains(p.PkgPath, "internal/modules") {
+		return
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			p.checkUnlockPaths(fn)
+		}
+	}
+}
+
+func (p *Pass) checkUnlockPaths(fn *ast.FuncDecl) {
+	var firstLock token.Pos = token.NoPos
+	var lockRecv string
+	var unlockPositions []token.Pos
+	deferredUnlock := false
+
+	isTxnCall := func(call *ast.CallExpr, methods map[string]bool) (string, bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !methods[sel.Sel.Name] {
+			return "", false
+		}
+		if !namedFromCore(p.TypeOf(sel.X), "Txn") {
+			return "", false
+		}
+		return exprText(sel.X), true
+	}
+	lockMethods := map[string]bool{"Lock": true, "LockOrdered": true}
+	unlockMethods := map[string]bool{"UnlockAll": true, "UnlockInstance": true}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if _, ok := isTxnCall(x.Call, unlockMethods); ok {
+				deferredUnlock = true
+			}
+			// defer func() { ...; tx.UnlockAll(); ... }()
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if _, ok := isTxnCall(call, unlockMethods); ok {
+							deferredUnlock = true
+						}
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if recv, ok := isTxnCall(x, lockMethods); ok {
+				if firstLock == token.NoPos {
+					firstLock, lockRecv = x.Pos(), recv
+				}
+			}
+			if _, ok := isTxnCall(x, unlockMethods); ok {
+				unlockPositions = append(unlockPositions, x.Pos())
+			}
+		}
+		return true
+	})
+
+	if firstLock == token.NoPos || deferredUnlock {
+		return
+	}
+	unlockBetween := func(lo, hi token.Pos) bool {
+		for _, u := range unlockPositions {
+			if u > lo && u <= hi {
+				return true
+			}
+		}
+		return false
+	}
+	flagged := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // returns inside closures are not this function's paths
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < firstLock {
+			return true
+		}
+		if !unlockBetween(firstLock, ret.Pos()) {
+			p.Reportf(ret.Pos(),
+				"return leaves %s locked: no UnlockAll between the Lock and this return; prefer defer %s.UnlockAll()",
+				lockRecv, lockRecv)
+			flagged = true
+		}
+		return true
+	})
+	// A function with no return statements still needs a release before
+	// falling off the end.
+	if !flagged && !unlockBetween(firstLock, fn.Body.End()) {
+		p.Reportf(firstLock, "%s.Lock without any UnlockAll in %s; prefer defer %s.UnlockAll()",
+			lockRecv, fn.Name.Name, lockRecv)
+	}
+}
+
+// exprText renders a simple receiver expression for diagnostics.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	default:
+		return "txn"
+	}
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Suppression directives. Some code drives the raw lock mechanism on
+// purpose — the internal/modules and internal/apps "ours" types are
+// hand transcriptions of synthesized plans, and internal/bench measures
+// the bare mechanism. Those files opt out per analyzer with
+//
+//	//semlockvet:file-ignore <analyzer> -- <reason>
+//
+// anywhere in the file, or a single finding is silenced with
+//
+//	//semlockvet:ignore <analyzer> -- <reason>
+//
+// trailing the offending line or on the line directly above it. The
+// reason is mandatory: a directive without one is itself reported, so
+// suppressions stay auditable.
+
+const directivePrefix = "semlockvet:"
+
+// suppressions holds the parsed directives of one package.
+type suppressions struct {
+	// file maps filename -> analyzer names ignored for the whole file.
+	file map[string]map[string]bool
+	// line maps filename -> directive line -> analyzer names; a
+	// directive suppresses findings on its own line and the next.
+	line map[string]map[int]map[string]bool
+}
+
+func (s *suppressions) covers(d Diagnostic) bool {
+	if s.file[d.Pos.Filename][d.Analyzer] {
+		return true
+	}
+	lines := s.line[d.Pos.Filename]
+	return lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer]
+}
+
+// parseSuppressions scans a package's comments for directives.
+// Malformed ones are reported through report.
+func parseSuppressions(pkg *Package, report func(d Diagnostic)) *suppressions {
+	s := &suppressions{
+		file: make(map[string]map[string]bool),
+		line: make(map[string]map[int]map[string]bool),
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				verb, rest, _ := strings.Cut(strings.TrimPrefix(text, directivePrefix), " ")
+				spec, reason, hasReason := strings.Cut(rest, "--")
+				name := strings.TrimSpace(spec)
+				malformed := func(why string) {
+					report(Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: "malformed " + directivePrefix + verb + " directive: " + why})
+				}
+				if verb != "ignore" && verb != "file-ignore" {
+					malformed("unknown verb (want ignore or file-ignore)")
+					continue
+				}
+				if name == "" || !hasReason || strings.TrimSpace(reason) == "" {
+					malformed("want //" + directivePrefix + verb + " <analyzer> -- <reason>")
+					continue
+				}
+				if verb == "file-ignore" {
+					m := s.file[pos.Filename]
+					if m == nil {
+						m = make(map[string]bool)
+						s.file[pos.Filename] = m
+					}
+					m[name] = true
+					continue
+				}
+				byLine := s.line[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					s.line[pos.Filename] = byLine
+				}
+				m := byLine[pos.Line]
+				if m == nil {
+					m = make(map[string]bool)
+					byLine[pos.Line] = m
+				}
+				m[name] = true
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+// Package lint is a small go/analysis-style checker for this
+// repository's runtime invariants — the properties the lock mechanism
+// and transaction layer rely on but the compiler cannot enforce. It is
+// built on the standard library only (go/ast, go/parser, go/types), so
+// the module keeps its zero-dependency property; the framework mirrors
+// golang.org/x/tools/go/analysis closely enough that the analyzers could
+// be ported verbatim if the dependency ever becomes available.
+//
+// The analyzers:
+//
+//   - paddedcopy: internal/padded counters must never be copied by
+//     value — a copy duplicates the hot counter and silently splits
+//     updates across two cache lines.
+//   - txndiscipline: the raw lock mechanism (core.Semantic's Acquire /
+//     TryAcquire / Release) must only be driven through core.Txn, which
+//     enforces the two-phase and OS2PL rules; direct calls outside
+//     internal/core bypass the protocol.
+//   - modemask: lock-mode masks are 64-bit; shifting an untyped
+//     constant by a non-constant count in int context silently builds a
+//     31-bit mask on the way to a uint64 word.
+//   - unlockpath: in internal/modules, a function that locks through a
+//     Txn must release on every return path (defer tx.UnlockAll() or an
+//     explicit unlock before each return).
+//
+// Deliberate exceptions — plan transcriptions in internal/modules and
+// internal/apps, and benchmarks of the bare mechanism — carry
+// //semlockvet:ignore or //semlockvet:file-ignore directives with a
+// mandatory reason (see directives.go).
+//
+// cmd/semlockvet is the command-line driver.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check, in the shape of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	PkgPath  string
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All returns the repository's analyzers.
+func All() []*Analyzer {
+	return []*Analyzer{PaddedCopy, TxnDiscipline, ModeMask, UnlockPath}
+}
+
+// Run applies the analyzers to the packages and returns the findings
+// sorted by position. Findings covered by a //semlockvet:ignore or
+// //semlockvet:file-ignore directive (see directives.go) are dropped;
+// malformed directives are themselves reported.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer: a,
+				PkgPath:  pkg.PkgPath,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &raw,
+			})
+		}
+		sup := parseSuppressions(pkg, func(d Diagnostic) { diags = append(diags, d) })
+		for _, d := range raw {
+			if !sup.covers(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,20 @@
+// Fixture for the modemask analyzer.
+package tdata
+
+func intMask(slot int) uint64 {
+	m := 1 << slot // want "constant 1 shifted by a variable count defaults to int"
+	return uint64(m)
+}
+
+func explicitMask(slot int) uint64 {
+	return uint64(1) << (slot & 63) // explicit width: clean
+}
+
+func contextMask(slot int) uint64 {
+	var w uint64 = 1 << slot // shift adopts uint64 from the context: clean
+	return w
+}
+
+func constCount() int {
+	return 1 << 5 // constant count is a width, not a runtime mask: clean
+}

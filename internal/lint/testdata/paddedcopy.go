@@ -1,0 +1,36 @@
+// Fixture for the paddedcopy analyzer. Lines expecting a finding carry
+// a want marker checked by lint_test.go.
+package tdata
+
+import "repro/internal/padded"
+
+type holder struct {
+	hits *padded.Int32 // pointers are fine
+}
+
+func byValueParam(c padded.Int32) {} // want "padded.Int32 passed by value"
+
+func byValueReturn() padded.Uint64 { // want "padded.Uint64 returned by value"
+	var u padded.Uint64
+	return u
+}
+
+func copies(h *holder, all []padded.Int32) {
+	local := *h.hits // want "assignment copies padded.Int32 by value"
+	_ = local
+	var decl = *h.hits // want "declaration copies padded.Int32 by value"
+	_ = decl
+	for _, c := range all { // want "range copies padded.Int32 elements by value"
+		_ = c
+	}
+}
+
+func clean(h *holder, all []padded.Int32) {
+	var zero padded.Int32 // declaring in place is fine
+	_ = zero
+	p := h.hits // copying the pointer is fine
+	_ = p
+	for i := range all { // indexing instead of copying is fine
+		all[i].Add(1)
+	}
+}

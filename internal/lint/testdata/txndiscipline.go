@@ -1,0 +1,39 @@
+// Fixture for the txndiscipline analyzer and for the suppression
+// directives (this fixture is type-checked under a package path that is
+// NOT internal/core, so raw Semantic calls are findings).
+package tdata
+
+import "repro/internal/core"
+
+type locked struct {
+	sem *core.Semantic
+}
+
+func raw(l *locked, m core.ModeID) {
+	l.sem.Acquire(m)          // want "raw Semantic.Acquire outside internal/core"
+	ok := l.sem.TryAcquire(m) // want "raw Semantic.TryAcquire outside internal/core"
+	_ = ok
+	l.sem.Release(m) // want "raw Semantic.Release outside internal/core"
+}
+
+func disciplined(l *locked, m core.ModeID) {
+	tx := core.NewTxn()
+	defer tx.UnlockAll()
+	tx.Lock(l.sem, m, 0) // the Txn layer is the sanctioned entry point
+}
+
+func suppressedInline(l *locked, m core.ModeID) {
+	l.sem.Acquire(m) //semlockvet:ignore txndiscipline -- fixture exercises trailing suppression
+	//semlockvet:ignore txndiscipline -- fixture exercises directive on the preceding line
+	l.sem.Release(m)
+}
+
+// unrelatedAcquire makes sure the analyzer matches on the receiver
+// type, not the method name alone.
+type pool struct{}
+
+func (pool) Acquire(core.ModeID) {}
+
+func falsePositiveGuard(p pool, m core.ModeID) {
+	p.Acquire(m) // not a core.Semantic: no finding
+}

@@ -1,0 +1,57 @@
+// Fixture for the unlockpath analyzer; lint_test.go type-checks it
+// under the package path repro/internal/modules/tdata so the
+// modules-only gate applies.
+package tdata
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+func earlyReturnLeak(tx *core.Txn, sem *core.Semantic, m core.ModeID, fail bool) error {
+	tx.Lock(sem, m, 0)
+	if fail {
+		return errors.New("bail") // want "return leaves tx locked"
+	}
+	tx.UnlockAll()
+	return nil
+}
+
+func neverUnlocks(tx *core.Txn, sem *core.Semantic, m core.ModeID) {
+	tx.Lock(sem, m, 0) // want "tx.Lock without any UnlockAll in neverUnlocks"
+}
+
+func deferredIsClean(tx *core.Txn, sem *core.Semantic, m core.ModeID, fail bool) error {
+	tx.Lock(sem, m, 0)
+	defer tx.UnlockAll()
+	if fail {
+		return errors.New("bail")
+	}
+	return nil
+}
+
+func deferredClosureIsClean(tx *core.Txn, sem *core.Semantic, m core.ModeID) {
+	tx.Lock(sem, m, 0)
+	defer func() {
+		tx.UnlockAll()
+		tx.Reset()
+	}()
+}
+
+func explicitOnEachPath(tx *core.Txn, sem *core.Semantic, m core.ModeID, fail bool) error {
+	tx.LockOrdered(0, m, sem)
+	if fail {
+		tx.UnlockAll()
+		return errors.New("bail")
+	}
+	tx.UnlockAll()
+	return nil
+}
+
+func closureReturnIsNotAPath(tx *core.Txn, sem *core.Semantic, m core.ModeID) func() int {
+	tx.Lock(sem, m, 0)
+	f := func() int { return 1 } // a closure's return does not leave this frame
+	tx.UnlockAll()
+	return f
+}

@@ -24,6 +24,8 @@ import (
 	"repro/internal/modules/plan"
 )
 
+//semlockvet:file-ignore txndiscipline -- this file transcribes the synthesized plans by hand; it drives the raw mechanism on purpose
+
 // ComputeSize is the paper's emulated computation: a 128-byte
 // allocation.
 const ComputeSize = 128

@@ -17,6 +17,8 @@ import (
 	"repro/internal/modules/plan"
 )
 
+//semlockvet:file-ignore txndiscipline -- this file transcribes the synthesized plans by hand; it drives the raw mechanism on purpose
+
 // Module is the benchmark interface.
 type Module interface {
 	FindSuccessors(n int) []core.Value

@@ -75,6 +75,7 @@ func Build(sections []*ir.Atomic, specs map[string]*core.Spec, classOf func(*ir.
 		Phi:                 core.NewPhi(n),
 		MaxModes:            opt.MaxModes,
 		DisablePartitioning: opt.NoPartition,
+		Verify:              true,
 	})
 	if err != nil {
 		return nil, err

@@ -17,7 +17,7 @@ func paperProgram(secs ...*ir.Atomic) *synth.Program {
 
 func synthesizeAt(t *testing.T, p *synth.Program, stage synth.Stage) *synth.Result {
 	t.Helper()
-	res, err := synth.Synthesize(p, synth.Options{StopAfter: stage})
+	res, err := synth.Synthesize(p, synth.Options{StopAfter: stage, Verify: true})
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}

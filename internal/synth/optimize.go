@@ -373,7 +373,10 @@ func walkStmts(b ir.Block, f func(ir.Stmt)) {
 // earlyRelease moves trailing "if(x!=null) x.unlockAll()" statements to
 // the earliest program point at which (Appendix A):
 //
-//	(1) no operation on x's object is reachable;
+//	(1) no operation on x's object is reachable — under the pointer
+//	    abstraction "x's object" means any call whose receiver is in
+//	    x's equivalence class, since a same-class variable may alias x
+//	    and unlockAll releases the shared instance;
 //	(2) no locking operation is reachable (two-phase rule);
 //	(3) the point post-dominates every lock of x (so the object is
 //	    always released; paths bypassing the point never locked x).
@@ -382,7 +385,11 @@ func walkStmts(b ir.Block, f func(ir.Stmt)) {
 // from the new point — otherwise the unlock already sits at an
 // equivalent position and stays at the section end (this keeps map and
 // set at the end in Fig 28 while queue moves inside the branch).
-func earlyRelease(sec *ir.Atomic) {
+func earlyRelease(si int, sec *ir.Atomic, cs *Classes) {
+	classOf := func(v string) string {
+		k, _ := cs.ClassOfVar(si, v)
+		return k
+	}
 	// Trailing unlock statements at the section's top level.
 	var trailing []*ir.UnlockAllVar
 	for _, s := range sec.Body {
@@ -427,9 +434,10 @@ func earlyRelease(sec *ir.Atomic) {
 			if !ok {
 				return
 			}
-			// (1) no use of x after the point.
+			// (1) no use of an object x may point to after the point.
 			for _, c := range callNodes {
-				if cfg.Nodes[c].Stmt.(*ir.Call).Recv == x && cfg.ReachesProperly(n, c) {
+				recv := cfg.Nodes[c].Stmt.(*ir.Call).Recv
+				if classOf(recv) == classOf(x) && cfg.ReachesProperly(n, c) {
 					return
 				}
 			}

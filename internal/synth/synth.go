@@ -46,12 +46,16 @@ type Options struct {
 	MaxModes            int
 	DisablePartitioning bool
 	DisableMerging      bool
+	// Verify runs the internal/verify certificate checker over every
+	// synthesized section as a post-pass; synthesis fails with the
+	// counterexample paths if any OS2PL obligation is falsified.
+	Verify bool
 }
 
 // DefaultOptions runs the full pipeline with the paper's evaluation
 // parameters (φ onto 64 abstract values).
 func DefaultOptions() Options {
-	return Options{StopAfter: StageRefine}
+	return Options{StopAfter: StageRefine, Verify: true}
 }
 
 // Result is the synthesis output.
@@ -143,7 +147,7 @@ func Synthesize(p *Program, opts Options) (*Result, error) {
 			elideLocalSet(si, out, cs)
 		}
 		if opts.StopAfter >= StageEarlyRelease {
-			earlyRelease(out)
+			earlyRelease(si, out, cs)
 		}
 		if opts.StopAfter >= StageNullChecks {
 			removeNullChecks(out)
@@ -155,6 +159,12 @@ func Synthesize(p *Program, opts Options) (*Result, error) {
 	}
 
 	res.Tables = buildTables(res, cs, opts)
+
+	if opts.Verify {
+		if violations := VerifyResult(res); len(violations) > 0 {
+			return nil, verifyError(violations)
+		}
+	}
 	return res, nil
 }
 

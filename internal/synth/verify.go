@@ -1,0 +1,48 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/verify"
+)
+
+// VerifyInput packages section index si of a synthesis result for the
+// internal/verify certificate checker: the section plus closures over
+// the pointer abstraction, the lock-order ranks, and the cyclic-component
+// wrappers.
+func (r *Result) VerifyInput(si int) verify.Input {
+	return verify.Input{
+		Section: r.Sections[si],
+		ClassOf: func(v string) (string, bool) { return r.Classes.ClassOfVar(si, v) },
+		Rank:    r.Rank,
+		WrappedGlobal: func(key string) (string, bool) {
+			c, ok := r.Classes.ByKey[key]
+			if !ok || !c.Wrapped {
+				return "", false
+			}
+			return c.GlobalVar, true
+		},
+	}
+}
+
+// VerifyResult re-proves the OS2PL obligations (coverage, two-phase,
+// ordering — §3.3 Theorem 1) on every synthesized section and returns
+// all falsified obligations with counterexample paths. A nil result is
+// the certificate that the output is safe under the protocol.
+func VerifyResult(r *Result) []*verify.Violation {
+	var out []*verify.Violation
+	for si := range r.Sections {
+		out = append(out, verify.Section(r.VerifyInput(si))...)
+	}
+	return out
+}
+
+// verifyError folds violations into one synthesis error.
+func verifyError(violations []*verify.Violation) error {
+	msgs := make([]string, len(violations))
+	for i, v := range violations {
+		msgs[i] = v.Error()
+	}
+	return fmt.Errorf("synth: certificate check failed:\n%s", strings.Join(msgs, "\n"))
+}

@@ -1,0 +1,624 @@
+// Package verify is the static certificate checker for synthesized
+// atomic sections: an independent re-proof of the three obligations
+// behind the paper's Theorem 1 (§3.3) on the synthesizer's actual
+// output, after all optimizations. The synthesizer argues its insertions
+// are correct by construction; this package re-derives the guarantees
+// from nothing but the emitted section, the pointer abstraction, and the
+// class ranks — so a silent bug in an optimization (redundant-LV
+// removal, LOCAL_SET elision, early release, null-check removal,
+// refinement) is caught as a falsified obligation with a concrete
+// counterexample path instead of a rare runtime panic.
+//
+// The three obligations, checked by one forward dataflow over
+// ir.BuildCFG:
+//
+//  1. Coverage: every ADT call is dominated by a lock statement whose
+//     symbolic set covers the call's operation, with no intervening kill
+//     (reassignment of the receiver, release of a possibly-aliasing
+//     instance, or reassignment of a variable the locked set mentions).
+//  2. Two-phase: no lock acquisition is reachable after any effective
+//     release (early release included).
+//  3. Ordering: along every path, acquisition events occur in strictly
+//     increasing class-rank order — an LV2 group counts as one
+//     dynamically-ordered event — matching the runtime OS2PL assertion
+//     of core.Txn.
+//
+// The analysis is path-insensitive but alias-aware: two variables of one
+// equivalence class may point to the same instance, so releasing one
+// kills the lock facts of the whole class. Lock statements on
+// already-held variables are no-ops (LOCAL_SET semantics, which
+// core.Txn.Lock preserves even for elided sections), so they generate no
+// acquisition event.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// Obligation names one of the three checked properties.
+type Obligation string
+
+const (
+	// Coverage is obligation (1): calls dominated by covering locks.
+	Coverage Obligation = "coverage"
+	// TwoPhase is obligation (2): no acquisition after a release.
+	TwoPhase Obligation = "two-phase"
+	// Ordering is obligation (3): acquisitions in restriction-graph
+	// (class-rank) order.
+	Ordering Obligation = "ordering"
+)
+
+// Input is one section to verify plus the synthesis context it was
+// produced under.
+type Input struct {
+	// Section is the synthesized section (any pipeline stage).
+	Section *ir.Atomic
+	// ClassOf maps an ADT variable of the section to its
+	// equivalence-class key.
+	ClassOf func(varName string) (string, bool)
+	// Rank gives the class's position in the topological order of the
+	// restrictions graph.
+	Rank func(classKey string) int
+	// WrappedGlobal reports, for a class wrapped into a cyclic-component
+	// global wrapper (§3.4), the designated global pointer variable.
+	// Optional; when set, calls on wrapped classes must go through that
+	// variable (global-lock dominance).
+	WrappedGlobal func(classKey string) (string, bool)
+}
+
+// Violation is one falsified obligation with its counterexample.
+type Violation struct {
+	Obligation Obligation
+	Section    *ir.Atomic
+	// Stmt is the offending statement (the uncovered call, the
+	// out-of-order or post-release lock).
+	Stmt ir.Stmt
+	// Related is the other end of the conflict, when there is one: the
+	// lock whose set fails to cover, the release preceding a lock, the
+	// higher-rank lock preceding an acquisition.
+	Related ir.Stmt
+	// Msg describes the failure.
+	Msg string
+	// Trace is a concrete counterexample path from the section entry to
+	// the offending statement (through Related when set).
+	Trace ir.Trace
+}
+
+// Error renders the violation with its position and counterexample, in
+// the same "section: path" form as ir.Validate diagnostics.
+func (v *Violation) Error() string {
+	pos, _ := v.Section.PosOf(v.Stmt)
+	s := fmt.Sprintf("verify: %s: %s: %s", v.Obligation, pos, v.Msg)
+	if len(v.Trace.Stmts) > 0 {
+		s += "\n  counterexample path:\n"
+		for _, st := range v.Trace.Stmts {
+			p, _ := v.Section.PosOf(st)
+			s += fmt.Sprintf("    %s: %s\n", p, ir.StmtText(st))
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Abstract state
+// ---------------------------------------------------------------------
+
+// heldSet is one symbolic set a variable may currently be locked under,
+// keyed by the lock statement that acquired it. stale records variables
+// reassigned since the acquisition: a set argument naming a stale
+// variable no longer denotes the value the mode was instantiated with,
+// so it covers nothing.
+type heldSet struct {
+	generic bool
+	set     core.SymSet
+	stale   map[string]bool
+}
+
+func (h *heldSet) clone() *heldSet {
+	c := &heldSet{generic: h.generic, set: h.set}
+	if len(h.stale) > 0 {
+		c.stale = make(map[string]bool, len(h.stale))
+		for k := range h.stale {
+			c.stale[k] = true
+		}
+	}
+	return c
+}
+
+// mentions reports whether the set names variable v in an argument.
+func (h *heldSet) mentions(v string) bool {
+	if h.generic {
+		return false
+	}
+	for _, op := range h.set {
+		for _, a := range op.Args {
+			if a.Kind == core.SymVar && a.Var == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// noEvent is the urank value for "no acquisition event fired yet" (ranks
+// are ≥ 0).
+const noEvent = -1
+
+// varFacts is the per-variable lattice element.
+type varFacts struct {
+	// must: the variable's instance is locked on every path reaching
+	// this point (and the variable has not been reassigned since).
+	must bool
+	// sets are the symbolic sets the instance may be held under, keyed
+	// by acquiring statement.
+	sets map[ir.Stmt]*heldSet
+	// urank is the maximum rank of an acquisition event fired on some
+	// path on which this variable is currently NOT held. The ordering
+	// check at a lock of this variable compares against urank rather
+	// than a global path maximum: on paths where the variable is already
+	// held the lock is a no-op and fires no event, so ranks fired only
+	// on those paths cannot order-conflict with it. Meaningless (and
+	// kept at noEvent) while must is true.
+	urank int
+}
+
+func (vf *varFacts) clone() *varFacts {
+	c := &varFacts{must: vf.must, urank: vf.urank, sets: make(map[ir.Stmt]*heldSet, len(vf.sets))}
+	for k, h := range vf.sets {
+		c.sets[k] = h.clone()
+	}
+	return c
+}
+
+// state is the dataflow fact at a CFG node entry.
+type state struct {
+	vars map[string]*varFacts
+	// releases are the release statements that may have released a held
+	// instance on some path reaching this point (two-phase tracking).
+	releases map[ir.Stmt]bool
+	// allRank is the maximum rank of an acquisition event fired on any
+	// path reaching this point (used to seed urank on kills).
+	allRank int
+}
+
+func newState(sec *ir.Atomic) *state {
+	st := &state{vars: make(map[string]*varFacts), releases: make(map[ir.Stmt]bool), allRank: noEvent}
+	for _, p := range sec.Vars {
+		if p.IsADT {
+			st.vars[p.Name] = &varFacts{urank: noEvent, sets: make(map[ir.Stmt]*heldSet)}
+		}
+	}
+	return st
+}
+
+func (st *state) clone() *state {
+	c := &state{vars: make(map[string]*varFacts, len(st.vars)),
+		releases: make(map[ir.Stmt]bool, len(st.releases)), allRank: st.allRank}
+	for v, vf := range st.vars {
+		c.vars[v] = vf.clone()
+	}
+	for r := range st.releases {
+		c.releases[r] = true
+	}
+	return c
+}
+
+// join merges b into a (a is mutated) and reports whether a changed.
+func (a *state) join(b *state) bool {
+	changed := false
+	if b.allRank > a.allRank {
+		a.allRank = b.allRank
+		changed = true
+	}
+	for r := range b.releases {
+		if !a.releases[r] {
+			a.releases[r] = true
+			changed = true
+		}
+	}
+	for v, bf := range b.vars {
+		af, ok := a.vars[v]
+		if !ok {
+			a.vars[v] = bf.clone()
+			changed = true
+			continue
+		}
+		if af.must && !bf.must {
+			af.must = false
+			changed = true
+		}
+		// urank joins by max over the predecessors that have an unheld
+		// path; a must-held predecessor contributes nothing.
+		bu := bf.urank
+		if bf.must {
+			bu = noEvent
+		}
+		if !af.must && bu > af.urank {
+			af.urank = bu
+			changed = true
+		}
+		for k, bh := range b.vars[v].sets {
+			ah, ok := af.sets[k]
+			if !ok {
+				af.sets[k] = bh.clone()
+				changed = true
+				continue
+			}
+			for sv := range bh.stale {
+				if !ah.stale[sv] {
+					if ah.stale == nil {
+						ah.stale = make(map[string]bool)
+					}
+					ah.stale[sv] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// ---------------------------------------------------------------------
+// Verifier
+// ---------------------------------------------------------------------
+
+type verifier struct {
+	in  Input
+	cfg *ir.CFG
+	// states[n] is the fact at node n's entry; nil = unreached.
+	states []*state
+	report func(*Violation)
+}
+
+// Section verifies one synthesized section and returns every falsified
+// obligation (nil when the section is certified). The input section is
+// not modified.
+func Section(in Input) []*Violation {
+	v := &verifier{in: in, cfg: ir.BuildCFG(in.Section)}
+	v.states = make([]*state, len(v.cfg.Nodes))
+	v.states[v.cfg.Entry] = newState(in.Section)
+
+	// Forward fixpoint.
+	work := []int{v.cfg.Entry}
+	inWork := make([]bool, len(v.cfg.Nodes))
+	inWork[v.cfg.Entry] = true
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		inWork[id] = false
+		out := v.states[id].clone()
+		v.transfer(v.cfg.Nodes[id], out, nil)
+		for _, s := range v.cfg.Nodes[id].Succs {
+			if v.states[s] == nil {
+				v.states[s] = out.clone()
+			} else if !v.states[s].join(out) {
+				continue
+			}
+			if !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Reporting pass over the converged facts, in node order so the
+	// violation list is deterministic.
+	var out []*Violation
+	seen := make(map[string]bool)
+	for _, n := range v.cfg.Nodes {
+		if v.states[n.ID] == nil {
+			continue
+		}
+		st := v.states[n.ID].clone()
+		v.transfer(n, st, func(viol *Violation) {
+			key := string(viol.Obligation) + "\x00" + viol.Msg
+			if pos, ok := in.Section.PosOf(viol.Stmt); ok {
+				key += "\x00" + pos.Path
+			}
+			if !seen[key] {
+				seen[key] = true
+				viol.Trace = v.witness(viol)
+				out = append(out, viol)
+			}
+		})
+	}
+	return out
+}
+
+func (v *verifier) classOf(name string) (string, bool) {
+	if v.in.ClassOf == nil {
+		return "", false
+	}
+	return v.in.ClassOf(name)
+}
+
+func (v *verifier) rankOfVar(name string) int {
+	key, ok := v.classOf(name)
+	if !ok || v.in.Rank == nil {
+		return noEvent
+	}
+	return v.in.Rank(key)
+}
+
+// transfer applies node n to st in place. When report is non-nil,
+// falsified obligations are reported (the fixpoint pass runs with a nil
+// reporter).
+func (v *verifier) transfer(n *ir.Node, st *state, report func(*Violation)) {
+	if n.Kind != ir.KindStmt {
+		return
+	}
+	switch x := n.Stmt.(type) {
+	case *ir.Prologue:
+		// LOCAL_SET := ∅; no lock effect.
+	case *ir.LV:
+		v.lockEvent(n.Stmt, []string{x.Var}, x.Set, x.Generic, st, report)
+	case *ir.LV2:
+		v.lockEvent(n.Stmt, x.Vars, x.Set, x.Generic, st, report)
+	case *ir.UnlockAllVar:
+		v.release(n.Stmt, x.Var, st)
+	case *ir.Epilogue:
+		// unlockAll over LOCAL_SET: releases everything still held.
+		released := false
+		for _, vf := range st.vars {
+			if len(vf.sets) > 0 {
+				released = true
+			}
+		}
+		if released {
+			st.releases[n.Stmt] = true
+		}
+		for name := range st.vars {
+			v.killVar(name, st)
+		}
+	case *ir.Call:
+		v.checkCall(n.Stmt.(*ir.Call), st, report)
+		if x.Assign != "" {
+			v.assign(x.Assign, st)
+		}
+	case *ir.Assign:
+		v.assign(x.Lhs, st)
+	}
+}
+
+// lockEvent processes an LV or LV2: a no-op when every variable is
+// already held (LOCAL_SET semantics), otherwise one acquisition event at
+// the group's class rank, checked against the two-phase and ordering
+// obligations.
+func (v *verifier) lockEvent(stmt ir.Stmt, vars []string, set core.SymSet, generic bool, st *state, report func(*Violation)) {
+	allHeld := true
+	urank := noEvent
+	for _, name := range vars {
+		vf := st.vars[name]
+		if vf == nil {
+			continue // not an ADT variable; nothing to verify
+		}
+		if !vf.must {
+			allHeld = false
+			if vf.urank > urank {
+				urank = vf.urank
+			}
+		}
+	}
+	if allHeld {
+		return // re-lock of held instances: no acquisition at runtime
+	}
+	rank := v.rankOfVar(vars[0])
+
+	if report != nil {
+		if len(st.releases) > 0 {
+			rel := firstRelease(v.in.Section, st.releases)
+			report(&Violation{
+				Obligation: TwoPhase, Section: v.in.Section, Stmt: stmt, Related: rel,
+				Msg: fmt.Sprintf("lock %s reachable after release %s", ir.StmtText(stmt), ir.StmtText(rel)),
+			})
+		}
+		if rank >= 0 && rank <= urank {
+			report(&Violation{
+				Obligation: Ordering, Section: v.in.Section, Stmt: stmt,
+				Msg: fmt.Sprintf("acquisition %s at rank %d reachable after an acquisition at rank %d on a path where it still locks",
+					ir.StmtText(stmt), rank, urank),
+			})
+		}
+	}
+
+	// The event raises urank for every variable not held on the firing
+	// paths; the locked variables themselves become must-held.
+	if rank > st.allRank {
+		st.allRank = rank
+	}
+	locked := make(map[string]bool, len(vars))
+	for _, name := range vars {
+		locked[name] = true
+	}
+	for name, vf := range st.vars {
+		if locked[name] || vf.must {
+			continue
+		}
+		if rank > vf.urank {
+			vf.urank = rank
+		}
+	}
+	for _, name := range vars {
+		vf := st.vars[name]
+		if vf == nil {
+			continue
+		}
+		vf.must = true
+		vf.urank = noEvent
+		if _, ok := vf.sets[stmt]; !ok {
+			vf.sets[stmt] = &heldSet{generic: generic, set: set}
+		}
+	}
+}
+
+// release processes "x.unlockAll()": if x may be held, the release is
+// effective (two-phase tracking), and — because any same-class variable
+// may point to the released instance — the lock facts of the whole class
+// die.
+func (v *verifier) release(stmt ir.Stmt, name string, st *state) {
+	vf := st.vars[name]
+	if vf == nil {
+		return
+	}
+	if len(vf.sets) > 0 {
+		st.releases[stmt] = true
+	}
+	key, ok := v.classOf(name)
+	for other := range st.vars {
+		if other == name {
+			v.killVar(other, st)
+		} else if ok {
+			if k2, ok2 := v.classOf(other); ok2 && k2 == key {
+				v.killVar(other, st)
+			}
+		}
+	}
+}
+
+// killVar invalidates every lock fact about name: the variable now
+// denotes an unknown (or released) instance.
+func (v *verifier) killVar(name string, st *state) {
+	vf := st.vars[name]
+	if vf == nil {
+		return
+	}
+	vf.must = false
+	vf.sets = make(map[ir.Stmt]*heldSet)
+	vf.urank = st.allRank
+}
+
+// assign processes a write to name: the lock facts of name die, and any
+// held set mentioning name becomes stale in that argument (the mode was
+// instantiated with the old value).
+func (v *verifier) assign(name string, st *state) {
+	v.killVar(name, st)
+	for _, vf := range st.vars {
+		for _, h := range vf.sets {
+			if h.mentions(name) {
+				if h.stale == nil {
+					h.stale = make(map[string]bool)
+				}
+				h.stale[name] = true
+			}
+		}
+	}
+}
+
+// checkCall verifies obligation (1) — and, for wrapped classes, global
+// dominance — at one ADT call.
+func (v *verifier) checkCall(c *ir.Call, st *state, report func(*Violation)) {
+	if report == nil {
+		return
+	}
+	vf := st.vars[c.Recv]
+	if vf == nil {
+		return // non-ADT receiver: ir.Validate's problem, not ours
+	}
+	key, haveKey := v.classOf(c.Recv)
+	if haveKey && v.in.WrappedGlobal != nil {
+		if gv, wrapped := v.in.WrappedGlobal(key); wrapped && c.Recv != gv {
+			report(&Violation{
+				Obligation: Coverage, Section: v.in.Section, Stmt: c,
+				Msg: fmt.Sprintf("call on wrapped class %s bypasses its global wrapper variable %q", key, gv),
+			})
+		}
+	}
+	if !vf.must {
+		report(&Violation{
+			Obligation: Coverage, Section: v.in.Section, Stmt: c,
+			Msg: fmt.Sprintf("call %s not dominated by a lock of %q", ir.StmtText(c), c.Recv),
+		})
+		return
+	}
+	// Every possible held set must cover the call.
+	for _, origin := range sortedOrigins(v.in.Section, vf.sets) {
+		h := vf.sets[origin]
+		if !coversCall(h, c) {
+			report(&Violation{
+				Obligation: Coverage, Section: v.in.Section, Stmt: c, Related: origin,
+				Msg: fmt.Sprintf("held set %s of %s does not cover call %s",
+					describeSet(h), ir.StmtText(origin), ir.StmtText(c)),
+			})
+		}
+	}
+}
+
+// coversCall reports whether a held symbolic set covers the call's
+// operation in every environment consistent with the program point: a
+// wildcard argument covers anything, a constant covers the equal
+// literal, and a variable covers the same variable read as long as it
+// has not been reassigned since the acquisition.
+func coversCall(h *heldSet, c *ir.Call) bool {
+	if h.generic {
+		return true // lock(+): the whole-ADT set
+	}
+	for _, op := range h.set {
+		if op.Method != c.Method || len(op.Args) != len(c.Args) {
+			continue
+		}
+		ok := true
+		for i, sa := range op.Args {
+			switch sa.Kind {
+			case core.SymStar:
+				// covers any value
+			case core.SymConst:
+				lit, isLit := c.Args[i].(ir.Lit)
+				if !isLit || lit.Val != sa.Val {
+					ok = false
+				}
+			case core.SymVar:
+				vr, isVar := c.Args[i].(ir.VarRef)
+				if !isVar || vr.Name != sa.Var || h.stale[sa.Var] {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func describeSet(h *heldSet) string {
+	if h.generic {
+		return "(+)"
+	}
+	return h.set.String()
+}
+
+// sortedOrigins orders held-set origin statements by structural position
+// so reports are deterministic.
+func sortedOrigins(sec *ir.Atomic, sets map[ir.Stmt]*heldSet) []ir.Stmt {
+	out := make([]ir.Stmt, 0, len(sets))
+	for s := range sets {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, _ := sec.PosOf(out[i])
+		pj, _ := sec.PosOf(out[j])
+		return pi.Path < pj.Path
+	})
+	return out
+}
+
+// firstRelease picks the structurally earliest release statement for
+// deterministic two-phase reports.
+func firstRelease(sec *ir.Atomic, rs map[ir.Stmt]bool) ir.Stmt {
+	var out ir.Stmt
+	best := ""
+	for s := range rs {
+		p, _ := sec.PosOf(s)
+		if out == nil || p.Path < best {
+			out, best = s, p.Path
+		}
+	}
+	return out
+}

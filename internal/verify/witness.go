@@ -1,0 +1,228 @@
+package verify
+
+import "repro/internal/ir"
+
+// witness constructs a concrete counterexample path for a violation: a
+// statement trace from the section entry to the offending statement,
+// routed through the conflicting statement (the acquiring lock, the
+// preceding release, or the earlier higher-rank lock) when there is one.
+func (v *verifier) witness(viol *Violation) ir.Trace {
+	target, ok := v.cfg.NodeOf(viol.Stmt)
+	if !ok {
+		return ir.Trace{Sec: v.in.Section}
+	}
+	var nodes []int
+	switch viol.Obligation {
+	case Coverage:
+		if viol.Related != nil {
+			// Set mismatch: entry → acquiring lock → call.
+			nodes = v.pathVia(viol.Related, target)
+		} else if c, isCall := viol.Stmt.(*ir.Call); isCall {
+			// Uncovered call: prefer a path on which the receiver is
+			// genuinely never held at the call.
+			nodes = v.unlockedPath(target, c.Recv)
+		}
+	case TwoPhase:
+		nodes = v.pathVia(viol.Related, target)
+	case Ordering:
+		// Find an earlier lock whose acquisition event has rank ≥ the
+		// offending lock's, reaching it by a nonempty path.
+		rank := v.eventRank(viol.Stmt)
+		for _, n := range v.cfg.Nodes {
+			if n.Kind != ir.KindStmt || !v.cfg.ReachesProperly(n.ID, target) {
+				continue
+			}
+			if r := v.eventRank(n.Stmt); r >= 0 && r >= rank {
+				viol.Related = n.Stmt
+				nodes = v.pathVia(n.Stmt, target)
+				break
+			}
+		}
+	}
+	if nodes == nil {
+		nodes = v.path(v.cfg.Entry, target)
+	}
+	return ir.Trace{Sec: v.in.Section, Stmts: v.stmtsOf(nodes)}
+}
+
+// eventRank returns the class rank a lock statement acquires at, or -1
+// for non-lock statements.
+func (v *verifier) eventRank(s ir.Stmt) int {
+	switch x := s.(type) {
+	case *ir.LV:
+		return v.rankOfVar(x.Var)
+	case *ir.LV2:
+		if len(x.Vars) > 0 {
+			return v.rankOfVar(x.Vars[0])
+		}
+	}
+	return -1
+}
+
+// pathVia returns entry → via → target, or nil when no such path exists.
+func (v *verifier) pathVia(via ir.Stmt, target int) []int {
+	mid, ok := v.cfg.NodeOf(via)
+	if !ok {
+		return nil
+	}
+	first := v.path(v.cfg.Entry, mid)
+	second := v.path(mid, target)
+	if first == nil || second == nil {
+		return nil
+	}
+	return append(first, second[1:]...)
+}
+
+// path returns the BFS-shortest node sequence from → to (inclusive), or
+// nil when unreachable. A from == to request returns a cycle through the
+// graph back to the node when one exists (needed for loop witnesses),
+// otherwise the single node.
+func (v *verifier) path(from, to int) []int {
+	if from == to {
+		for _, s := range v.cfg.Nodes[from].Succs {
+			if s == to {
+				return []int{from, to}
+			}
+			if rest := v.path(s, to); rest != nil {
+				return append([]int{from}, rest...)
+			}
+		}
+		return []int{from}
+	}
+	parent := make([]int, len(v.cfg.Nodes))
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[from] = from
+	queue := []int{from}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == to {
+			return unwind(parent, from, to)
+		}
+		for _, s := range v.cfg.Nodes[u].Succs {
+			if parent[s] == -1 {
+				parent[s] = u
+				queue = append(queue, s)
+			}
+		}
+	}
+	return nil
+}
+
+func unwind(parent []int, from, to int) []int {
+	var rev []int
+	for n := to; ; n = parent[n] {
+		rev = append(rev, n)
+		if n == from {
+			break
+		}
+	}
+	out := make([]int, len(rev))
+	for i, n := range rev {
+		out[len(rev)-1-i] = n
+	}
+	return out
+}
+
+// unlockedPath searches the product of the CFG with the boolean "is the
+// receiver's lock fact live" for a path from the entry to the call on
+// which the receiver arrives unheld — the exact execution the coverage
+// failure describes. Falls back to nil (plain path) when the product
+// search fails.
+func (v *verifier) unlockedPath(callNode int, recv string) []int {
+	n := len(v.cfg.Nodes)
+	// State encoding: node*2 + lockedBit.
+	parent := make([]int, 2*n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	start := v.cfg.Entry * 2
+	parent[start] = start
+	queue := []int{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		un, ub := u/2, u%2
+		if un == callNode && ub == 0 {
+			// Unwind over product states, then project to nodes.
+			var rev []int
+			for s := u; ; s = parent[s] {
+				rev = append(rev, s/2)
+				if s == start {
+					break
+				}
+			}
+			out := make([]int, len(rev))
+			for i, id := range rev {
+				out[len(rev)-1-i] = id
+			}
+			return out
+		}
+		nb := v.lockedAfter(un, ub, recv)
+		for _, s := range v.cfg.Nodes[un].Succs {
+			st := s*2 + nb
+			if parent[st] == -1 {
+				parent[st] = u
+				queue = append(queue, st)
+			}
+		}
+	}
+	return nil
+}
+
+// lockedAfter transfers the receiver's "held" bit across node id, exactly
+// mirroring the must-analysis on a single path.
+func (v *verifier) lockedAfter(id, bit int, recv string) int {
+	node := v.cfg.Nodes[id]
+	if node.Kind != ir.KindStmt {
+		return bit
+	}
+	switch x := node.Stmt.(type) {
+	case *ir.LV:
+		if x.Var == recv {
+			return 1
+		}
+	case *ir.LV2:
+		for _, name := range x.Vars {
+			if name == recv {
+				return 1
+			}
+		}
+	case *ir.Assign:
+		if x.Lhs == recv {
+			return 0
+		}
+	case *ir.Call:
+		if x.Assign == recv {
+			return 0
+		}
+	case *ir.UnlockAllVar:
+		if x.Var == recv {
+			return 0
+		}
+		if kr, ok := v.classOf(recv); ok {
+			if kx, ok2 := v.classOf(x.Var); ok2 && kr == kx {
+				return 0
+			}
+		}
+	case *ir.Epilogue:
+		return 0
+	}
+	return bit
+}
+
+// stmtsOf projects a node sequence to the statement trace: simple
+// statements appear as themselves, branch nodes as their one-line
+// "if(cond) {...}" form, join/entry/exit nodes are elided.
+func (v *verifier) stmtsOf(nodes []int) []ir.Stmt {
+	var out []ir.Stmt
+	for _, id := range nodes {
+		n := v.cfg.Nodes[id]
+		if (n.Kind == ir.KindStmt || n.Kind == ir.KindBranch) && n.Stmt != nil {
+			out = append(out, n.Stmt)
+		}
+	}
+	return out
+}
