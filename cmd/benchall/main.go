@@ -12,6 +12,8 @@
 //	benchall -exp ablation   # design-choice ablations A1–A5
 //	benchall -exp lockmech   # lock-mechanism v2 vs v1 microbenchmark
 //	                           (real execution; writes BENCH_lockmech.json)
+//	benchall -exp chaos      # fault-injection and recovery experiment
+//	                           (real execution; writes BENCH_chaos.json)
 //	benchall -real           # include real-execution measurements
 //	benchall -scale 50000    # simulated transactions per thread
 package main
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|stats|all")
+		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|chaos|stats|all")
 	scale := flag.Int("scale", 20000, "simulated transactions per thread")
 	real := flag.Bool("real", false, "also run real-execution measurements on this host")
 	realOps := flag.Int("realops", 30000, "real-execution operations per thread")
@@ -64,6 +66,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_lockmech.json")
+		ran = true
+	}
+	// The chaos experiment injects real panics and delays into real
+	// execution, so it too only runs when asked for explicitly.
+	if *exp == "chaos" {
+		rep := bench.ChaosBench(bench.ChaosConfig{})
+		fmt.Println(rep.Format())
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile("BENCH_chaos.json", append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: writing BENCH_chaos.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_chaos.json")
 		ran = true
 	}
 	type figFn struct {

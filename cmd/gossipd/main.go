@@ -2,6 +2,11 @@
 // MPerf workload and reports routing throughput per synchronization
 // policy — the runnable form of the Fig 25 experiment.
 //
+// On SIGINT or SIGTERM the daemon shuts down gracefully: the workers
+// stop accepting new messages, routes already inside an atomic section
+// drain (bounded by a deadline), and the lock instances are audited for
+// leaked holder counts before exit.
+//
 // Usage:
 //
 //	gossipd                          # paper workload, all policies
@@ -12,11 +17,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/apps/gossip"
 	"repro/internal/modules/plan"
 )
+
+// drainDeadline bounds how long shutdown waits for in-flight routes.
+const drainDeadline = 5 * time.Second
 
 func main() {
 	clients := flag.Int("clients", 16, "MPerf clients (paper: 16)")
@@ -38,17 +49,62 @@ func main() {
 	expected := gossip.ExpectedFrames(cfg)
 	fmt.Printf("MPerf: %d clients × %d messages (%d%% unicast), %d workers, expecting %d frames\n",
 		cfg.Clients, cfg.Messages, cfg.UnicastRatio, cfg.Workers, expected)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	interrupted := false
 	for _, pol := range want {
 		r := gossip.New(pol, cfg.SendCost, plan.Options{})
+		stop := make(chan struct{})
+		done := make(chan gossip.MPerfResult, 1)
 		start := time.Now()
-		res := gossip.RunMPerf(r, cfg)
+		go func() { done <- gossip.RunMPerfUntil(r, cfg, stop) }()
+
+		var res gossip.MPerfResult
+		select {
+		case res = <-done:
+		case s := <-sigc:
+			interrupted = true
+			fmt.Printf("gossipd: %v: stopped accepting messages, draining in-flight routes (deadline %v)\n",
+				s, drainDeadline)
+			close(stop)
+			select {
+			case res = <-done:
+			case <-time.After(drainDeadline):
+				fmt.Fprintf(os.Stderr, "gossipd: drain deadline exceeded with routes still in flight\n")
+				os.Exit(1)
+			}
+		}
 		elapsed := time.Since(start)
+
 		status := "OK"
-		if res.FramesDelivered != expected {
+		switch {
+		case interrupted:
+			status = "INTERRUPTED"
+		case res.FramesDelivered != expected:
 			status = "FRAME MISMATCH"
 		}
 		fmt.Printf("%-8s routed %6d msgs, delivered %7d frames in %8v (%7.0f msgs/s)  [%s]\n",
 			pol, res.Handled, res.FramesDelivered, elapsed.Round(time.Millisecond),
 			float64(res.Handled)/elapsed.Seconds(), status)
+
+		if interrupted {
+			// Audit the lock state before exiting: after a clean drain
+			// every holder count must be back to zero.
+			if o, ok := r.(*gossip.Ours); ok {
+				leaked := int64(0)
+				for _, s := range o.Sems() {
+					leaked += s.OutstandingHolds()
+				}
+				fmt.Printf("gossipd: drained cleanly, leaked locks: %d\n", leaked)
+				if leaked != 0 {
+					os.Exit(1)
+				}
+			} else {
+				fmt.Printf("gossipd: drained cleanly (policy %s has no lock audit)\n", pol)
+			}
+			return
+		}
 	}
 }

@@ -1,5 +1,6 @@
 // Command semlockvet runs the repository's lint suite (internal/lint)
-// over the module: paddedcopy, txndiscipline, modemask, unlockpath.
+// over the module: paddedcopy, txndiscipline, modemask, unlockpath,
+// abortpath.
 //
 // Usage:
 //

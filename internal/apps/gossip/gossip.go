@@ -26,8 +26,6 @@ import (
 	"repro/internal/modules/plan"
 )
 
-//semlockvet:file-ignore txndiscipline -- this file transcribes the synthesized plans by hand; it drives the raw mechanism on purpose
-
 // Conn is an in-process client connection: the I/O sink of the router.
 type Conn struct {
 	Member   string
@@ -173,7 +171,7 @@ func BuildPlan(opt plan.Options) *plan.Plan { return planCache.Get(opt) }
 func New(policy string, sendCost int, opt plan.Options) Router {
 	switch policy {
 	case "ours":
-		return newOurs(sendCost, opt)
+		return NewOurs(sendCost, opt)
 	case "global":
 		return &global{groups: adt.NewHashMap()}
 	case "2pl":
@@ -188,12 +186,25 @@ func New(policy string, sendCost int, opt plan.Options) Router {
 // Policies lists the variants in the order Fig 25 plots them.
 func Policies() []string { return []string{"ours", "global", "2pl", "manual"} }
 
-// ours executes the synthesized plan. Each inner member map carries its
+// Ours executes the synthesized plan. Each inner member map carries its
 // own Semantic instance (the class has unboundedly many instances).
-type ours struct {
-	groups    *adt.HashMap
-	groupsSem *core.Semantic
-	memTable  *core.ModeTable
+// Sections run under core.Atomically on pooled transactions, so a panic
+// anywhere inside a section — including one injected through FaultHook —
+// releases every held lock before unwinding.
+type Ours struct {
+	groups     *adt.HashMap
+	groupsSem  *core.Semantic
+	memTable   *core.ModeTable
+	groupsRank int
+	memRank    int
+
+	// FaultHook, when non-nil, is called once per section at its fault
+	// point — after every lock of the section is held, before the last
+	// ADT mutation — with the section name ("register", "unregister",
+	// "unicast", "multicast"). The chaos harness injects panics and
+	// delays here. A panic thrown by the hook escapes the section as a
+	// *core.SectionPanic with all locks released.
+	FaultHook func(site string)
 
 	regGroups func(...core.Value) core.ModeID // register: groups {get(g),put(g,*)}
 	regMem    func(...core.Value) core.ModeID // register: members {put(m,conn)}
@@ -211,12 +222,17 @@ type memberMap struct {
 	sem *core.Semantic
 }
 
-func newOurs(sendCost int, opt plan.Options) *ours {
+// NewOurs creates the semantic-locking router with access to the
+// concrete type (fault hook, lock introspection); New("ours", ...)
+// returns the same thing as a Router.
+func NewOurs(sendCost int, opt plan.Options) *Ours {
 	_ = sendCost
 	p := BuildPlan(opt)
-	o := &ours{groups: adt.NewHashMap()}
+	o := &Ours{groups: adt.NewHashMap()}
 	o.groupsSem = core.NewSemantic(p.Table("Map$groups"))
 	o.memTable = p.Table("Map$members")
+	o.groupsRank = p.Rank("Map$groups")
+	o.memRank = p.Rank("Map$members")
 	o.regGroups = p.Ref(0, "groups").Binder("g")
 	o.regMem = p.Ref(0, "members").Binder("m", "conn")
 	o.unregG = p.Ref(1, "groups").Binder("g")
@@ -228,64 +244,82 @@ func newOurs(sendCost int, opt plan.Options) *ours {
 	return o
 }
 
-func (o *ours) Register(group, member string, conn *Conn) {
+func (o *Ours) fault(site string) {
+	if o.FaultHook != nil {
+		o.FaultHook(site)
+	}
+}
+
+// Sems returns the semantic locks of every live instance: the outer
+// groups lock first, then one per member map. Quiescence introspection
+// only — the walk over the group table is unsynchronized, so call it
+// when no sections are in flight.
+func (o *Ours) Sems() []*core.Semantic {
+	out := []*core.Semantic{o.groupsSem}
+	for _, v := range o.groups.Values() {
+		out = append(out, v.(*memberMap).sem)
+	}
+	return out
+}
+
+func (o *Ours) Register(group, member string, conn *Conn) {
 	mg := o.regGroups(group)
-	o.groupsSem.Acquire(mg)
-	var mm *memberMap
-	if v := o.groups.Get(group); v != nil {
-		mm = v.(*memberMap)
-	} else {
-		mm = &memberMap{m: adt.NewHashMap(), sem: core.NewSemantic(o.memTable)}
-		o.groups.Put(group, mm)
-	}
-	m2 := o.regMem(member, conn)
-	mm.sem.Acquire(m2)
-	mm.m.Put(member, conn)
-	mm.sem.Release(m2)
-	o.groupsSem.Release(mg)
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, mg, o.groupsRank)
+		var mm *memberMap
+		if v := o.groups.Get(group); v != nil {
+			mm = v.(*memberMap)
+		} else {
+			mm = &memberMap{m: adt.NewHashMap(), sem: core.NewSemantic(o.memTable)}
+			o.groups.Put(group, mm)
+		}
+		tx.Lock(mm.sem, o.regMem(member, conn), o.memRank)
+		o.fault("register")
+		mm.m.Put(member, conn)
+	})
 }
 
-func (o *ours) Unregister(group, member string) {
+func (o *Ours) Unregister(group, member string) {
 	mg := o.unregG(group)
-	o.groupsSem.Acquire(mg)
-	if v := o.groups.Get(group); v != nil {
-		mm := v.(*memberMap)
-		m2 := o.unregMem(member)
-		mm.sem.Acquire(m2)
-		mm.m.Remove(member)
-		mm.sem.Release(m2)
-	}
-	o.groupsSem.Release(mg)
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, mg, o.groupsRank)
+		if v := o.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			tx.Lock(mm.sem, o.unregMem(member), o.memRank)
+			o.fault("unregister")
+			mm.m.Remove(member)
+		}
+	})
 }
 
-func (o *ours) Unicast(group, dst string, payload []byte) {
+func (o *Ours) Unicast(group, dst string, payload []byte) {
 	mg := o.uniG(group)
-	o.groupsSem.Acquire(mg)
-	if v := o.groups.Get(group); v != nil {
-		mm := v.(*memberMap)
-		m2 := o.uniMem(dst)
-		mm.sem.Acquire(m2)
-		if c := mm.m.Get(dst); c != nil {
-			c.(*Conn).Send(payload) // I/O inside the section
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, mg, o.groupsRank)
+		if v := o.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			tx.Lock(mm.sem, o.uniMem(dst), o.memRank)
+			o.fault("unicast")
+			if c := mm.m.Get(dst); c != nil {
+				c.(*Conn).Send(payload) // I/O inside the section
+			}
 		}
-		mm.sem.Release(m2)
-	}
-	o.groupsSem.Release(mg)
+	})
 }
 
-func (o *ours) Multicast(group string, payload []byte) {
+func (o *Ours) Multicast(group string, payload []byte) {
 	mg := o.mcG(group)
-	o.groupsSem.Acquire(mg)
-	if v := o.groups.Get(group); v != nil {
-		mm := v.(*memberMap)
-		m2 := o.mcMem()
-		mm.sem.Acquire(m2)
-		for _, c := range mm.m.Values() {
-			c.(*Conn).Send(payload) // I/O inside the section
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, mg, o.groupsRank)
+		if v := o.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			tx.Lock(mm.sem, o.mcMem(), o.memRank)
+			o.fault("multicast")
+			for _, c := range mm.m.Values() {
+				c.(*Conn).Send(payload) // I/O inside the section
+			}
 		}
-		mm.sem.Release(m2)
-	}
-	o.groupsSem.Release(mg)
+	})
 }
 
 // global serializes every section.

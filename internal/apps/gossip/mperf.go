@@ -3,6 +3,7 @@ package gossip
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // MPerfConfig mirrors the JGroups MPerf tester used in §6.2: clients
@@ -46,6 +47,15 @@ type MPerfResult struct {
 // it for throughput. The message mix is deterministic in the
 // configuration.
 func RunMPerf(r Router, cfg MPerfConfig) MPerfResult {
+	return RunMPerfUntil(r, cfg, nil)
+}
+
+// RunMPerfUntil is RunMPerf with a shutdown channel: when stop closes,
+// the workers stop picking up new messages and the run drains — routes
+// already inside an atomic section always complete, so no lock is ever
+// abandoned mid-acquisition. Handled counts only the messages actually
+// routed. A nil stop never fires (plain RunMPerf).
+func RunMPerfUntil(r Router, cfg MPerfConfig, stop <-chan struct{}) MPerfResult {
 	const group = "mperf"
 	conns := make([]*Conn, cfg.Clients)
 	for i := range conns {
@@ -70,6 +80,7 @@ func RunMPerf(r Router, cfg MPerfConfig) MPerfResult {
 	if workers < 1 {
 		workers = 1
 	}
+	var handled atomic.Int64
 	var wg sync.WaitGroup
 	chunk := (len(msgs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -85,17 +96,25 @@ func RunMPerf(r Router, cfg MPerfConfig) MPerfResult {
 		go func(ms []message) {
 			defer wg.Done()
 			for _, m := range ms {
+				if stop != nil {
+					select {
+					case <-stop:
+						return // intake closed; the batch so far has drained
+					default:
+					}
+				}
 				if m.unicast {
 					r.Unicast(group, fmt.Sprintf("m%d", m.dst), m.payload)
 				} else {
 					r.Multicast(group, m.payload)
 				}
+				handled.Add(1)
 			}
 		}(msgs[lo:hi])
 	}
 	wg.Wait()
 
-	res := MPerfResult{Handled: len(msgs)}
+	res := MPerfResult{Handled: int(handled.Load())}
 	for _, c := range conns {
 		res.FramesDelivered += c.Frames.Load()
 	}

@@ -26,8 +26,6 @@ import (
 	"repro/internal/modules/plan"
 )
 
-//semlockvet:file-ignore txndiscipline -- this file transcribes the synthesized plans by hand; it drives the raw mechanism on purpose
-
 // Config is the workload configuration (STAMP's -a -l -n -s).
 type Config struct {
 	Attacks   int   // percentage of flows carrying an attack signature
@@ -215,7 +213,7 @@ func BuildPlan(opt plan.Options) *plan.Plan { return planCache.Get(opt) }
 func NewProcessor(policy string, opt plan.Options) Processor {
 	switch policy {
 	case "ours":
-		return newOurs(opt)
+		return NewOurs(opt)
 	case "global":
 		return &globalProc{fmap: adt.NewHashMap(), decoded: adt.NewQueue()}
 	case "2pl":
@@ -231,25 +229,40 @@ func NewProcessor(policy string, opt plan.Options) Processor {
 // Policies lists the variants in the order Fig 24 plots them.
 func Policies() []string { return []string{"ours", "global", "2pl", "manual"} }
 
-// ours executes the synthesized plan: fmap mode
+// Ours executes the synthesized plan: fmap mode
 // {get(flow),put(flow,*),remove(flow)} and a decoded-queue enqueue mode
 // that commutes with itself (no blocking between completing flows).
-type ours struct {
+// Sections run under core.Atomically on pooled transactions, so a panic
+// inside reassembly — including one injected through FaultHook —
+// releases every held lock before unwinding.
+type Ours struct {
 	fmap    *adt.HashMap
 	decoded *adt.Queue
 
-	fmapSem *core.Semantic
-	decSem  *core.Semantic
-	fmapRef core.SetRef
-	encRef  core.SetRef // reassembly: {enqueue(payload)}
-	popRef  core.SetRef // pop: {dequeue()}
+	fmapSem  *core.Semantic
+	decSem   *core.Semantic
+	fmapRank int
+	decRank  int
+	fmapRef  core.SetRef
+	encRef   core.SetRef // reassembly: {enqueue(payload)}
+	popRef   core.SetRef // pop: {dequeue()}
+
+	// FaultHook, when non-nil, is called at each section's fault point —
+	// with the section's locks held — with the section name ("process",
+	// "pop"). The chaos harness injects panics and delays here.
+	FaultHook func(site string)
 }
 
-func newOurs(opt plan.Options) *ours {
+// NewOurs creates the semantic-locking processor with access to the
+// concrete type (fault hook, lock introspection); NewProcessor("ours",
+// ...) returns the same thing as a Processor.
+func NewOurs(opt plan.Options) *Ours {
 	p := BuildPlan(opt)
-	o := &ours{fmap: adt.NewHashMap(), decoded: adt.NewQueue()}
+	o := &Ours{fmap: adt.NewHashMap(), decoded: adt.NewQueue()}
 	o.fmapSem = core.NewSemantic(p.Table("Map"))
 	o.decSem = core.NewSemantic(p.Table("Queue"))
+	o.fmapRank = p.Rank("Map")
+	o.decRank = p.Rank("Queue")
 	o.fmapRef = p.Ref(0, "fmap")
 	o.encRef = p.Ref(0, "decoded")
 	o.popRef = p.Ref(1, "decoded")
@@ -263,27 +276,41 @@ func modeOf(ref core.SetRef, vals ...core.Value) core.ModeID {
 	return ref.Mode(vals...)
 }
 
-func (o *ours) Process(p Packet) {
-	mf := modeOf(o.fmapRef, p.FlowID)
-	o.fmapSem.Acquire(mf)
-	if payload, done := reassemble(o.fmap, p); done {
-		md := modeOf(o.encRef, payload)
-		o.decSem.Acquire(md)
-		o.decoded.Enqueue(payload)
-		o.decSem.Release(md)
+func (o *Ours) fault(site string) {
+	if o.FaultHook != nil {
+		o.FaultHook(site)
 	}
-	o.fmapSem.Release(mf)
 }
 
-func (o *ours) Pop() (string, bool) {
+// Sems returns the semantic locks of the processor's two instances for
+// quiescence introspection.
+func (o *Ours) Sems() []*core.Semantic {
+	return []*core.Semantic{o.fmapSem, o.decSem}
+}
+
+func (o *Ours) Process(p Packet) {
+	mf := modeOf(o.fmapRef, p.FlowID)
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.fmapSem, mf, o.fmapRank)
+		o.fault("process")
+		if payload, done := reassemble(o.fmap, p); done {
+			tx.Lock(o.decSem, modeOf(o.encRef, payload), o.decRank)
+			o.decoded.Enqueue(payload)
+		}
+	})
+}
+
+func (o *Ours) Pop() (payload string, ok bool) {
 	md := modeOf(o.popRef)
-	o.decSem.Acquire(md)
-	defer o.decSem.Release(md)
-	v, ok := o.decoded.Dequeue()
-	if !ok {
-		return "", false
-	}
-	return v.(string), true
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.decSem, md, o.decRank)
+		o.fault("pop")
+		var v core.Value
+		if v, ok = o.decoded.Dequeue(); ok {
+			payload = v.(string)
+		}
+	})
+	return payload, ok
 }
 
 type globalProc struct {

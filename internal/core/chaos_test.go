@@ -1,0 +1,276 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Fault-tolerance tests for the transaction runtime: bounded
+// acquisition, timed-out waiter teardown, and panic-safe sections. All
+// are named TestChaos* so CI's chaos job (-run Chaos) selects them.
+
+// TestChaosStallErrorNamesHolders: a timed-out acquisition must produce
+// a *StallError naming at least one holder slot with its mode, and a
+// timed-out LockWithin must leave the transaction untouched while
+// attaching its acquisition log to the error.
+func TestChaosStallErrorNamesHolders(t *testing.T) {
+	for _, v1 := range []bool{false, true} {
+		name := "v2"
+		if v1 {
+			name = "v1"
+		}
+		t.Run(name, func(t *testing.T) {
+			tbl := mapTable(t, 1, TableOptions{})
+			s := NewSemantic(tbl)
+			s.DisableMechV2 = v1
+			km := keyMode(tbl, 7)
+			s.Acquire(km)
+
+			err := s.AcquireWithin(km, 20*time.Millisecond)
+			var stall *StallError
+			if !errors.As(err, &stall) {
+				t.Fatalf("want *StallError, got %v", err)
+			}
+			if len(stall.Holders) == 0 {
+				t.Fatal("stall error names no holder slot")
+			}
+			for _, h := range stall.Holders {
+				if h.Mode == "" || h.Count < 1 {
+					t.Errorf("anonymous holder slot: %+v", h)
+				}
+			}
+			if stall.Waited < 20*time.Millisecond {
+				t.Errorf("Waited = %v, below patience", stall.Waited)
+			}
+			if stall.Instance != s.ID() {
+				t.Errorf("Instance = %d, want %d", stall.Instance, s.ID())
+			}
+
+			// LockWithin on a checked transaction: the error carries the
+			// log of what the blocked transaction already held, and the
+			// failed acquisition records nothing.
+			other := NewSemantic(tbl)
+			other.DisableMechV2 = v1
+			tx := NewCheckedTxn()
+			tx.Lock(other, keyMode(tbl, 1), 0)
+			err = tx.LockWithin(s, km, 1, 10*time.Millisecond)
+			if !errors.As(err, &stall) {
+				t.Fatalf("LockWithin: want *StallError, got %v", err)
+			}
+			if len(stall.Log) != 1 || stall.Log[0].ID != other.ID() {
+				t.Errorf("stall log = %+v, want the held acquisition", stall.Log)
+			}
+			if tx.HeldCount() != 1 {
+				t.Errorf("timed-out LockWithin recorded a hold: %d", tx.HeldCount())
+			}
+			tx.UnlockAll()
+
+			// After release the bounded path must succeed.
+			s.Release(km)
+			if err := s.AcquireWithin(km, 5*time.Second); err != nil {
+				t.Fatalf("post-release AcquireWithin: %v", err)
+			}
+			s.Release(km)
+			if err := s.CheckQuiesced(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestChaosTimeoutNoStrandedToken: a bounded waiter that times out
+// tears its registration down without stranding the wake machinery —
+// an unbounded waiter on the same slot must still be woken by the next
+// release.
+func TestChaosTimeoutNoStrandedToken(t *testing.T) {
+	tbl := mapTable(t, 1, TableOptions{})
+	s := NewSemantic(tbl)
+	km := keyMode(tbl, 3)
+	s.Acquire(km)
+
+	w1done := make(chan error, 1)
+	go func() { w1done <- s.AcquireWithin(km, 40*time.Millisecond) }()
+	w2done := make(chan struct{})
+	go func() { s.Acquire(km); close(w2done) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Waits < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never blocked: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Let the bounded waiter time out and deregister, then release: the
+	// unbounded waiter must acquire.
+	err := <-w1done
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("bounded waiter: want *StallError, got %v", err)
+	}
+	s.Release(km)
+	select {
+	case <-w2done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter stranded after bounded peer timed out")
+	}
+	s.Release(km)
+	if err := s.CheckQuiesced(); err != nil {
+		t.Fatal(err)
+	}
+	if n := WaitersOutstanding(); n != 0 {
+		t.Fatalf("waiter free-list leaked: %d outstanding", n)
+	}
+}
+
+// TestChaosTimeoutReleaseRace hammers the race the re-donation exists
+// for: a release and a waiter timeout landing together. Whatever
+// interleaving occurs, the round must end with no registered waiter, no
+// leaked claim, and no stranded goroutine. Run under -race.
+func TestChaosTimeoutReleaseRace(t *testing.T) {
+	for _, v1 := range []bool{false, true} {
+		name := "v2"
+		if v1 {
+			name = "v1"
+		}
+		t.Run(name, func(t *testing.T) {
+			tbl := mapTable(t, 1, TableOptions{})
+			s := NewSemantic(tbl)
+			s.DisableMechV2 = v1
+			km := keyMode(tbl, 1)
+			rounds := 300
+			if testing.Short() {
+				rounds = 50
+			}
+			for r := 0; r < rounds; r++ {
+				s.Acquire(km)
+				var wg sync.WaitGroup
+				for w := 0; w < 3; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						patience := time.Duration(200+(r*7+w*131)%1800) * time.Microsecond
+						if err := s.AcquireWithin(km, patience); err == nil {
+							s.Release(km)
+						}
+					}(w)
+				}
+				// Release at a phase that sweeps across the waiters'
+				// deadlines as rounds advance.
+				time.Sleep(time.Duration((r*13)%2000) * time.Microsecond)
+				s.Release(km)
+				wg.Wait()
+				if err := s.CheckQuiesced(); err != nil {
+					t.Fatalf("round %d: %v", r, err)
+				}
+			}
+			if n := WaitersOutstanding(); n != 0 {
+				t.Fatalf("waiter free-list leaked: %d outstanding", n)
+			}
+		})
+	}
+}
+
+// TestChaosAtomicallyPanicReleasesLocks: a panic inside an atomic
+// section releases every held lock before unwinding as *SectionPanic,
+// and Txn.Abort releases and returns normally.
+func TestChaosAtomicallyPanicReleasesLocks(t *testing.T) {
+	tbl := mapTable(t, 1, TableOptions{})
+	s := NewSemantic(tbl)
+	km := keyMode(tbl, 2)
+
+	func() {
+		defer func() {
+			sp, ok := recover().(*SectionPanic)
+			if !ok {
+				t.Fatal("expected *SectionPanic")
+			}
+			if sp.HeldAtPanic != 1 {
+				t.Errorf("HeldAtPanic = %d, want 1", sp.HeldAtPanic)
+			}
+			if sp.Value != "boom" {
+				t.Errorf("Value = %v, want boom", sp.Value)
+			}
+		}()
+		Atomically(func(tx *Txn) {
+			tx.Lock(s, km, 0)
+			panic("boom")
+		})
+	}()
+	if !s.TryAcquire(km) {
+		t.Fatal("lock leaked by panicking section")
+	}
+	s.Release(km)
+
+	// Abort: locks released, control returns normally after Atomically.
+	reached := false
+	Atomically(func(tx *Txn) {
+		tx.Lock(s, km, 0)
+		reached = true
+		tx.Abort()
+		t.Error("statement after Abort executed")
+	})
+	if !reached {
+		t.Fatal("section body did not run")
+	}
+	if !s.TryAcquire(km) {
+		t.Fatal("lock leaked by aborted section")
+	}
+	s.Release(km)
+
+	// SectionPanic carries the checked acquisition log.
+	tx := NewCheckedTxn()
+	func() {
+		defer func() {
+			sp, ok := recover().(*SectionPanic)
+			if !ok {
+				t.Fatal("expected *SectionPanic")
+			}
+			if len(sp.Log) != 1 || sp.Log[0].ID != s.ID() {
+				t.Errorf("Log = %+v, want the held acquisition", sp.Log)
+			}
+		}()
+		tx.Atomically(func(tx *Txn) {
+			tx.Lock(s, km, 0)
+			panic("boom")
+		})
+	}()
+
+	if err := s.CheckQuiesced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosResetShrinksBackingArrays: a pathologically lock-heavy
+// transaction must not pin its high-water held/log arrays through the
+// pool; small transactions keep their backing arrays.
+func TestChaosResetShrinksBackingArrays(t *testing.T) {
+	tbl := mapTable(t, 1, TableOptions{})
+	km := keyMode(tbl, 0)
+
+	tx := NewCheckedTxn()
+	for i := 0; i < 4*resetShrinkCap; i++ {
+		tx.Lock(NewSemantic(tbl), km, i)
+	}
+	tx.UnlockAll()
+	tx.Reset()
+	if cap(tx.held) > resetShrinkCap {
+		t.Errorf("held cap %d not shrunk (threshold %d)", cap(tx.held), resetShrinkCap)
+	}
+	if cap(tx.log) > resetShrinkCap {
+		t.Errorf("log cap %d not shrunk (threshold %d)", cap(tx.log), resetShrinkCap)
+	}
+
+	// A modest transaction keeps its arrays across Reset.
+	for i := 0; i < 4; i++ {
+		tx.Lock(NewSemantic(tbl), km, i)
+	}
+	tx.UnlockAll()
+	before := cap(tx.held)
+	tx.Reset()
+	if cap(tx.held) != before {
+		t.Errorf("small held backing array dropped: %d -> %d", before, cap(tx.held))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/padded"
 )
@@ -95,14 +96,39 @@ func (s *Semantic) Acquire(m ModeID) {
 	mech := &s.mechs[p]
 	c := &s.table.masks[m]
 	if s.DisableFastPath {
-		mech.slowAcquire(c)
+		mech.slowAcquire(c, nil)
 		return
 	}
 	if mech.tryAcquire(c) {
 		mech.fastPath.Add(1)
 		return
 	}
-	mech.acquireContended(c)
+	mech.acquireContended(c, nil)
+}
+
+// acquireLogged is Acquire carrying the acquirer's transaction log so a
+// blocked waiter exposes it to the stall watchdog. Txn.Lock routes here;
+// the fast path is identical to Acquire's.
+func (s *Semantic) acquireLogged(m ModeID, log []Acquisition) {
+	p := s.table.part[m]
+	if p < 0 {
+		return
+	}
+	if s.DisableMechV2 {
+		s.v1[p].acquire(s.table.localIdx[m], s.table.conflict[m], s.DisableFastPath)
+		return
+	}
+	mech := &s.mechs[p]
+	c := &s.table.masks[m]
+	if s.DisableFastPath {
+		mech.slowAcquire(c, log)
+		return
+	}
+	if mech.tryAcquire(c) {
+		mech.fastPath.Add(1)
+		return
+	}
+	mech.acquireContended(c, log)
 }
 
 // TryAcquire attempts to acquire mode m without blocking; it reports
@@ -232,12 +258,19 @@ type mechV2 struct {
 	waits    atomic.Uint64
 }
 
-// waiterV2 is one blocked acquirer: the conflict mask it is waiting on
-// and a 1-buffered signal channel (buffering makes a signal that races
-// with the waiter's re-scan stick instead of getting lost).
+// waiterV2 is one blocked acquirer: the conflict mask it is waiting on,
+// a 1-buffered signal channel (buffering makes a signal that races with
+// the waiter's re-scan stick instead of getting lost), and diagnostic
+// metadata for the stall watchdog — when the wait began and, for
+// transaction-driven acquisitions, the blocked transaction's acquisition
+// log as of blocking (the owner is parked inside Acquire and appends to
+// the log only after it deregisters, so the watchdog may read the
+// snapshot under mu without racing the owner).
 type waiterV2 struct {
-	mask []wordMask
-	ch   chan struct{}
+	mask  []wordMask
+	ch    chan struct{}
+	since time.Time
+	log   []Acquisition
 }
 
 // waiterPool recycles waiterV2s so the slow path allocates nothing in
@@ -248,18 +281,34 @@ var waiterPool = sync.Pool{New: func() any {
 	return &waiterV2{ch: make(chan struct{}, 1)}
 }}
 
-func getWaiter(mask []wordMask) *waiterV2 {
+// waitersOut counts waiters checked out of waiterPool and not yet
+// returned. The chaos harness asserts it returns to zero after a fault
+// burst drains: a nonzero steady-state value means a slow path leaked a
+// waiter (and with it, possibly a registration).
+var waitersOut atomic.Int64
+
+// WaitersOutstanding returns the number of slow-path waiters currently
+// checked out of the free-list across all instances. Zero when the
+// system is quiescent.
+func WaitersOutstanding() int64 { return waitersOut.Load() }
+
+func getWaiter(mask []wordMask, log []Acquisition) *waiterV2 {
 	w := waiterPool.Get().(*waiterV2)
 	select {
 	case <-w.ch: // stale token from the previous use
 	default:
 	}
 	w.mask = mask
+	w.since = time.Now()
+	w.log = log
+	waitersOut.Add(1)
 	return w
 }
 
 func putWaiter(w *waiterV2) {
 	w.mask = nil
+	w.log = nil
+	waitersOut.Add(-1)
 	waiterPool.Put(w)
 }
 
@@ -372,7 +421,7 @@ func (m *mechV2) tryAcquire(c *maskInfo) bool {
 // failed: bounded adaptive retries, then the blocking slow path. The
 // first attempt happens in Semantic.Acquire before the adaptive bound
 // is even loaded, so the uncontended path pays no extra atomic load.
-func (m *mechV2) acquireContended(c *maskInfo) {
+func (m *mechV2) acquireContended(c *maskInfo, log []Acquisition) {
 	bound := m.spin.Load()
 	for attempt := int32(1); attempt < bound; attempt++ {
 		if m.tryAcquire(c) {
@@ -389,7 +438,7 @@ func (m *mechV2) acquireContended(c *maskInfo) {
 		// slow path sooner next time.
 		m.spin.Store(bound - 1)
 	}
-	m.slowAcquire(c)
+	m.slowAcquire(c, log)
 }
 
 // slowAcquire serializes claim-and-scan through the internal lock and
@@ -397,9 +446,9 @@ func (m *mechV2) acquireContended(c *maskInfo) {
 // is registered before its first scan under mu and stays registered
 // until it acquires, so a releaser that decrements after a failed scan
 // is guaranteed to find it in the registry.
-func (m *mechV2) slowAcquire(c *maskInfo) {
+func (m *mechV2) slowAcquire(c *maskInfo, log []Acquisition) {
 	m.slow.Add(1)
-	w := getWaiter(c.words)
+	w := getWaiter(c.words, log)
 	m.mu.Lock()
 	m.registerLocked(w)
 	for {
@@ -422,6 +471,118 @@ func (m *mechV2) slowAcquire(c *maskInfo) {
 		<-w.ch
 		m.mu.Lock()
 	}
+}
+
+// stallSlot is one conflicting counter slot observed over its threshold
+// when a bounded acquisition gave up: the local slot index and the number
+// of holders beyond the acquirer's own transient claim.
+type stallSlot struct {
+	slot  int32
+	count int32
+}
+
+// conflictHolders collects every conflicting slot currently over its
+// threshold, with the count of other holders on each. The caller has
+// already claimed its own slot (thresholds account for that, as in
+// conflicts). An empty result means no conflict — the claim can stand.
+// This is the diagnostic twin of conflicts: it always walks the exact
+// flat slot list rather than the summary bitset, because it runs only on
+// the timeout path where completeness beats speed.
+func (m *mechV2) conflictHolders(c *maskInfo) []stallSlot {
+	var out []stallSlot
+	for _, r := range c.refs {
+		if n := m.counts[r.slot].Load() - r.threshold; n > 0 {
+			out = append(out, stallSlot{slot: int32(r.slot), count: n})
+		}
+	}
+	return out
+}
+
+// acquireWithin is slowAcquire with bounded patience: it sleeps on the
+// waiter channel under a timer and gives up once patience is exhausted,
+// reporting the conflicting holder slots it last observed. On timeout it
+// makes one final claim-and-scan under mu — a release may have raced the
+// timer — so a reported stall is a real conflict observed at the moment
+// of giving up, never a stale one.
+func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, log []Acquisition) ([]stallSlot, bool) {
+	m.slow.Add(1)
+	w := getWaiter(c.words, log)
+	timer := time.NewTimer(patience)
+	defer timer.Stop()
+	m.mu.Lock()
+	m.registerLocked(w)
+	for {
+		m.claim(c.selfSlot)
+		if !m.conflicts(c) {
+			m.deregisterLocked(w)
+			m.mu.Unlock()
+			putWaiter(w)
+			return nil, true
+		}
+		m.retreat(c.selfSlot)
+		m.waits.Add(1)
+		m.mu.Unlock()
+		select {
+		case <-w.ch:
+			m.mu.Lock()
+		case <-timer.C:
+			m.mu.Lock()
+			m.claim(c.selfSlot)
+			holders := m.conflictHolders(c)
+			if len(holders) == 0 {
+				// The conflict cleared between the releaser's wake and the
+				// timer firing; the claim stands — acquired, not stalled.
+				m.deregisterLocked(w)
+				m.mu.Unlock()
+				putWaiter(w)
+				return nil, true
+			}
+			m.retreat(c.selfSlot)
+			m.deregisterLocked(w)
+			// A signal racing the timeout may have parked a token in w.ch.
+			// That token announced a release this waiter will now never
+			// consume; re-donate it to the remaining overlapping waiters
+			// before the channel is recycled so their progress does not
+			// depend on the next release. (Channels are per-waiter, so a
+			// discarded token cannot block anyone outright — re-donation
+			// converts our wasted wakeup into a chance at theirs.)
+			select {
+			case <-w.ch:
+				m.redonateLocked(w.mask)
+			default:
+			}
+			m.mu.Unlock()
+			putWaiter(w)
+			return holders, false
+		}
+	}
+}
+
+// redonateLocked forwards an orphaned wake token to every remaining
+// waiter whose conflict mask overlaps the departing waiter's. Spurious
+// wakeups just re-scan and sleep again; a missed wakeup would strand a
+// waiter, so over-delivery is the safe direction. Callers hold mu.
+func (m *mechV2) redonateLocked(mask []wordMask) {
+	for _, wt := range m.waiters {
+		if masksOverlap(wt.mask, mask) {
+			select {
+			case wt.ch <- struct{}{}:
+			default: // token already pending; one is enough
+			}
+		}
+	}
+}
+
+// masksOverlap reports whether two sparse word bitsets share any slot.
+func masksOverlap(a, b []wordMask) bool {
+	for i := range a {
+		for j := range b {
+			if a[i].w == b[j].w && a[i].bits&b[j].bits != 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // wake signals the waiters whose conflict mask covers slot. The
@@ -595,5 +756,42 @@ func (m *mechanism) wakeWaiters() {
 		m.mu.Lock()
 		m.cond.Broadcast()
 		m.mu.Unlock()
+	}
+}
+
+// acquireWithin is the v1 bounded acquisition: a claim-scan-retreat poll
+// with exponential backoff until the deadline. The v1 mechanism's
+// broadcast condition variable has no per-waiter channel to arm a timer
+// on, so this ablation-only path polls instead of sleeping on the cond —
+// coarser than v2's timer-armed select, but it preserves the same
+// contract: acquired before the deadline, or a report of the conflicting
+// holder slots observed at the moment of giving up.
+func (m *mechanism) acquireWithin(slot int, conf []conflictRef, patience time.Duration) ([]stallSlot, bool) {
+	m.slow.Add(1)
+	deadline := time.Now().Add(patience)
+	backoff := 50 * time.Microsecond
+	for {
+		m.counts[slot].Add(1)
+		var out []stallSlot
+		for _, c := range conf {
+			if n := m.counts[c.slot].Load() - c.threshold; n > 0 {
+				out = append(out, stallSlot{slot: int32(c.slot), count: n})
+			}
+		}
+		if len(out) == 0 {
+			return nil, true // the claim stands: acquired
+		}
+		m.counts[slot].Add(-1)
+		// Our transient claim may have bounced a concurrent scanner into
+		// the cond wait; the broadcast path is cheap when nobody waits.
+		m.wakeWaiters()
+		if !time.Now().Before(deadline) {
+			return out, false
+		}
+		m.waits.Add(1)
+		time.Sleep(backoff)
+		if backoff < time.Millisecond {
+			backoff *= 2
+		}
 	}
 }

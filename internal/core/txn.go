@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Txn is a transaction: the execution of an atomic section (§2.1). It
@@ -50,6 +51,14 @@ func NewTxn() *Txn { return &Txn{} }
 // Used by tests and race harnesses.
 func NewCheckedTxn() *Txn { return &Txn{checked: true} }
 
+// resetShrinkCap is the backing-array capacity past which Reset drops
+// the held/log arrays instead of truncating them. Pooled transactions
+// otherwise pin their high-water memory forever: one pathologically
+// lock-heavy section would leave every reuse carrying its peak backing
+// array. 64 comfortably covers the typical handful of instances per
+// section (holdsIndexThreshold is 16) while bounding pooled retention.
+const resetShrinkCap = 64
+
 // Reset clears the transaction for reuse. It panics if locks are still
 // held (every transaction must end with UnlockAll).
 func (t *Txn) Reset() {
@@ -59,7 +68,14 @@ func (t *Txn) Reset() {
 	t.unlockedAt = 0
 	t.haveLast = false
 	t.heldIdx = nil
-	t.log = t.log[:0]
+	if cap(t.held) > resetShrinkCap {
+		t.held = nil
+	}
+	if cap(t.log) > resetShrinkCap {
+		t.log = nil
+	} else {
+		t.log = t.log[:0]
+	}
 }
 
 // holdsIndexThreshold is the held-lock count past which Txn switches its
@@ -104,7 +120,46 @@ func (t *Txn) Lock(s *Semantic, m ModeID, rank int) {
 				rank, s.id, t.lastRank, t.lastID))
 		}
 	}
-	s.Acquire(m)
+	// acquireLogged rather than Acquire so a blocked acquisition exposes
+	// this transaction's log to the stall watchdog (nil for unchecked
+	// transactions — identical to Acquire then).
+	s.acquireLogged(m, t.log)
+	t.recordHeld(s, m, rank)
+}
+
+// LockWithin is Lock with bounded patience: it waits at most patience
+// for the acquisition, returning nil once the lock is held (or was
+// already held, or s is nil) and a *StallError naming the conflicting
+// holder slots if the wait timed out. A timed-out LockWithin leaves the
+// transaction exactly as it was — nothing acquired, nothing recorded —
+// so the caller may retry, release and restart, or surface the error.
+func (t *Txn) LockWithin(s *Semantic, m ModeID, rank int, patience time.Duration) error {
+	// Pre-checks mirror Lock's exactly (kept inline so Lock's hot path
+	// stays call-free before the acquisition).
+	if s == nil || t.Holds(s) {
+		return nil
+	}
+	if t.unlockedAt > 0 {
+		panic("core: S2PL violation: lock after unlock in the same transaction")
+	}
+	if t.checked && t.haveLast {
+		if rank < t.lastRank || (rank == t.lastRank && s.id <= t.lastID) {
+			panic(fmt.Sprintf(
+				"core: OS2PL violation: locking (rank=%d,id=%d) after (rank=%d,id=%d)",
+				rank, s.id, t.lastRank, t.lastID))
+		}
+	}
+	if err := s.acquireWithin(m, patience, t.log); err != nil {
+		return err
+	}
+	t.recordHeld(s, m, rank)
+	return nil
+}
+
+// recordHeld performs the post-acquisition bookkeeping shared by Lock
+// and LockWithin: LOCAL_SET membership, the order-tracking state, and
+// the checked acquisition log.
+func (t *Txn) recordHeld(s *Semantic, m ModeID, rank int) {
 	t.held = append(t.held, heldLock{sem: s, mode: m, rank: rank})
 	if t.heldIdx != nil {
 		t.heldIdx[s] = struct{}{}

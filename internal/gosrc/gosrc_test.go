@@ -119,8 +119,7 @@ func TestGenerateDemo(t *testing.T) {
 	}
 	for _, want := range []string{
 		"func Process(m *semadt.Map, q *semadt.Queue, id, x, y int, flag bool) {",
-		"tx := core.NewTxn()",
-		"defer tx.UnlockAll()",
+		"core.Atomically(func(tx *core.Txn) {",
 		"tx.Lock(semadt.SemOf(m), _semlockMode(_semlockSite0, semadt.ID(id)), 0)",
 		"tx.Lock(semadt.SemOf(set)",
 		"set = semadt.NewSet(_semlockTblSet)",

@@ -106,8 +106,15 @@ func (*While) stmtNode()  {}
 
 // ---- Synthetic statements inserted by the synthesizer ----
 
-// Prologue initializes LOCAL_SET (§3.1).
-type Prologue struct{}
+// Prologue initializes LOCAL_SET (§3.1). Guard additionally demands a
+// panic-guarded epilogue: the emitted section must release LOCAL_SET on
+// every exit path — normal return, early unlock, abort, or panic — by
+// wrapping the section body in core.Atomically. The synthesizer always
+// sets Guard, making every synthesized section panic-safe by
+// construction; an unguarded Prologue is only constructible by hand.
+type Prologue struct {
+	Guard bool
+}
 
 // Epilogue unlocks every ADT in LOCAL_SET (§3.1).
 type Epilogue struct{}
@@ -224,7 +231,8 @@ func cloneStmt(s Stmt) Stmt {
 	case *While:
 		return &While{Cond: x.Cond, Body: cloneBlock(x.Body)}
 	case *Prologue:
-		return &Prologue{}
+		cp := *x
+		return &cp
 	case *Epilogue:
 		return &Epilogue{}
 	case *LV:

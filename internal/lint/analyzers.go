@@ -327,6 +327,187 @@ func (p *Pass) checkUnlockPaths(fn *ast.FuncDecl) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// abortpath
+// ---------------------------------------------------------------------
+
+// AbortPath flags functions that create a core.Txn — core.NewTxn(),
+// core.NewCheckedTxn(), or a pool checkout asserted to *core.Txn —
+// without a panic-safe release: a deferred UnlockAll (directly or
+// inside a deferred func literal) or a Txn.Atomically section. An
+// in-line UnlockAll is not enough: a panic between the lock and the
+// release strands the holder counts forever (no other goroutine can
+// clean them up), which is exactly the failure the runtime's panic-safe
+// epilogue exists to prevent. A transaction whose ownership leaves the
+// function through a return statement is the caller's to guard;
+// deliberate other shapes carry //semlockvet:ignore with a reason.
+var AbortPath = &Analyzer{
+	Name: "abortpath",
+	Doc:  "flags Txn creation without a deferred UnlockAll or Atomically guard",
+	Run:  runAbortPath,
+}
+
+func runAbortPath(p *Pass) {
+	if strings.HasSuffix(p.PkgPath, "internal/core") {
+		return // the epilogue's own plumbing lives here
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			p.checkAbortScope(fn.Name.Name, fn.Body)
+		}
+	}
+}
+
+// abortCreation is one Txn acquisition site within a scope.
+type abortCreation struct {
+	pos     token.Pos
+	obj     types.Object // the bound variable, if any
+	escaped bool         // ownership left through a return statement
+}
+
+// checkAbortScope analyzes one function-like scope (a FuncDecl body or
+// a func literal's body; nested literals are separate scopes).
+func (p *Pass) checkAbortScope(name string, body *ast.BlockStmt) {
+	isTxnPtr := func(t types.Type) bool {
+		ptr, ok := t.(*types.Pointer)
+		return ok && namedFromCore(ptr.Elem(), "Txn")
+	}
+	// newTxn reports whether e mints or checks out a transaction.
+	newTxn := func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "NewTxn" && sel.Sel.Name != "NewCheckedTxn") {
+				return false
+			}
+			t := p.TypeOf(x)
+			return t != nil && isTxnPtr(t)
+		case *ast.TypeAssertExpr:
+			return x.Type != nil && isTxnPtr(p.TypeOf(x.Type))
+		}
+		return false
+	}
+	isTxnMethod := func(call *ast.CallExpr, method string) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == method && namedFromCore(p.TypeOf(sel.X), "Txn")
+	}
+
+	var creations []*abortCreation
+	byObj := map[types.Object][]*abortCreation{} // one variable may bind several creation sites
+	recorded := map[token.Pos]bool{}
+	guarded := false
+	var lits []*ast.FuncLit
+
+	record := func(e ast.Expr, lhs ast.Expr) {
+		if !newTxn(e) || recorded[e.Pos()] {
+			return
+		}
+		recorded[e.Pos()] = true
+		c := &abortCreation{pos: e.Pos()}
+		if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.Defs[id]; obj != nil {
+				c.obj = obj
+			} else if obj := p.Info.Uses[id]; obj != nil {
+				c.obj = obj
+			}
+		}
+		creations = append(creations, c)
+		if c.obj != nil {
+			byObj[c.obj] = append(byObj[c.obj], c)
+		}
+	}
+	// markEscaped marks every creation referenced inside e — by its
+	// bound variable or as the creation expression itself.
+	markEscaped := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				for _, c := range byObj[p.Info.Uses[x]] {
+					c.escaped = true
+				}
+			case *ast.CallExpr, *ast.TypeAssertExpr:
+				if expr := n.(ast.Expr); newTxn(expr) {
+					record(expr, nil)
+					for _, c := range creations {
+						if c.pos == expr.Pos() {
+							c.escaped = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, x)
+			return false // its own scope
+		case *ast.DeferStmt:
+			if isTxnMethod(x.Call, "UnlockAll") {
+				guarded = true
+			}
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && isTxnMethod(call, "UnlockAll") {
+						guarded = true
+					}
+					return true
+				})
+				lits = append(lits, lit)
+			}
+			return false // a deferred Put(tx) is cleanup, not an ownership escape
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				markEscaped(res)
+			}
+			return true
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, rhs := range x.Rhs {
+					record(rhs, x.Lhs[i])
+				}
+			}
+			return true
+		case *ast.ValueSpec:
+			for i, v := range x.Values {
+				if i < len(x.Names) {
+					record(v, x.Names[i])
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if isTxnMethod(x, "Atomically") {
+				guarded = true
+			}
+			record(x, nil) // a discarded or nested creation still leaks
+			return true
+		case *ast.TypeAssertExpr:
+			record(x, nil)
+			return true
+		}
+		return true
+	})
+
+	if !guarded {
+		for _, c := range creations {
+			if !c.escaped {
+				p.Reportf(c.pos,
+					"core.Txn created in %s without a panic-safe release; wrap the section in Atomically or defer UnlockAll",
+					name)
+			}
+		}
+	}
+	for _, lit := range lits {
+		p.checkAbortScope("func literal", lit.Body)
+	}
+}
+
 // exprText renders a simple receiver expression for diagnostics.
 func exprText(e ast.Expr) string {
 	switch x := e.(type) {

@@ -21,6 +21,11 @@
 //   - unlockpath: in internal/modules, a function that locks through a
 //     Txn must release on every return path (defer tx.UnlockAll() or an
 //     explicit unlock before each return).
+//   - abortpath: a function that creates a core.Txn (NewTxn,
+//     NewCheckedTxn, or a pool checkout asserted to *core.Txn) must
+//     guard its release against panics — a deferred UnlockAll or an
+//     Atomically section — unless it returns the transaction to its
+//     caller.
 //
 // Deliberate exceptions — plan transcriptions in internal/modules and
 // internal/apps, and benchmarks of the bare mechanism — carry
@@ -83,7 +88,7 @@ func (d Diagnostic) String() string {
 
 // All returns the repository's analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{PaddedCopy, TxnDiscipline, ModeMask, UnlockPath}
+	return []*Analyzer{PaddedCopy, TxnDiscipline, ModeMask, UnlockPath, AbortPath}
 }
 
 // Run applies the analyzers to the packages and returns the findings

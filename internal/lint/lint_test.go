@@ -76,6 +76,7 @@ func TestAnalyzers(t *testing.T) {
 		{"txndiscipline.go", "repro/tdata", TxnDiscipline},
 		{"modemask.go", "repro/tdata", ModeMask},
 		{"unlockpath.go", "repro/internal/modules/tdata", UnlockPath},
+		{"abortpath.go", "repro/tdata", AbortPath},
 		{"directives.go", "repro/tdata", TxnDiscipline},
 	}
 	for _, tc := range cases {
@@ -118,6 +119,10 @@ func TestPathGates(t *testing.T) {
 	inCore := loadFixture(t, "repro/internal/core", "txndiscipline.go")
 	if diags := Run([]*Package{inCore}, []*Analyzer{TxnDiscipline}); len(diags) != 0 {
 		t.Errorf("txndiscipline fired inside internal/core: %v", diags)
+	}
+	abortInCore := loadFixture(t, "repro/internal/core", "abortpath.go")
+	if diags := Run([]*Package{abortInCore}, []*Analyzer{AbortPath}); len(diags) != 0 {
+		t.Errorf("abortpath fired inside internal/core: %v", diags)
 	}
 }
 

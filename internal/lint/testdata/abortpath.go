@@ -1,0 +1,78 @@
+// Fixture for the abortpath analyzer: creating (or checking out) a
+// core.Txn obliges the function to guard its release against panics —
+// a deferred UnlockAll or an Atomically section — unless ownership is
+// returned to the caller.
+package tdata
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+func inlineReleaseIsNotPanicSafe(sem *core.Semantic, m core.ModeID) {
+	tx := core.NewTxn() // want "without a panic-safe release"
+	tx.Lock(sem, m, 0)
+	tx.UnlockAll()
+}
+
+func checkedNeverReleases(sem *core.Semantic, m core.ModeID) {
+	tx := core.NewCheckedTxn() // want "without a panic-safe release"
+	tx.Lock(sem, m, 0)
+}
+
+func discardedCreationLeaks() {
+	core.NewTxn() // want "without a panic-safe release"
+}
+
+var txnPool = sync.Pool{New: func() any { return core.NewTxn() }} // returned: caller guards
+
+func pooledInlineRelease(sem *core.Semantic, m core.ModeID) {
+	tx := txnPool.Get().(*core.Txn) // want "without a panic-safe release"
+	tx.Lock(sem, m, 0)
+	tx.UnlockAll()
+	txnPool.Put(tx) // handing back to the pool is cleanup, not a guard
+}
+
+func deferredUnlockIsClean(sem *core.Semantic, m core.ModeID) {
+	tx := core.NewTxn()
+	defer tx.UnlockAll()
+	tx.Lock(sem, m, 0)
+}
+
+func deferredClosureIsClean(sem *core.Semantic, m core.ModeID) {
+	tx := txnPool.Get().(*core.Txn)
+	defer func() {
+		tx.UnlockAll()
+		tx.Reset()
+		txnPool.Put(tx)
+	}()
+	tx.Lock(sem, m, 0)
+}
+
+func atomicallyIsClean(sem *core.Semantic, m core.ModeID) {
+	tx := core.NewTxn()
+	tx.Atomically(func(tx *core.Txn) {
+		tx.Lock(sem, m, 0)
+	})
+}
+
+func handoffByReturnIsClean() *core.Txn {
+	return core.NewTxn()
+}
+
+func handoffVariableIsClean(checked bool) *core.Txn {
+	var tx *core.Txn
+	if checked {
+		tx = core.NewCheckedTxn()
+	} else {
+		tx = core.NewTxn()
+	}
+	return tx
+}
+
+func suppressedOnPurpose(sem *core.Semantic, m core.ModeID) {
+	tx := core.NewTxn() //semlockvet:ignore abortpath -- fixture: demonstrates the escape hatch
+	tx.Lock(sem, m, 0)
+	tx.UnlockAll()
+}

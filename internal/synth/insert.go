@@ -69,7 +69,11 @@ func insertLocking(si int, sec *ir.Atomic, cs *Classes) *ir.Atomic {
 	}
 
 	out.Body = insertBefore(out.Body, groups)
-	out.Body = append(ir.Block{&ir.Prologue{}}, out.Body...)
+	// The prologue demands a panic guard (Prologue.Guard): the emitted
+	// epilogue must run on every exit path including panics, so a fault
+	// inside the section can never leak LOCAL_SET's locks. gosrc renders
+	// this as a core.Atomically wrapper around the section body.
+	out.Body = append(ir.Block{&ir.Prologue{Guard: true}}, out.Body...)
 	out.Body = append(out.Body, &ir.Epilogue{})
 	return out
 }
