@@ -12,6 +12,8 @@
 //	benchall -exp ablation   # design-choice ablations A1–A5
 //	benchall -exp lockmech   # lock-mechanism v2 vs v1 microbenchmark
 //	                           (real execution; writes BENCH_lockmech.json)
+//	benchall -exp hotpath    # fused-prologue vs sequential-prologue
+//	                           (real execution; writes BENCH_hotpath.json)
 //	benchall -exp chaos      # fault-injection and recovery experiment
 //	                           (real execution; writes BENCH_chaos.json)
 //	benchall -real           # include real-execution measurements
@@ -34,7 +36,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|chaos|stats|all")
+		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|hotpath|chaos|stats|all")
 	scale := flag.Int("scale", 20000, "simulated transactions per thread")
 	real := flag.Bool("real", false, "also run real-execution measurements on this host")
 	realOps := flag.Int("realops", 30000, "real-execution operations per thread")
@@ -66,6 +68,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_lockmech.json")
+		ran = true
+	}
+	// The hotpath experiment also measures real execution, so it only
+	// runs when asked for explicitly.
+	if *exp == "hotpath" {
+		rep := bench.HotpathBench(bench.HotpathConfig{OpsPerThread: *scale, TotalOps: *scale * 5})
+		fmt.Println(rep.Format())
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile("BENCH_hotpath.json", append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: writing BENCH_hotpath.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_hotpath.json")
 		ran = true
 	}
 	// The chaos experiment injects real panics and delays into real

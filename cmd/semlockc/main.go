@@ -13,6 +13,8 @@
 // The -plan output is the paper's notation (compare Fig 2): each atomic
 // section with its inserted lock/unlockAll statements and refined
 // symbolic sets, plus a per-class summary of the compiled locking modes.
+// The default stage is the full pipeline (prologue fusion included);
+// -stage rewinds the plan view to an earlier paper figure.
 //
 // The -verify mode re-proves the OS2PL obligations of §3.3 (coverage,
 // two-phase, ordering) on the synthesized output with the internal/verify
@@ -34,8 +36,8 @@ func main() {
 	out := flag.String("out", "", "output file for the rewritten source (default: stdout)")
 	planOnly := flag.Bool("plan", false, "print the synthesized locking plan instead of code")
 	verifyOnly := flag.Bool("verify", false, "print the OS2PL certificate for the synthesized sections instead of code")
-	stage := flag.String("stage", "refine",
-		"pipeline stage for -plan: insert|redundant|localset|earlyrelease|nullchecks|refine (the paper's Figs 13-15, 26, 27, 28, 17, 2)")
+	stage := flag.String("stage", "fuse",
+		"pipeline stage for -plan: insert|redundant|localset|earlyrelease|nullchecks|refine|fuse (the paper's Figs 13-15, 26, 27, 28, 17, 2, then prologue fusion)")
 	flag.Parse()
 
 	if *in == "" {
@@ -74,7 +76,7 @@ func main() {
 		fmt.Print(gosrc.PlanText(res))
 		return
 	}
-	if st != synth.StageRefine {
+	if st != synth.StageFuse {
 		fail(fmt.Errorf("-stage only applies to -plan; code generation needs the full pipeline"))
 	}
 	src, err := gosrc.Generate(f, res)
@@ -99,6 +101,7 @@ var stages = map[string]synth.Stage{
 	"earlyrelease": synth.StageEarlyRelease,
 	"nullchecks":   synth.StageNullChecks,
 	"refine":       synth.StageRefine,
+	"fuse":         synth.StageFuse,
 }
 
 func fail(err error) {

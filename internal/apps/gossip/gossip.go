@@ -172,6 +172,8 @@ func New(policy string, sendCost int, opt plan.Options) Router {
 	switch policy {
 	case "ours":
 		return NewOurs(sendCost, opt)
+	case "ours-fused":
+		return NewOursFused(sendCost, opt)
 	case "global":
 		return &global{groups: adt.NewHashMap()}
 	case "2pl":
@@ -214,6 +216,24 @@ type Ours struct {
 	uniMem    func(...core.Value) core.ModeID // unicast: members {get(dst)}
 	mcG       func(...core.Value) core.ModeID // multicast: groups {get(g)}
 	mcMem     func(...core.Value) core.ModeID // multicast: members {values()}
+
+	// fused selects the fused-prologue hot path (-exp hotpath): mode
+	// selection goes through the fixed-arity interned selectors and the
+	// transaction memo (Txn.CachedMode1) instead of the variadic Binder
+	// closures, so repeated acquisitions on the same group/member values
+	// neither allocate nor re-hash through φ. The two locks themselves
+	// stay sequential — the member map is only known after the get on
+	// the outer map, under the outer lock — so the fused win here is the
+	// mode-construction half of the prologue.
+	fused        bool
+	regGroupsRef core.SetRef
+	regMem2      func(core.Value, core.Value) core.ModeID
+	unregGRef    core.SetRef
+	unregMemRef  core.SetRef
+	uniGRef      core.SetRef
+	uniMemRef    core.SetRef
+	mcGRef       core.SetRef
+	mcMemMode    core.ModeID
 }
 
 // memberMap is one inner ADT instance: a map plus its semantic lock.
@@ -241,6 +261,23 @@ func NewOurs(sendCost int, opt plan.Options) *Ours {
 	o.uniMem = p.Ref(2, "members").Binder("dst")
 	o.mcG = p.Ref(3, "groups").Binder("g")
 	o.mcMem = p.Ref(3, "members").Binder()
+	o.regGroupsRef = p.Ref(0, "groups")
+	o.regMem2 = p.Ref(0, "members").Binder2("m", "conn")
+	o.unregGRef = p.Ref(1, "groups")
+	o.unregMemRef = p.Ref(1, "members")
+	o.uniGRef = p.Ref(2, "groups")
+	o.uniMemRef = p.Ref(2, "members")
+	o.mcGRef = p.Ref(3, "groups")
+	o.mcMemMode = p.Ref(3, "members").Mode()
+	return o
+}
+
+// NewOursFused is NewOurs with the fused-prologue hot path enabled; see
+// the fused field. New("ours-fused", ...) returns the same thing as a
+// Router.
+func NewOursFused(sendCost int, opt plan.Options) *Ours {
+	o := NewOurs(sendCost, opt)
+	o.fused = true
 	return o
 }
 
@@ -263,6 +300,10 @@ func (o *Ours) Sems() []*core.Semantic {
 }
 
 func (o *Ours) Register(group, member string, conn *Conn) {
+	if o.fused {
+		o.registerFused(group, member, conn)
+		return
+	}
 	mg := o.regGroups(group)
 	core.Atomically(func(tx *core.Txn) {
 		tx.Lock(o.groupsSem, mg, o.groupsRank)
@@ -279,7 +320,27 @@ func (o *Ours) Register(group, member string, conn *Conn) {
 	})
 }
 
+func (o *Ours) registerFused(group, member string, conn *Conn) {
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, tx.CachedMode1(o.regGroupsRef, group), o.groupsRank)
+		var mm *memberMap
+		if v := o.groups.Get(group); v != nil {
+			mm = v.(*memberMap)
+		} else {
+			mm = &memberMap{m: adt.NewHashMap(), sem: core.NewSemantic(o.memTable)}
+			o.groups.Put(group, mm)
+		}
+		tx.Lock(mm.sem, o.regMem2(member, conn), o.memRank)
+		o.fault("register")
+		mm.m.Put(member, conn)
+	})
+}
+
 func (o *Ours) Unregister(group, member string) {
+	if o.fused {
+		o.unregisterFused(group, member)
+		return
+	}
 	mg := o.unregG(group)
 	core.Atomically(func(tx *core.Txn) {
 		tx.Lock(o.groupsSem, mg, o.groupsRank)
@@ -292,7 +353,23 @@ func (o *Ours) Unregister(group, member string) {
 	})
 }
 
+func (o *Ours) unregisterFused(group, member string) {
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, tx.CachedMode1(o.unregGRef, group), o.groupsRank)
+		if v := o.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			tx.Lock(mm.sem, tx.CachedMode1(o.unregMemRef, member), o.memRank)
+			o.fault("unregister")
+			mm.m.Remove(member)
+		}
+	})
+}
+
 func (o *Ours) Unicast(group, dst string, payload []byte) {
+	if o.fused {
+		o.unicastFused(group, dst, payload)
+		return
+	}
 	mg := o.uniG(group)
 	core.Atomically(func(tx *core.Txn) {
 		tx.Lock(o.groupsSem, mg, o.groupsRank)
@@ -307,13 +384,45 @@ func (o *Ours) Unicast(group, dst string, payload []byte) {
 	})
 }
 
+func (o *Ours) unicastFused(group, dst string, payload []byte) {
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, tx.CachedMode1(o.uniGRef, group), o.groupsRank)
+		if v := o.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			tx.Lock(mm.sem, tx.CachedMode1(o.uniMemRef, dst), o.memRank)
+			o.fault("unicast")
+			if c := mm.m.Get(dst); c != nil {
+				c.(*Conn).Send(payload) // I/O inside the section
+			}
+		}
+	})
+}
+
 func (o *Ours) Multicast(group string, payload []byte) {
+	if o.fused {
+		o.multicastFused(group, payload)
+		return
+	}
 	mg := o.mcG(group)
 	core.Atomically(func(tx *core.Txn) {
 		tx.Lock(o.groupsSem, mg, o.groupsRank)
 		if v := o.groups.Get(group); v != nil {
 			mm := v.(*memberMap)
 			tx.Lock(mm.sem, o.mcMem(), o.memRank)
+			o.fault("multicast")
+			for _, c := range mm.m.Values() {
+				c.(*Conn).Send(payload) // I/O inside the section
+			}
+		}
+	})
+}
+
+func (o *Ours) multicastFused(group string, payload []byte) {
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, tx.CachedMode1(o.mcGRef, group), o.groupsRank)
+		if v := o.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			tx.Lock(mm.sem, o.mcMemMode, o.memRank)
 			o.fault("multicast")
 			for _, c := range mm.m.Values() {
 				c.(*Conn).Send(payload) // I/O inside the section

@@ -214,6 +214,8 @@ func NewProcessor(policy string, opt plan.Options) Processor {
 	switch policy {
 	case "ours":
 		return NewOurs(opt)
+	case "ours-fused":
+		return NewOursFused(opt)
 	case "global":
 		return &globalProc{fmap: adt.NewHashMap(), decoded: adt.NewQueue()}
 	case "2pl":
@@ -246,6 +248,16 @@ type Ours struct {
 	fmapRef  core.SetRef
 	encRef   core.SetRef // reassembly: {enqueue(payload)}
 	popRef   core.SetRef // pop: {dequeue()}
+	popMode  core.ModeID // interned pop mode (constant set, one mode)
+
+	// fused selects the fused-prologue hot path (-exp hotpath): every
+	// mode of the per-packet prologue goes through a fixed-arity
+	// interned selector instead of the variadic Mode call, so it never
+	// allocates a variadic []Value. The transaction memo is not used
+	// here — flow ids are near-uniform over thousands of flows, so an
+	// 8-entry memo cannot hit and its probe would be pure overhead
+	// (unlike gossip, whose group names repeat).
+	fused bool
 
 	// FaultHook, when non-nil, is called at each section's fault point —
 	// with the section's locks held — with the section name ("process",
@@ -266,6 +278,16 @@ func NewOurs(opt plan.Options) *Ours {
 	o.fmapRef = p.Ref(0, "fmap")
 	o.encRef = p.Ref(0, "decoded")
 	o.popRef = p.Ref(1, "decoded")
+	o.popMode = modeOf(o.popRef)
+	return o
+}
+
+// NewOursFused is NewOurs with the fused-prologue hot path enabled; see
+// the fused field. NewProcessor("ours-fused", ...) returns the same
+// thing as a Processor.
+func NewOursFused(opt plan.Options) *Ours {
+	o := NewOurs(opt)
+	o.fused = true
 	return o
 }
 
@@ -289,6 +311,10 @@ func (o *Ours) Sems() []*core.Semantic {
 }
 
 func (o *Ours) Process(p Packet) {
+	if o.fused {
+		o.processFused(p)
+		return
+	}
 	mf := modeOf(o.fmapRef, p.FlowID)
 	core.Atomically(func(tx *core.Txn) {
 		tx.Lock(o.fmapSem, mf, o.fmapRank)
@@ -300,8 +326,21 @@ func (o *Ours) Process(p Packet) {
 	})
 }
 
+func (o *Ours) processFused(p Packet) {
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.fmapSem, o.fmapRef.Mode1(p.FlowID), o.fmapRank)
+		o.fault("process")
+		if payload, done := reassemble(o.fmap, p); done {
+			// Payloads are fresh strings, so the memo cannot hit; the
+			// fixed-arity selector still skips the variadic allocation.
+			tx.Lock(o.decSem, o.encRef.Mode1(payload), o.decRank)
+			o.decoded.Enqueue(payload)
+		}
+	})
+}
+
 func (o *Ours) Pop() (payload string, ok bool) {
-	md := modeOf(o.popRef)
+	md := o.popMode
 	core.Atomically(func(tx *core.Txn) {
 		tx.Lock(o.decSem, md, o.decRank)
 		o.fault("pop")

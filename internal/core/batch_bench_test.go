@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+// Benchmarks for the fused-prologue acquisition fast path: a three-mode
+// same-instance batch against the three sequential acquisitions it
+// replaces. Run with `go test -bench AcquireBatch -benchmem ./internal/core`.
+
+func batchBenchFixture() (*Semantic, ModeID, ModeID, ModeID) {
+	keySet := SymSetOf(
+		SymOpOf("get", VarArg("k")),
+		SymOpOf("put", VarArg("k"), Star()),
+		SymOpOf("remove", VarArg("k")),
+	)
+	tbl := NewModeTable(mapSpec(), []SymSet{keySet}, TableOptions{Phi: NewPhi(64)})
+	ref := tbl.Set(keySet)
+	return NewSemantic(tbl), ref.Mode(0), ref.Mode(1), ref.Mode(2)
+}
+
+func BenchmarkAcquireSequential3(b *testing.B) {
+	s, m1, m2, m3 := batchBenchFixture()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Acquire(m1)
+		s.Acquire(m2)
+		s.Acquire(m3)
+		s.Release(m1)
+		s.Release(m2)
+		s.Release(m3)
+	}
+}
+
+func BenchmarkAcquireBatch3(b *testing.B) {
+	s, m1, m2, m3 := batchBenchFixture()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AcquireBatch(m1, m2, m3)
+		s.Release(m1)
+		s.Release(m2)
+		s.Release(m3)
+	}
+}

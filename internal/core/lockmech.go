@@ -165,6 +165,149 @@ func (s *Semantic) Release(m ModeID) {
 	}
 }
 
+// AcquireBatch acquires several modes on the instance in one pass — the
+// fused-prologue acquisition. Within each mechanism the batch claims
+// every constituent's counter slot before scanning the union of their
+// conflict masks once, and a conflict parks a single waiter registered
+// with the union mask instead of one waiter per mode. Modes falling in
+// different mechanisms commute pairwise by construction (§5.2), so the
+// mechanisms are processed sequentially without deadlock risk. One
+// batched acquisition counts once in LockStats regardless of the number
+// of constituent modes. Callers use Txn.LockBatch rather than calling
+// this directly.
+func (s *Semantic) AcquireBatch(ms ...ModeID) { s.acquireBatchLogged(ms, nil) }
+
+// acquireBatchLogged is AcquireBatch carrying the acquirer's transaction
+// log for the stall watchdog, as acquireLogged does for Acquire.
+func (s *Semantic) acquireBatchLogged(ms []ModeID, log []Acquisition) {
+	switch len(ms) {
+	case 0:
+		return
+	case 1:
+		s.acquireLogged(ms[0], log)
+		return
+	}
+	if s.DisableMechV2 {
+		// v1 (ablation A5) has no batch machinery; sequential
+		// acquisition is equivalent, just one waiter per mode on
+		// conflict.
+		for _, m := range ms {
+			s.acquireLogged(m, log)
+		}
+		return
+	}
+	// Single-mechanism batches — the shape fused prologues produce,
+	// since one instance's modes almost always share a partition — skip
+	// the grouping scratch. The optimistic pre-pass claims mode by mode
+	// exactly as the unfused prologue would, so a conflict-free batch
+	// costs no more than the sequential claims it replaces; a failed
+	// claim undoes the earlier ones (the pre-pass never blocks while
+	// holding partial claims, so two opposed batches cannot deadlock
+	// here) and falls back to the one-pass batch machinery, whose
+	// per-slot thresholds also self-permit intra-batch conflicts the
+	// per-mode claims cannot.
+	p0 := s.table.part[ms[0]]
+	samePart := p0 >= 0
+	for _, m := range ms[1:] {
+		if s.table.part[m] != p0 {
+			samePart = false
+			break
+		}
+	}
+	if samePart {
+		mech := &s.mechs[p0]
+		if !s.DisableFastPath {
+			k := 0
+			ok := true
+			for ; k < len(ms); k++ {
+				if !mech.tryAcquire(&s.table.masks[ms[k]]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				mech.fastPath.Add(uint64(len(ms)))
+				return
+			}
+			for j := 0; j < k; j++ {
+				s.Release(ms[j])
+			}
+		}
+		sc := batchScratchPool.Get().(*batchScratch)
+		sc.modes = append(sc.modes[:0], ms...)
+		s.acquireMechBatch(p0, sc, log)
+		batchScratchPool.Put(sc)
+		return
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	for i, m0 := range ms {
+		p := s.table.part[m0]
+		if p < 0 {
+			continue // conflicts with nothing; no mechanism needed
+		}
+		already := false
+		for j := 0; j < i; j++ {
+			if s.table.part[ms[j]] == p {
+				already = true // this mechanism's group was acquired at its first mode
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		sc.modes = append(sc.modes[:0], m0)
+		for j := i + 1; j < len(ms); j++ {
+			if s.table.part[ms[j]] == p {
+				sc.modes = append(sc.modes, ms[j])
+			}
+		}
+		if len(sc.modes) == 1 {
+			s.acquireLogged(m0, log)
+			continue
+		}
+		s.acquireMechBatch(p, sc, log)
+	}
+	batchScratchPool.Put(sc)
+}
+
+// acquireMechBatch assembles the batch scan structure for one
+// mechanism's group of modes and drives the fast/contended/slow
+// acquisition ladder, mirroring Acquire's shape.
+func (s *Semantic) acquireMechBatch(p int, sc *batchScratch, log []Acquisition) {
+	mech := &s.mechs[p]
+	b := &sc.b
+	b.slots = b.slots[:0]
+	b.claims = b.claims[:0]
+	b.refs = b.refs[:0]
+	b.words = b.words[:0]
+	for _, m := range sc.modes {
+		c := &s.table.masks[m]
+		b.slots = append(b.slots, c.selfSlot)
+		b.addClaim(c.selfSlot)
+		b.mergeWords(c.words)
+		for _, r := range c.refs {
+			b.addRef(int32(r.slot))
+		}
+	}
+	// Bake the thresholds: a slot the batch itself claims k times blocks
+	// only past k holders. This generalizes the single-mode self-slot
+	// threshold of 1, and makes intra-batch conflicts self-permitting —
+	// they are one transaction's own modes, and the no-two-transactions
+	// invariant says nothing about modes held by the same transaction.
+	for i := range b.refs {
+		b.refs[i].threshold = b.ownClaims(int32(b.refs[i].slot))
+	}
+	if s.DisableFastPath {
+		mech.slowAcquireBatch(b, log)
+		return
+	}
+	if mech.tryAcquireBatch(b) {
+		mech.fastPath.Add(1)
+		return
+	}
+	mech.acquireBatchContended(b, log)
+}
+
 // Stats returns the instance's cumulative acquisition statistics, summed
 // over both mechanism generations.
 func (s *Semantic) Stats() LockStats {
@@ -253,6 +396,12 @@ type mechV2 struct {
 	// their own counter and scans are exact.
 	useSummary bool
 
+	// watched is set once a Watchdog registers the instance. Slow-path
+	// waiters only pay a time.Now() for their diagnostic timestamp when
+	// somebody will actually read it (sampleMech); unwatched mechanisms
+	// skip the clock call entirely.
+	watched atomic.Bool
+
 	fastPath atomic.Uint64
 	slow     atomic.Uint64
 	waits    atomic.Uint64
@@ -292,14 +441,24 @@ var waitersOut atomic.Int64
 // system is quiescent.
 func WaitersOutstanding() int64 { return waitersOut.Load() }
 
-func getWaiter(mask []wordMask, log []Acquisition) *waiterV2 {
+// getWaiter checks a waiter out of the pool for one slow-path wait on
+// this mechanism. The diagnostic timestamp is gated on watchdog
+// registration: time.Now() costs a vDSO call on every slow-path entry,
+// and nothing reads w.since unless a Watchdog samples the instance. A
+// waiter parked before the first Watch carries a zero since; sampleMech
+// skips it (its wait start is unknown).
+func (m *mechV2) getWaiter(mask []wordMask, log []Acquisition) *waiterV2 {
 	w := waiterPool.Get().(*waiterV2)
 	select {
 	case <-w.ch: // stale token from the previous use
 	default:
 	}
 	w.mask = mask
-	w.since = time.Now()
+	if m.watched.Load() {
+		w.since = time.Now()
+	} else {
+		w.since = time.Time{}
+	}
 	w.log = log
 	waitersOut.Add(1)
 	return w
@@ -448,7 +607,7 @@ func (m *mechV2) acquireContended(c *maskInfo, log []Acquisition) {
 // is guaranteed to find it in the registry.
 func (m *mechV2) slowAcquire(c *maskInfo, log []Acquisition) {
 	m.slow.Add(1)
-	w := getWaiter(c.words, log)
+	w := m.getWaiter(c.words, log)
 	m.mu.Lock()
 	m.registerLocked(w)
 	for {
@@ -506,7 +665,7 @@ func (m *mechV2) conflictHolders(c *maskInfo) []stallSlot {
 // of giving up, never a stale one.
 func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, log []Acquisition) ([]stallSlot, bool) {
 	m.slow.Add(1)
-	w := getWaiter(c.words, log)
+	w := m.getWaiter(c.words, log)
 	timer := time.NewTimer(patience)
 	defer timer.Stop()
 	m.mu.Lock()
@@ -655,6 +814,209 @@ func (m *mechV2) deregisterLocked(w *waiterV2) {
 			}
 		}
 		m.waitMask[wd].Store(bits)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Batched acquisition (fused prologues)
+// ---------------------------------------------------------------------
+
+// batchScan is the one-pass scan structure of a batched acquisition
+// within one mechanism: every counter slot the batch claims (duplicates
+// included, in claim order), the deduplicated own-claim count per slot,
+// the union of the constituents' conflict lists with thresholds raised
+// to the batch's own claim counts, and the union word bitset — used
+// both for summary scans and as the single waiter's conflict mask.
+type batchScan struct {
+	slots  []int32
+	claims []slotClaim
+	refs   []conflictRef
+	words  []wordMask
+}
+
+// slotClaim is the batch's claim count on one counter slot (several
+// constituent modes may share a slot after canonical-mode merging).
+type slotClaim struct {
+	slot  int32
+	count int32
+}
+
+func (b *batchScan) addClaim(slot int32) {
+	for i := range b.claims {
+		if b.claims[i].slot == slot {
+			b.claims[i].count++
+			return
+		}
+	}
+	b.claims = append(b.claims, slotClaim{slot: slot, count: 1})
+}
+
+// ownClaims returns how many claims the batch itself publishes on slot.
+// Linear over the claims — prologue batches hold a handful of modes.
+func (b *batchScan) ownClaims(slot int32) int32 {
+	for i := range b.claims {
+		if b.claims[i].slot == slot {
+			return b.claims[i].count
+		}
+	}
+	return 0
+}
+
+// ownClaimsInWord returns the batch's total claims on slots of word w —
+// its own contribution to the mechanism's summary counter of that word.
+func (b *batchScan) ownClaimsInWord(w int32) int32 {
+	var n int32
+	for i := range b.claims {
+		if b.claims[i].slot>>6 == w {
+			n += b.claims[i].count
+		}
+	}
+	return n
+}
+
+func (b *batchScan) addRef(slot int32) {
+	for i := range b.refs {
+		if int32(b.refs[i].slot) == slot {
+			return
+		}
+	}
+	b.refs = append(b.refs, conflictRef{slot: int(slot)})
+}
+
+// mergeWords ORs one mode's conflict word bitset into the union mask.
+func (b *batchScan) mergeWords(words []wordMask) {
+	for _, wm := range words {
+		merged := false
+		for i := range b.words {
+			if b.words[i].w == wm.w {
+				b.words[i].bits |= wm.bits
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			b.words = append(b.words, wm)
+		}
+	}
+}
+
+// batchScratch carries the per-call scratch of AcquireBatch: the modes
+// gathered per mechanism and the batch scan structure. Pooled so fused
+// prologues allocate nothing in steady state.
+type batchScratch struct {
+	modes []ModeID
+	b     batchScan
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// tryAcquireBatch publishes every claim of the batch, then scans the
+// union conflict structure once. The Dekker argument is unchanged from
+// the single-mode protocol, applied per constituent: every claim is
+// published before any scan, so of two conflicting acquirers at least
+// one observes the other.
+func (m *mechV2) tryAcquireBatch(b *batchScan) bool {
+	for _, s := range b.slots {
+		m.claim(s)
+	}
+	if !m.conflictsBatch(b) {
+		return true
+	}
+	for _, s := range b.slots {
+		m.retreat(s)
+	}
+	// As in tryAcquire: our transient claims may have bounced concurrent
+	// scanners toward the slow path; their masks cover our slots, so
+	// targeted wakes suffice.
+	for i := range b.claims {
+		m.wake(b.claims[i].slot)
+	}
+	return false
+}
+
+// conflictsBatch is conflicts over the union structure: a slot blocks
+// the batch only past the batch's own claim count on it. The summary
+// skip condition generalizes the single-mode "s <= 1 on the self word":
+// a word whose summary does not exceed the batch's own claims on its
+// slots holds no foreign claims and is skipped with one load.
+func (m *mechV2) conflictsBatch(b *batchScan) bool {
+	if !m.useSummary {
+		for _, r := range b.refs {
+			if m.counts[r.slot].Load() > r.threshold {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range b.words {
+		wm := &b.words[i]
+		if m.summary[wm.w].Load() <= b.ownClaimsInWord(wm.w) {
+			continue
+		}
+		bs := wm.bits
+		base := wm.w << 6
+		for bs != 0 {
+			slot := base + int32(bits.TrailingZeros64(bs))
+			bs &= bs - 1
+			if m.counts[slot].Load() > b.ownClaims(slot) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// acquireBatchContended is acquireContended for a batch: bounded
+// adaptive retries sharing the mechanism's spin bound, then the
+// blocking slow path.
+func (m *mechV2) acquireBatchContended(b *batchScan, log []Acquisition) {
+	bound := m.spin.Load()
+	for attempt := int32(1); attempt < bound; attempt++ {
+		if m.tryAcquireBatch(b) {
+			m.fastPath.Add(1)
+			if bound < maxSpin {
+				m.spin.Store(bound + 1)
+			}
+			return
+		}
+	}
+	if bound > minSpin {
+		m.spin.Store(bound - 1)
+	}
+	m.slowAcquireBatch(b, log)
+}
+
+// slowAcquireBatch is slowAcquire for a batch: ONE waiter, registered
+// with the union conflict mask, covers every constituent mode — a
+// release on any conflicting slot wakes it, and it re-runs the whole
+// claim-and-scan under mu. This is the point of the fused slow path:
+// the sequential prologue would register (and wake, and deregister) up
+// to one waiter per mode.
+func (m *mechV2) slowAcquireBatch(b *batchScan, log []Acquisition) {
+	m.slow.Add(1)
+	w := m.getWaiter(b.words, log)
+	m.mu.Lock()
+	m.registerLocked(w)
+	for {
+		for _, s := range b.slots {
+			m.claim(s)
+		}
+		if !m.conflictsBatch(b) {
+			m.deregisterLocked(w)
+			m.mu.Unlock()
+			putWaiter(w)
+			return
+		}
+		for _, s := range b.slots {
+			m.retreat(s)
+		}
+		// No signal after the retreat, for slowAcquire's reasons: the
+		// scan ran under mu, so no other slow scanner saw the transient
+		// claims.
+		m.waits.Add(1)
+		m.mu.Unlock()
+		<-w.ch
+		m.mu.Lock()
 	}
 }
 

@@ -1,0 +1,181 @@
+package core
+
+import "fmt"
+
+// This file is the interned side of dynamic mode selection (§5.1). The
+// reference path, ModeForValues, rebuilds a Mode value on every call:
+// it allocates an assignment map, hashes each bound value through φ,
+// and constructs fresh ModeOp/ModeArg slices. But the table already
+// instantiated every mode a symbolic set can denote (setEntry.modes, a
+// dense array indexed by the φ-images of the set's variables), so the
+// hot path never needs to construct anything — it only needs the index.
+// ModeCache exposes that interned lookup keyed by (symbolic-set id, φ
+// of the bound abstract values); the Txn memo below goes one step
+// further and skips even the φ hash when a section re-locks the same
+// values.
+
+// ModeCache interns dynamic mode selection for one ModeTable: for every
+// (symbolic-set id, assignment of abstract values) it returns the
+// table's canonical ModeID — and, on request, the interned Mode — with
+// no construction, no map lookups, and no allocation. The backing store
+// is the dense per-set table built at compilation, so the cache is
+// complete from the start, never grows, and is safe for concurrent use.
+type ModeCache struct {
+	t *ModeTable
+}
+
+// Cache returns the table's mode cache.
+func (t *ModeTable) Cache() *ModeCache { return &ModeCache{t: t} }
+
+// SetID resolves a symbolic set to its dense id — the first component
+// of the cache key. Resolve once at setup; the lookup hashes the set's
+// canonical string key.
+func (c *ModeCache) SetID(set SymSet) int {
+	idx, ok := c.t.setIdx[set.Key()]
+	if !ok {
+		panic(fmt.Sprintf("core: symbolic set %s not registered in mode table", set))
+	}
+	return idx
+}
+
+// ModeAt returns the interned ModeID for the set and the given abstract
+// values (φ already applied), in the set's canonical variable order.
+func (c *ModeCache) ModeAt(setID int, abs ...int) ModeID {
+	e := &c.t.sets[setID]
+	if len(abs) != len(e.vars) {
+		panic(fmt.Sprintf("core: set %s expects %d abstract values, got %d", e.set, len(e.vars), len(abs)))
+	}
+	idx := 0
+	n := c.t.phi.N()
+	for _, a := range abs {
+		idx = idx*n + a
+	}
+	return e.modes[idx]
+}
+
+// Mode1 returns the interned ModeID of a one-variable set for value v.
+func (c *ModeCache) Mode1(setID int, v Value) ModeID {
+	e := &c.t.sets[setID]
+	if len(e.vars) != 1 {
+		panic(fmt.Sprintf("core: ModeCache.Mode1: set %s has %d variables", e.set, len(e.vars)))
+	}
+	return e.modes[c.t.phi.Abstract(v)]
+}
+
+// Mode2 returns the interned ModeID of a two-variable set for values
+// (a, b) in the set's canonical variable order.
+func (c *ModeCache) Mode2(setID int, a, b Value) ModeID {
+	e := &c.t.sets[setID]
+	if len(e.vars) != 2 {
+		panic(fmt.Sprintf("core: ModeCache.Mode2: set %s has %d variables", e.set, len(e.vars)))
+	}
+	phi := c.t.phi
+	return e.modes[phi.Abstract(a)*phi.N()+phi.Abstract(b)]
+}
+
+// Interned returns the canonical Mode value for an id — the same mode
+// ModeForValues would construct for the matching values, without
+// constructing it.
+func (c *ModeCache) Interned(id ModeID) Mode { return c.t.modes[id] }
+
+// ModeFor is the drop-in interned replacement for ModeForValues: it
+// returns the identical Mode for the set and environment, taken from
+// the table instead of built afresh. Unlike the hot-path selectors it
+// still walks the environment map; it exists for callers migrating off
+// ModeForValues and for tests asserting the interning is faithful.
+func (c *ModeCache) ModeFor(set SymSet, env map[string]Value) Mode {
+	return c.t.modes[c.t.Set(set).ModeEnv(env)]
+}
+
+// Mode1 is the fixed-arity direct selector for one-variable sets: like
+// Binder1 without the closure, so call sites that already know the
+// set's shape pay neither a variadic []Value allocation nor an indirect
+// call. Constant sets are accepted (the value is ignored).
+func (r SetRef) Mode1(v Value) ModeID {
+	e := &r.t.sets[r.idx]
+	switch len(e.vars) {
+	case 0:
+		return e.modes[0]
+	case 1:
+		return e.modes[r.t.phi.Abstract(v)]
+	}
+	panic(fmt.Sprintf("core: SetRef.Mode1: set %s has variables %v", e.set, e.vars))
+}
+
+// Mode2 is the fixed-arity direct selector for two-variable sets, with
+// values in the set's canonical Vars() order (check Vars() once at
+// setup — Binder2 does the same permutation check behind a closure).
+// Constant sets are accepted (the values are ignored).
+func (r SetRef) Mode2(a, b Value) ModeID {
+	e := &r.t.sets[r.idx]
+	switch len(e.vars) {
+	case 0:
+		return e.modes[0]
+	case 2:
+		phi := r.t.phi
+		return e.modes[phi.Abstract(a)*phi.N()+phi.Abstract(b)]
+	}
+	panic(fmt.Sprintf("core: SetRef.Mode2: set %s has variables %v", e.set, e.vars))
+}
+
+// modeMemoSize bounds the Txn mode-selection memo. Sections lock a
+// handful of symbolic sets; eight entries cover every set of the
+// largest synthesized sections with room for pooled-transaction reuse
+// across different sections.
+const modeMemoSize = 8
+
+// modeMemo is one memoized mode selection: the set identity (table
+// pointer + dense set index), the values it was selected for, and the
+// result. All fields are immutable table state or values, so a memo
+// entry can never go stale.
+type modeMemo struct {
+	t     *ModeTable
+	set   int
+	nvals int8
+	v0    Value
+	v1    Value
+	mode  ModeID
+}
+
+// CachedMode1 selects the mode of a one-variable set through the
+// transaction's memo: when the same (set, value) was selected before —
+// in this section or a previous one run on the pooled transaction —
+// the ModeID returns without re-hashing the value through φ, without
+// allocating, and without an indirect call. Values must be comparable
+// (they already must be to serve as φ assignments and ADT keys).
+func (t *Txn) CachedMode1(r SetRef, v Value) ModeID {
+	for i := range t.memo {
+		m := &t.memo[i]
+		if m.t == r.t && m.set == r.idx && m.nvals == 1 && m.v0 == v {
+			return m.mode
+		}
+	}
+	id := r.Mode1(v)
+	t.memoStore(modeMemo{t: r.t, set: r.idx, nvals: 1, v0: v, mode: id})
+	return id
+}
+
+// CachedMode2 is CachedMode1 for two-variable sets; values follow the
+// set's canonical Vars() order, exactly as in SetRef.Mode2.
+func (t *Txn) CachedMode2(r SetRef, a, b Value) ModeID {
+	for i := range t.memo {
+		m := &t.memo[i]
+		if m.t == r.t && m.set == r.idx && m.nvals == 2 && m.v0 == a && m.v1 == b {
+			return m.mode
+		}
+	}
+	id := r.Mode2(a, b)
+	t.memoStore(modeMemo{t: r.t, set: r.idx, nvals: 2, v0: a, v1: b, mode: id})
+	return id
+}
+
+// memoStore inserts an entry round-robin. Eviction order barely
+// matters: the memo exists for the tight re-lock loops of one section,
+// where the working set is far below modeMemoSize.
+func (t *Txn) memoStore(m modeMemo) {
+	t.memo[t.memoNext] = m
+	t.memoNext++
+	if t.memoNext == modeMemoSize {
+		t.memoNext = 0
+	}
+}

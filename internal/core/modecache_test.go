@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestModeCacheFaithful: every interned selector returns exactly the
+// mode the reference path (ModeForValues) constructs, for random values
+// and every registered set of a representative table.
+func TestModeCacheFaithful(t *testing.T) {
+	tbl := mapTable(t, 8, TableOptions{})
+	cache := tbl.Cache()
+	keySet := SymSetOf(SymOpOf("get", VarArg("k")), SymOpOf("put", VarArg("k"), Star()), SymOpOf("remove", VarArg("k")))
+	sizeSet := SymSetOf(SymOpOf("size"))
+	rng := rand.New(rand.NewSource(1))
+
+	keyID := cache.SetID(keySet)
+	keyRef := tbl.Set(keySet)
+	for trial := 0; trial < 200; trial++ {
+		v := rng.Intn(64)
+		want := keyRef.Mode(v)
+		if got := cache.Mode1(keyID, v); got != want {
+			t.Fatalf("Mode1(%d) = %d, want %d", v, got, want)
+		}
+		if got := cache.ModeAt(keyID, tbl.Phi().Abstract(v)); got != want {
+			t.Fatalf("ModeAt(%d) = %d, want %d", v, got, want)
+		}
+		if got := keyRef.Mode1(v); got != want {
+			t.Fatalf("SetRef.Mode1(%d) = %d, want %d", v, got, want)
+		}
+		ref := ModeForValues(keySet, tbl.Phi(), map[string]Value{"k": v})
+		if interned := cache.Interned(want); interned.String() != ref.String() {
+			t.Fatalf("Interned(%d) = %s, reference build = %s", want, interned, ref)
+		}
+		if m := cache.ModeFor(keySet, map[string]Value{"k": v}); m.String() != ref.String() {
+			t.Fatalf("ModeFor = %s, reference = %s", m, ref)
+		}
+	}
+
+	// Constant sets: the fixed-arity SetRef selectors accept them and
+	// ignore the values (call sites share one selector shape).
+	sizeRef := tbl.Set(sizeSet)
+	want := sizeRef.Mode()
+	if got := sizeRef.Mode1(99); got != want {
+		t.Fatalf("SetRef.Mode1 on constant set = %d, want %d", got, want)
+	}
+	if got := sizeRef.Mode2(1, 2); got != want {
+		t.Fatalf("SetRef.Mode2 on constant set = %d, want %d", got, want)
+	}
+	if got := cache.ModeAt(cache.SetID(sizeSet)); got != want {
+		t.Fatalf("ModeAt on constant set = %d, want %d", got, want)
+	}
+}
+
+// TestModeCacheArityPanics: the fixed-arity selectors refuse sets of the
+// wrong shape instead of silently mis-indexing.
+func TestModeCacheArityPanics(t *testing.T) {
+	tbl := mapTable(t, 4, TableOptions{})
+	keySet := SymSetOf(SymOpOf("get", VarArg("k")), SymOpOf("put", VarArg("k"), Star()), SymOpOf("remove", VarArg("k")))
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("SetID unknown", func() {
+		tbl.Cache().SetID(SymSetOf(SymOpOf("get", ConstArg(42))))
+	})
+	mustPanic("Mode2 on 1-var set", func() { tbl.Set(keySet).Mode2(1, 2) })
+	mustPanic("ModeAt arity", func() { tbl.Cache().ModeAt(tbl.Cache().SetID(keySet), 1, 2) })
+}
+
+// TestTxnCachedModeMemo: the transaction memo returns the same ModeID as
+// the direct selector for hits, misses, and after round-robin eviction,
+// and survives Reset (entries are keyed on immutable table state).
+func TestTxnCachedModeMemo(t *testing.T) {
+	tbl := mapTable(t, 8, TableOptions{})
+	keySet := SymSetOf(SymOpOf("get", VarArg("k")), SymOpOf("put", VarArg("k"), Star()), SymOpOf("remove", VarArg("k")))
+	ref := tbl.Set(keySet)
+	tx := NewTxn()
+
+	// More distinct values than memo slots forces eviction mid-loop.
+	for round := 0; round < 3; round++ {
+		for v := 0; v < 2*modeMemoSize; v++ {
+			if got, want := tx.CachedMode1(ref, v), ref.Mode1(v); got != want {
+				t.Fatalf("round %d: CachedMode1(%d) = %d, want %d", round, v, got, want)
+			}
+		}
+	}
+	tx.Reset()
+	if got, want := tx.CachedMode1(ref, 5), ref.Mode1(5); got != want {
+		t.Fatalf("after Reset: CachedMode1 = %d, want %d", got, want)
+	}
+
+	// Repeated same-value selection allocates nothing.
+	tx2 := NewTxn()
+	tx2.CachedMode1(ref, 7) // warm the memo
+	if n := testing.AllocsPerRun(100, func() { tx2.CachedMode1(ref, 7) }); n != 0 {
+		t.Errorf("CachedMode1 hit allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { ref.Mode1(7) }); n != 0 {
+		t.Errorf("SetRef.Mode1 allocates %v per run, want 0", n)
+	}
+}
+
+// TestTxnCachedMode2: the two-value memo distinguishes value order and
+// set identity.
+func TestTxnCachedMode2(t *testing.T) {
+	spec := mapSpec()
+	set := SymSetOf(SymOpOf("put", VarArg("a"), VarArg("b")))
+	tbl := NewModeTable(spec, []SymSet{set}, TableOptions{Phi: NewPhi(4)})
+	ref := tbl.Set(set)
+	tx := NewTxn()
+	for trial := 0; trial < 50; trial++ {
+		a, b := trial%5, (trial*3)%7
+		if got, want := tx.CachedMode2(ref, a, b), ref.Mode2(a, b); got != want {
+			t.Fatalf("CachedMode2(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+	// (a,b) and (b,a) are distinct keys.
+	if m1, m2 := tx.CachedMode2(ref, 1, 2), tx.CachedMode2(ref, 2, 1); m1 != ref.Mode2(1, 2) || m2 != ref.Mode2(2, 1) {
+		t.Fatal("memo conflated value orders")
+	}
+}

@@ -258,8 +258,16 @@ func NewWatchdog(cfg WatchdogConfig) *Watchdog {
 	return &Watchdog{cfg: cfg}
 }
 
-// Watch registers an instance for sampling.
+// Watch registers an instance for sampling. It also marks the
+// instance's mechanisms as watched, which turns on the per-waiter wait
+// timestamps the sampler reads — unwatched instances skip that clock
+// call on the slow path entirely. Waiters already parked at the moment
+// of registration carry no timestamp and are skipped until they next
+// block.
 func (d *Watchdog) Watch(s *Semantic) {
+	for p := range s.mechs {
+		s.mechs[p].watched.Store(true)
+	}
 	d.mu.Lock()
 	d.sems = append(d.sems, s)
 	d.mu.Unlock()
@@ -295,6 +303,11 @@ func (s *Semantic) sampleMech(p int, now time.Time, threshold time.Duration) (St
 
 	var waiters []WaiterInfo
 	for _, w := range m.waiters {
+		if w.since.IsZero() {
+			// Parked before the instance was watched; its wait start is
+			// unknown (the timestamp is gated on watching).
+			continue
+		}
 		waited := now.Sub(w.since)
 		if waited < threshold {
 			continue

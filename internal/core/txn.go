@@ -27,6 +27,20 @@ type Txn struct {
 	// acquisition log, recorded by checked transactions so harnesses can
 	// cross-check the runtime order against the static verifier.
 	log []Acquisition
+
+	// batchModes is LockBatch's scratch for same-instance mode groups;
+	// it is reused across calls so fused prologues allocate nothing.
+	batchModes []ModeID
+
+	// memo is the allocation-free mode-selection scratch (CachedMode1/
+	// CachedMode2): the most recent selections per symbolic set, keyed
+	// by value equality, so a section that re-locks the same abstract
+	// values never re-hashes them through φ. The entries are keyed on
+	// immutable table state and survive Reset deliberately — pooled
+	// transactions serving the same sections hit the memo across
+	// section executions.
+	memo     [modeMemoSize]modeMemo
+	memoNext uint8
 }
 
 // Acquisition is one recorded lock acquisition of a checked transaction:
@@ -100,6 +114,32 @@ func (t *Txn) Holds(s *Semantic) bool {
 	return false
 }
 
+// preLock runs the pre-acquisition checks shared by Lock, LockWithin
+// and LockBatch: the LOCAL_SET membership test (nothing to do when the
+// instance is nil or already held), the two-phase rule, and — for
+// checked transactions — the OS2PL ordering assertion. It reports
+// whether the caller should proceed to acquire. The panic formatting
+// lives in orderPanic so this stays within the inlining budget and
+// Lock's hot path remains call-free up to the acquisition.
+func (t *Txn) preLock(s *Semantic, rank int) bool {
+	if s == nil || t.Holds(s) {
+		return false
+	}
+	if t.unlockedAt > 0 {
+		panic("core: S2PL violation: lock after unlock in the same transaction")
+	}
+	if t.checked && t.haveLast && (rank < t.lastRank || (rank == t.lastRank && s.id <= t.lastID)) {
+		t.orderPanic(s, rank)
+	}
+	return true
+}
+
+func (t *Txn) orderPanic(s *Semantic, rank int) {
+	panic(fmt.Sprintf(
+		"core: OS2PL violation: locking (rank=%d,id=%d) after (rank=%d,id=%d)",
+		rank, s.id, t.lastRank, t.lastID))
+}
+
 // Lock acquires mode m on instance s unless the transaction already
 // holds a lock on s — exactly the LV macro of Fig 5 generalized to a
 // specific mode. Passing a nil instance is a no-op (the null check of
@@ -107,18 +147,8 @@ func (t *Txn) Holds(s *Semantic) bool {
 // (<ts over equivalence classes, §3.3); the checked variant asserts that
 // acquisitions follow (rank, unique-id) lexicographic order.
 func (t *Txn) Lock(s *Semantic, m ModeID, rank int) {
-	if s == nil || t.Holds(s) {
+	if !t.preLock(s, rank) {
 		return
-	}
-	if t.unlockedAt > 0 {
-		panic("core: S2PL violation: lock after unlock in the same transaction")
-	}
-	if t.checked && t.haveLast {
-		if rank < t.lastRank || (rank == t.lastRank && s.id <= t.lastID) {
-			panic(fmt.Sprintf(
-				"core: OS2PL violation: locking (rank=%d,id=%d) after (rank=%d,id=%d)",
-				rank, s.id, t.lastRank, t.lastID))
-		}
 	}
 	// acquireLogged rather than Acquire so a blocked acquisition exposes
 	// this transaction's log to the stall watchdog (nil for unchecked
@@ -134,26 +164,95 @@ func (t *Txn) Lock(s *Semantic, m ModeID, rank int) {
 // transaction exactly as it was — nothing acquired, nothing recorded —
 // so the caller may retry, release and restart, or surface the error.
 func (t *Txn) LockWithin(s *Semantic, m ModeID, rank int, patience time.Duration) error {
-	// Pre-checks mirror Lock's exactly (kept inline so Lock's hot path
-	// stays call-free before the acquisition).
-	if s == nil || t.Holds(s) {
+	if !t.preLock(s, rank) {
 		return nil
-	}
-	if t.unlockedAt > 0 {
-		panic("core: S2PL violation: lock after unlock in the same transaction")
-	}
-	if t.checked && t.haveLast {
-		if rank < t.lastRank || (rank == t.lastRank && s.id <= t.lastID) {
-			panic(fmt.Sprintf(
-				"core: OS2PL violation: locking (rank=%d,id=%d) after (rank=%d,id=%d)",
-				rank, s.id, t.lastRank, t.lastID))
-		}
 	}
 	if err := s.acquireWithin(m, patience, t.log); err != nil {
 		return err
 	}
 	t.recordHeld(s, m, rank)
 	return nil
+}
+
+// BatchLock is one constituent of a fused prologue acquisition: the
+// instance, the mode to take on it, and the instance's class rank in
+// the static lock order.
+type BatchLock struct {
+	Sem  *Semantic
+	Mode ModeID
+	Rank int
+}
+
+// LockBatch acquires every constituent lock of a fused prologue in one
+// call. Acquisition follows the OS2PL (rank, unique-id) order
+// regardless of argument order: the entries are sorted in place by
+// (Rank, instance id), so a synthesized prologue whose same-rank
+// instances are only known at run time (the LV2 pattern of Fig 12) can
+// pass them unordered. Nil instances and instances already held are
+// skipped, exactly as in Lock.
+//
+// Consecutive entries naming the same instance are acquired as one
+// batched acquisition (Semantic.AcquireBatch): all their counter slots
+// are claimed in one pass, and a conflict registers a single waiter
+// with the union conflict mask instead of one waiter per mode. Distinct
+// instances still acquire one at a time — blocking mid-prologue with
+// earlier locks held is precisely what OS2PL makes safe.
+func (t *Txn) LockBatch(locks ...BatchLock) {
+	// Insertion sort by (rank, id): prologue batches are small (a
+	// handful of entries), and the slice is typically already sorted —
+	// codegen emits rank groups in ascending rank order.
+	for i := 1; i < len(locks); i++ {
+		for j := i; j > 0 && batchLess(&locks[j], &locks[j-1]); j-- {
+			locks[j], locks[j-1] = locks[j-1], locks[j]
+		}
+	}
+	i := 0
+	for i < len(locks) {
+		s := locks[i].Sem
+		if s == nil {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(locks) && locks[j].Sem == s {
+			j++
+		}
+		if !t.preLock(s, locks[i].Rank) {
+			i = j
+			continue
+		}
+		if j-i == 1 {
+			s.acquireLogged(locks[i].Mode, t.log)
+		} else {
+			// Several modes destined for the same instance: claim them
+			// all in one pass over the mechanism's counter arrays.
+			t.batchModes = t.batchModes[:0]
+			for k := i; k < j; k++ {
+				t.batchModes = append(t.batchModes, locks[k].Mode)
+			}
+			s.acquireBatchLogged(t.batchModes, t.log)
+		}
+		for k := i; k < j; k++ {
+			t.recordHeld(s, locks[k].Mode, locks[k].Rank)
+		}
+		i = j
+	}
+}
+
+// batchLess orders batch entries by (rank, instance id); nil instances
+// sort first within their rank and are skipped during acquisition.
+func batchLess(a, b *BatchLock) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	var ai, bi uint64
+	if a.Sem != nil {
+		ai = a.Sem.id
+	}
+	if b.Sem != nil {
+		bi = b.Sem.id
+	}
+	return ai < bi
 }
 
 // recordHeld performs the post-acquisition bookkeeping shared by Lock
@@ -211,20 +310,25 @@ func (t *Txn) LockOrdered(rank int, m ModeID, ss ...*Semantic) {
 
 // UnlockInstance releases all modes held on instance s — the early lock
 // release of Appendix A ("if(x!=null) x.unlockAll()" moved before the end
-// of the section). After the first release the transaction may not lock
-// again (two-phase rule).
+// of the section). A batched acquisition may have taken several modes on
+// one instance; every one of them is released. After the first release
+// the transaction may not lock again (two-phase rule).
 func (t *Txn) UnlockInstance(s *Semantic) {
 	if s == nil {
 		return
 	}
+	released := false
 	for i := 0; i < len(t.held); i++ {
 		if t.held[i].sem == s {
 			s.Release(t.held[i].mode)
 			t.held = append(t.held[:i], t.held[i+1:]...)
-			delete(t.heldIdx, s)
 			t.unlockedAt++
-			return
+			released = true
+			i--
 		}
+	}
+	if released {
+		delete(t.heldIdx, s)
 	}
 }
 
@@ -252,6 +356,10 @@ func (t *Txn) Assert(s *Semantic, op Op) {
 	if !t.checked {
 		return
 	}
+	// A batched acquisition may leave several held modes on one
+	// instance; the operation is covered if any of them covers it.
+	var last ModeID
+	found := false
 	for i := range t.held {
 		if t.held[i].sem != s {
 			continue
@@ -259,9 +367,12 @@ func (t *Txn) Assert(s *Semantic, op Op) {
 		if s.table.CoversOp(t.held[i].mode, op) {
 			return
 		}
+		last, found = t.held[i].mode, true
+	}
+	if found {
 		panic(fmt.Sprintf(
 			"core: S2PL violation: operation %s not covered by held mode %s",
-			op, s.table.Mode(t.held[i].mode)))
+			op, s.table.Mode(last)))
 	}
 	panic(fmt.Sprintf("core: S2PL violation: operation %s on unlocked instance (id=%d)", op, s.id))
 }

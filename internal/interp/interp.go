@@ -167,6 +167,27 @@ func (e *Executor) runStmt(si int, sec *ir.Atomic, s ir.Stmt, env map[string]cor
 		if have {
 			tx.LockOrdered(rank, mode, insts...)
 		}
+	case *ir.LockBatch:
+		var locks []core.BatchLock
+		for i := range x.Entries {
+			en := &x.Entries[i]
+			var mode core.ModeID
+			var rank int
+			have := false
+			for _, v := range en.Vars {
+				inst := instOf(env[v])
+				if inst == nil {
+					continue
+				}
+				if !have {
+					mode = e.modeFor(inst, en.Set, en.Generic, env)
+					rank = e.Res.Rank(inst.Class)
+					have = true
+				}
+				locks = append(locks, core.BatchLock{Sem: inst.Sem, Mode: mode, Rank: rank})
+			}
+		}
+		tx.LockBatch(locks...)
 	case *ir.UnlockAllVar:
 		if inst := instOf(env[x.Var]); inst != nil {
 			tx.UnlockInstance(inst.Sem)

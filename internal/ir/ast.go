@@ -150,11 +150,35 @@ type UnlockAllVar struct {
 	Guarded bool
 }
 
+// BatchEntry is one constituent of a fused prologue acquisition: the
+// variables to lock (one for a fused LV, several for a fused LV2 —
+// same-class variables locked in dynamic unique-id order at run time),
+// their symbolic set, and the flags of the statement it was fused from.
+type BatchEntry struct {
+	Vars       []string
+	Set        core.SymSet
+	Generic    bool
+	NoLocalSet bool
+	Guarded    bool
+}
+
+// LockBatch is a fused prologue: consecutive LV/LV2 insertions merged
+// into one batched runtime acquisition (core.Txn.LockBatch). Entries
+// are ordered by ascending equivalence-class rank; fusion never merges
+// or reorders across a rank boundary, so the entry sequence realizes
+// the same topological order of §3.3 the unfused statements did.
+// Within one entry, same-rank variables order dynamically by unique id
+// exactly as LV2 does.
+type LockBatch struct {
+	Entries []BatchEntry
+}
+
 func (*Prologue) stmtNode()     {}
 func (*Epilogue) stmtNode()     {}
 func (*LV) stmtNode()           {}
 func (*LV2) stmtNode()          {}
 func (*UnlockAllVar) stmtNode() {}
+func (*LockBatch) stmtNode()    {}
 
 // Param declares a variable visible in an atomic section: a pointer to
 // an ADT instance (IsADT) or a plain thread-local value. Type names the
@@ -245,6 +269,13 @@ func cloneStmt(s Stmt) Stmt {
 	case *UnlockAllVar:
 		c := *x
 		return &c
+	case *LockBatch:
+		c := &LockBatch{Entries: make([]BatchEntry, len(x.Entries))}
+		for i, e := range x.Entries {
+			e.Vars = append([]string(nil), e.Vars...)
+			c.Entries[i] = e
+		}
+		return c
 	default:
 		panic("ir: unknown statement type in clone")
 	}

@@ -55,6 +55,13 @@ func printStmt(b *strings.Builder, s Stmt, depth int) {
 		} else {
 			fmt.Fprintf(b, "%s.unlockAll();\n", x.Var)
 		}
+	case *LockBatch:
+		indent(b, depth)
+		parts := make([]string, len(x.Entries))
+		for i, e := range x.Entries {
+			parts[i] = fmt.Sprintf("[%s%s]", strings.Join(e.Vars, ","), setSuffix(e.Set, e.Generic))
+		}
+		fmt.Fprintf(b, "lockBatch(%s);\n", strings.Join(parts, ", "))
 	case *Call:
 		indent(b, depth)
 		if x.Assign != "" {

@@ -508,6 +508,105 @@ func (p *Pass) checkAbortScope(name string, body *ast.BlockStmt) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// batchable
+// ---------------------------------------------------------------------
+
+// Batchable flags runs of adjacent Txn.Lock calls on the same
+// transaction at the same rank. Such a run is a fused prologue written
+// long-hand: Txn.LockBatch acquires the same constituents in one call,
+// sorts them into the OS2PL (rank, unique-id) order itself, and — when
+// they land on one instance — claims them in a single pass with one
+// union-mask waiter instead of one waiter per constituent. The check is
+// deliberately narrow: only statement-adjacent calls in the same block
+// qualify (anything between them may depend on the partial lock set),
+// and calls whose rank expressions differ are left alone because fusion
+// must never cross a rank boundary — the inner acquisition order IS the
+// OS2PL order, and batching across ranks would let a lower-rank
+// constituent block while higher-rank locks are already held.
+var Batchable = &Analyzer{
+	Name: "batchable",
+	Doc:  "flags adjacent same-rank Txn.Lock calls that could be one LockBatch",
+	Run:  runBatchable,
+}
+
+func runBatchable(p *Pass) {
+	if strings.HasSuffix(p.PkgPath, "internal/core") {
+		return // the batch implementation expands into these calls
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			p.checkBatchableRuns(block.List)
+			return true
+		})
+	}
+}
+
+// lockCallInfo describes one `tx.Lock(sem, mode, rank)` statement.
+type lockCallInfo struct {
+	pos  token.Pos
+	recv string // receiver expression, textually
+	rank string // rank argument: constant value or expression text
+}
+
+// rankText renders a rank argument for comparison: constant ranks
+// compare by value, everything else by expression source shape.
+func (p *Pass) rankText(e ast.Expr) string {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		return "const:" + tv.Value.ExactString()
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return "expr:" + x.Name
+	case *ast.SelectorExpr:
+		return "expr:" + exprText(x)
+	}
+	return "" // unique: never considered equal to another rank
+}
+
+func (p *Pass) checkBatchableRuns(stmts []ast.Stmt) {
+	asLock := func(s ast.Stmt) (lockCallInfo, bool) {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return lockCallInfo{}, false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 3 {
+			return lockCallInfo{}, false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" || !namedFromCore(p.TypeOf(sel.X), "Txn") {
+			return lockCallInfo{}, false
+		}
+		return lockCallInfo{pos: call.Pos(), recv: exprText(sel.X), rank: p.rankText(call.Args[2])}, true
+	}
+	for i := 0; i < len(stmts); {
+		first, ok := asLock(stmts[i])
+		if !ok || first.rank == "" {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(stmts) {
+			next, ok := asLock(stmts[j])
+			if !ok || next.recv != first.recv || next.rank != first.rank {
+				break
+			}
+			j++
+		}
+		if run := j - i; run >= 2 {
+			p.Reportf(first.pos,
+				"%d adjacent %s.Lock calls at one rank; fuse into a single %s.LockBatch so same-instance constituents are claimed in one pass",
+				run, first.recv, first.recv)
+		}
+		i = j
+	}
+}
+
 // exprText renders a simple receiver expression for diagnostics.
 func exprText(e ast.Expr) string {
 	switch x := e.(type) {

@@ -26,6 +26,10 @@
 //     guard its release against panics — a deferred UnlockAll or an
 //     Atomically section — unless it returns the transaction to its
 //     caller.
+//   - batchable: adjacent Txn.Lock calls at the same rank are a fused
+//     prologue written long-hand; Txn.LockBatch acquires the same
+//     constituents in one call and claims same-instance runs in a
+//     single pass.
 //
 // Deliberate exceptions — plan transcriptions in internal/modules and
 // internal/apps, and benchmarks of the bare mechanism — carry
@@ -88,7 +92,7 @@ func (d Diagnostic) String() string {
 
 // All returns the repository's analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{PaddedCopy, TxnDiscipline, ModeMask, UnlockPath, AbortPath}
+	return []*Analyzer{PaddedCopy, TxnDiscipline, ModeMask, UnlockPath, AbortPath, Batchable}
 }
 
 // Run applies the analyzers to the packages and returns the findings

@@ -77,6 +77,7 @@ func TestAnalyzers(t *testing.T) {
 		{"modemask.go", "repro/tdata", ModeMask},
 		{"unlockpath.go", "repro/internal/modules/tdata", UnlockPath},
 		{"abortpath.go", "repro/tdata", AbortPath},
+		{"batchable.go", "repro/tdata", Batchable},
 		{"directives.go", "repro/tdata", TxnDiscipline},
 	}
 	for _, tc := range cases {

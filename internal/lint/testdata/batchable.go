@@ -1,0 +1,75 @@
+// Fixture for the batchable analyzer: adjacent same-rank Txn.Lock
+// calls should be fused into one Txn.LockBatch.
+package tdata
+
+import "repro/internal/core"
+
+type sems struct {
+	a, b, c *core.Semantic
+	rank    int
+}
+
+const fixedRank = 3
+
+func adjacentSameConstRank(s *sems, m core.ModeID) {
+	tx := core.NewTxn()
+	defer tx.UnlockAll()
+	tx.Lock(s.a, m, 1) // want "3 adjacent tx.Lock calls at one rank"
+	tx.Lock(s.b, m, 1)
+	tx.Lock(s.c, m, 1)
+}
+
+func adjacentNamedConstRank(s *sems, m core.ModeID) {
+	tx := core.NewTxn()
+	defer tx.UnlockAll()
+	tx.Lock(s.a, m, fixedRank) // want "2 adjacent tx.Lock calls at one rank"
+	tx.Lock(s.b, m, 3)         // 3 == fixedRank: constants compare by value
+}
+
+func adjacentFieldRank(s *sems, m core.ModeID) {
+	tx := core.NewTxn()
+	defer tx.UnlockAll()
+	tx.Lock(s.a, m, s.rank) // want "2 adjacent tx.Lock calls at one rank"
+	tx.Lock(s.b, m, s.rank)
+}
+
+func differentRanks(s *sems, m core.ModeID) {
+	tx := core.NewTxn()
+	defer tx.UnlockAll()
+	tx.Lock(s.a, m, 1) // fusion never crosses a rank boundary: no finding
+	tx.Lock(s.b, m, 2)
+}
+
+func interveningStatement(s *sems, m core.ModeID) (n int) {
+	tx := core.NewTxn()
+	defer tx.UnlockAll()
+	tx.Lock(s.a, m, 1) // the statement between may depend on the partial lock set
+	n++
+	tx.Lock(s.b, m, 1)
+	return n
+}
+
+func differentTxns(s *sems, m core.ModeID) {
+	tx := core.NewTxn()
+	tx2 := core.NewTxn()
+	defer tx.UnlockAll()
+	defer tx2.UnlockAll()
+	tx.Lock(s.a, m, 1) // two transactions: not one prologue
+	tx2.Lock(s.b, m, 1)
+}
+
+func alreadyBatched(s *sems, m core.ModeID) {
+	tx := core.NewTxn()
+	defer tx.UnlockAll()
+	tx.LockBatch(
+		core.BatchLock{Sem: s.a, Mode: m, Rank: 1},
+		core.BatchLock{Sem: s.b, Mode: m, Rank: 1},
+	)
+}
+
+func suppressed(s *sems, m core.ModeID) {
+	tx := core.NewTxn()
+	defer tx.UnlockAll()
+	tx.Lock(s.a, m, 1) //semlockvet:ignore batchable -- fixture exercises suppression
+	tx.Lock(s.b, m, 1)
+}

@@ -1,0 +1,160 @@
+package synth
+
+import (
+	"repro/internal/ir"
+)
+
+// This file is the prologue-fusion pass (StageFuse): consecutive lock
+// statements are merged into single ir.LockBatch nodes so the emitted
+// code performs one batched acquisition (core.Txn.LockBatch) instead of
+// N independent trips through the lock mechanism. It is the same
+// move-work-from-runtime-to-synthesis lever as the §4 refinement — the
+// ranks and sets are static, so the runtime should not rediscover them
+// one call at a time.
+//
+// Fusion is a pure re-bracketing of the acquisition sequence:
+//
+//   - A maximal run of adjacent LV/LV2 statements becomes one LockBatch
+//     whose entries preserve statement order. Runs are only taken while
+//     class ranks are non-decreasing (insertLocking emits rank groups
+//     in ascending order, so in practice whole runs fuse).
+//
+//   - Adjacent entries of the SAME rank with identical set and flags
+//     merge into one multi-variable entry — the LV2 shape of Fig 12,
+//     ordered dynamically by unique id at run time.
+//
+//   - Entries of DIFFERENT ranks stay separate entries of the batch, in
+//     ascending rank order. Fusion never merges or reorders across a
+//     rank boundary, so the acquisition order the batch performs is
+//     exactly the topological order of §3.3 the unfused statements
+//     performed; the OS2PL certificate obligations are unchanged
+//     (internal/verify checks a LockBatch by expanding its entries).
+//
+// Guarded LV statements ("if(x!=null) x.lock(s)") are not fused: their
+// null guard must be evaluated before the mode selection for x runs,
+// while a batched call evaluates every constituent's mode eagerly.
+// The runtime skips nil instances either way; the restriction only
+// keeps codegen's argument evaluation faithful to the guard.
+
+// fuseLockBatches rewrites a synthesized section in place, fusing
+// adjacent lock statements into LockBatch nodes. Single lock statements
+// (no adjacent partner) are left as they are — a one-entry batch would
+// be the same runtime call with extra boxing.
+func fuseLockBatches(si int, sec *ir.Atomic, cs *Classes) {
+	rankOf := func(v string) int {
+		k, ok := cs.ClassOfVar(si, v)
+		if !ok {
+			return -1
+		}
+		c, ok := cs.ByKey[k]
+		if !ok {
+			return -1
+		}
+		return c.Rank
+	}
+	sec.Body = fuseBlock(sec.Body, rankOf)
+}
+
+func fuseBlock(b ir.Block, rankOf func(string) int) ir.Block {
+	out := make(ir.Block, 0, len(b))
+	i := 0
+	for i < len(b) {
+		if x, ok := b[i].(*ir.If); ok {
+			x.Then = fuseBlock(x.Then, rankOf)
+			x.Else = fuseBlock(x.Else, rankOf)
+			out = append(out, x)
+			i++
+			continue
+		}
+		if x, ok := b[i].(*ir.While); ok {
+			x.Body = fuseBlock(x.Body, rankOf)
+			out = append(out, x)
+			i++
+			continue
+		}
+		e, ok := fusible(b[i])
+		if !ok {
+			out = append(out, b[i])
+			i++
+			continue
+		}
+		// Extend the run while statements stay fusible and ranks stay
+		// non-decreasing.
+		entries := []ir.BatchEntry{e}
+		ranks := []int{rankOf(e.Vars[0])}
+		j := i + 1
+		for j < len(b) {
+			e2, ok := fusible(b[j])
+			if !ok {
+				break
+			}
+			r2 := rankOf(e2.Vars[0])
+			if r2 < ranks[len(ranks)-1] {
+				break
+			}
+			entries = append(entries, e2)
+			ranks = append(ranks, r2)
+			j++
+		}
+		if len(entries) < 2 {
+			out = append(out, b[i])
+			i++
+			continue
+		}
+		out = append(out, mergeEntries(entries, ranks))
+		i = j
+	}
+	return out
+}
+
+// fusible returns the batch-entry payload of a lock statement, or
+// ok=false for everything else (including guarded LVs, see above).
+func fusible(s ir.Stmt) (ir.BatchEntry, bool) {
+	switch x := s.(type) {
+	case *ir.LV:
+		if x.Guarded {
+			return ir.BatchEntry{}, false
+		}
+		return ir.BatchEntry{
+			Vars:       []string{x.Var},
+			Set:        x.Set,
+			Generic:    x.Generic,
+			NoLocalSet: x.NoLocalSet,
+		}, true
+	case *ir.LV2:
+		return ir.BatchEntry{
+			Vars:       append([]string(nil), x.Vars...),
+			Set:        x.Set,
+			Generic:    x.Generic,
+			NoLocalSet: x.NoLocalSet,
+		}, true
+	}
+	return ir.BatchEntry{}, false
+}
+
+// mergeEntries builds the LockBatch, merging adjacent same-rank entries
+// with identical set and flags into one multi-variable entry. Same rank
+// means same equivalence class (ranks are assigned one per class), so a
+// merged entry is exactly the LV2 pattern.
+func mergeEntries(entries []ir.BatchEntry, ranks []int) *ir.LockBatch {
+	lb := &ir.LockBatch{}
+	for i, e := range entries {
+		if n := len(lb.Entries); n > 0 && ranks[i] == ranks[i-1] {
+			last := &lb.Entries[n-1]
+			if last.Generic == e.Generic && last.NoLocalSet == e.NoLocalSet &&
+				setsEqual(last.Set, e.Set, last.Generic) {
+				last.Vars = append(last.Vars, e.Vars...)
+				continue
+			}
+		}
+		lb.Entries = append(lb.Entries, e)
+	}
+	return lb
+}
+
+func setsEqual(a, b interface{ Key() string }, generic bool) bool {
+	if generic {
+		return true // generic lock(+) carries no set
+	}
+	return a.Key() == b.Key()
+}

@@ -1,0 +1,168 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adtspecs"
+	"repro/internal/ir"
+)
+
+// fuseProgram is a two-section program whose second section gets an
+// adjacent pair of lock insertions: the Set class appears first in the
+// program (section "warm"), so it outranks nothing and sorts before Map
+// in the topological order; section "both" then calls the Map first, and
+// §3.3's LS(l) pulls the later-used Set lock up to that call — two
+// adjacent lock statements of increasing rank.
+func fuseProgram() *Program {
+	warm := &ir.Atomic{
+		Name: "warm",
+		Vars: []ir.Param{{Name: "s", Type: "Set", IsADT: true, NonNull: true}, {Name: "k", Type: "int"}},
+		Body: ir.Block{&ir.Call{Recv: "s", Method: "add", Args: []ir.Expr{ir.VarRef{Name: "k"}}}},
+	}
+	both := &ir.Atomic{
+		Name: "both",
+		Vars: []ir.Param{
+			{Name: "m", Type: "Map", IsADT: true, NonNull: true},
+			{Name: "s2", Type: "Set", IsADT: true, NonNull: true},
+			{Name: "k", Type: "int"}, {Name: "j", Type: "int"},
+		},
+		Body: ir.Block{
+			&ir.Call{Recv: "m", Method: "put", Args: []ir.Expr{ir.VarRef{Name: "k"}, ir.VarRef{Name: "s2"}}},
+			&ir.Call{Recv: "s2", Method: "add", Args: []ir.Expr{ir.VarRef{Name: "j"}}},
+		},
+	}
+	return &Program{Sections: []*ir.Atomic{warm, both}, Specs: adtspecs.All()}
+}
+
+// TestFuseAdjacentLocks: StageFuse merges the adjacent pair into one
+// LockBatch whose entries keep ascending rank order, and the fused
+// section still passes certificate verification (Verify is on).
+func TestFuseAdjacentLocks(t *testing.T) {
+	res, err := Synthesize(fuseProgram(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ir.Print(res.Sections[1])
+	if !strings.Contains(out, "lockBatch([s2, {add(j)}], [m, {put(k,s2)}]);") {
+		t.Errorf("expected fused prologue with s2 before m (rank order):\n%s", out)
+	}
+	var batches []*ir.LockBatch
+	walkStmts(res.Sections[1].Body, func(s ir.Stmt) {
+		if b, ok := s.(*ir.LockBatch); ok {
+			batches = append(batches, b)
+		}
+	})
+	if len(batches) != 1 || len(batches[0].Entries) != 2 {
+		t.Fatalf("batches = %v", batches)
+	}
+	r0 := res.Rank("Set")
+	r1 := res.Rank("Map")
+	if !(r0 < r1) {
+		t.Fatalf("rank(Set)=%d rank(Map)=%d; test premise broken", r0, r1)
+	}
+}
+
+// TestFuseOffByDefaultBeforeStageFuse: stopping at StageRefine keeps the
+// unfused output (the paper's figures are produced below StageFuse).
+func TestFuseOffByDefaultBeforeStageFuse(t *testing.T) {
+	res, err := Synthesize(fuseProgram(), Options{StopAfter: StageRefine, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ir.Print(res.Sections[1])
+	if strings.Contains(out, "lockBatch") {
+		t.Errorf("StageRefine output must not contain lockBatch:\n%s", out)
+	}
+	if !strings.Contains(out, "s2.lock({add(j)});") || !strings.Contains(out, "m.lock({put(k,s2)});") {
+		t.Errorf("unfused locks missing:\n%s", out)
+	}
+}
+
+// TestFuseNeverCrossesRankBoundary: entries of a batch are in
+// non-decreasing rank order and same-rank neighbours merge into one
+// multi-variable entry — but a guarded LV is never pulled into a batch.
+func TestFuseNeverCrossesRankBoundary(t *testing.T) {
+	rankOf := func(v string) int {
+		switch v {
+		case "a", "b":
+			return 0
+		case "c":
+			return 1
+		}
+		return -1
+	}
+	set := adtspecs.All()["Set"].AllOpsSet()
+	mk := func(v string, guarded bool) *ir.LV {
+		return &ir.LV{Var: v, Set: set, Guarded: guarded}
+	}
+
+	// a, b (rank 0, same set) then c (rank 1): one batch, two entries,
+	// the first covering both rank-0 variables.
+	blk := fuseBlock(ir.Block{mk("a", false), mk("b", false), mk("c", false)}, rankOf)
+	if len(blk) != 1 {
+		t.Fatalf("expected one fused statement, got %d: %v", len(blk), blk)
+	}
+	lb, ok := blk[0].(*ir.LockBatch)
+	if !ok {
+		t.Fatalf("not a LockBatch: %T", blk[0])
+	}
+	if len(lb.Entries) != 2 || len(lb.Entries[0].Vars) != 2 || lb.Entries[1].Vars[0] != "c" {
+		t.Fatalf("entries = %+v", lb.Entries)
+	}
+
+	// A rank decrease splits the run: c (rank 1) then a, b (rank 0)
+	// yields an unfused c plus a batch over {a, b}.
+	blk = fuseBlock(ir.Block{mk("c", false), mk("a", false), mk("b", false)}, rankOf)
+	if len(blk) != 2 {
+		t.Fatalf("expected 2 statements after rank-decrease split, got %d", len(blk))
+	}
+	if _, ok := blk[0].(*ir.LV); !ok {
+		t.Errorf("rank-1 lock should stay unfused, got %T", blk[0])
+	}
+	if lb, ok := blk[1].(*ir.LockBatch); !ok || len(lb.Entries) != 1 || len(lb.Entries[0].Vars) != 2 {
+		t.Errorf("rank-0 pair should fuse, got %v", blk[1])
+	}
+
+	// Guarded locks break runs: a, guarded(b), c leaves everything
+	// unfused (no run of length ≥ 2 remains).
+	blk = fuseBlock(ir.Block{mk("a", false), mk("b", true), mk("c", false)}, rankOf)
+	if len(blk) != 3 {
+		t.Fatalf("guarded lock must not fuse: got %d statements", len(blk))
+	}
+	for _, s := range blk {
+		if _, ok := s.(*ir.LockBatch); ok {
+			t.Errorf("unexpected LockBatch around a guarded lock")
+		}
+	}
+
+	// Single statements never become one-entry batches.
+	blk = fuseBlock(ir.Block{mk("a", false)}, rankOf)
+	if _, ok := blk[0].(*ir.LV); !ok {
+		t.Errorf("lone lock must stay an LV, got %T", blk[0])
+	}
+}
+
+// TestFuseRecursesIntoBranches: runs inside if/while bodies fuse too.
+func TestFuseRecursesIntoBranches(t *testing.T) {
+	rankOf := func(string) int { return 0 }
+	set := adtspecs.All()["Set"].AllOpsSet()
+	blk := fuseBlock(ir.Block{
+		&ir.If{
+			Cond: ir.NotNull{Var: "a"},
+			Then: ir.Block{&ir.LV{Var: "a", Set: set}, &ir.LV{Var: "b", Set: set}},
+		},
+		&ir.While{
+			Cond: ir.OpaqueCond{Text: "more"},
+			Body: ir.Block{&ir.LV{Var: "a", Set: set}, &ir.LV{Var: "b", Set: set}},
+		},
+	}, rankOf)
+	ifs := blk[0].(*ir.If)
+	if _, ok := ifs.Then[0].(*ir.LockBatch); !ok || len(ifs.Then) != 1 {
+		t.Errorf("then-branch not fused: %v", ifs.Then)
+	}
+	wh := blk[1].(*ir.While)
+	if _, ok := wh.Body[0].(*ir.LockBatch); !ok || len(wh.Body) != 1 {
+		t.Errorf("while-body not fused: %v", wh.Body)
+	}
+}

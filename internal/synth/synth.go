@@ -27,8 +27,14 @@ const (
 	// (Fig 17).
 	StageNullChecks
 	// StageRefine additionally refines the generic symbolic sets (§4),
-	// producing the final output (Fig 2).
+	// producing the paper's final output (Fig 2).
 	StageRefine
+	// StageFuse additionally fuses adjacent lock statements into
+	// ir.LockBatch nodes for the batched runtime acquisition (see
+	// fuse.go). Fusion re-brackets the acquisition sequence without
+	// changing it, so every earlier stage's output — the paper's
+	// figures — is unaffected.
+	StageFuse
 )
 
 // Options configures synthesis.
@@ -53,9 +59,9 @@ type Options struct {
 }
 
 // DefaultOptions runs the full pipeline with the paper's evaluation
-// parameters (φ onto 64 abstract values).
+// parameters (φ onto 64 abstract values), including prologue fusion.
 func DefaultOptions() Options {
-	return Options{StopAfter: StageRefine, Verify: true}
+	return Options{StopAfter: StageFuse, Verify: true}
 }
 
 // Result is the synthesis output.
@@ -159,6 +165,16 @@ func Synthesize(p *Program, opts Options) (*Result, error) {
 	}
 
 	res.Tables = buildTables(res, cs, opts)
+
+	// Fusion runs after buildTables (which collects sets from LV/LV2
+	// statements) and before verification, so every fused section is
+	// certified in its fused form — the verifier expands each LockBatch
+	// into its per-set obligations.
+	if opts.StopAfter >= StageFuse {
+		for si, sec := range res.Sections {
+			fuseLockBatches(si, sec, cs)
+		}
+	}
 
 	if opts.Verify {
 		if violations := VerifyResult(res); len(violations) > 0 {

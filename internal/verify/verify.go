@@ -358,6 +358,14 @@ func (v *verifier) transfer(n *ir.Node, st *state, report func(*Violation)) {
 		v.lockEvent(n.Stmt, []string{x.Var}, x.Set, x.Generic, st, report)
 	case *ir.LV2:
 		v.lockEvent(n.Stmt, x.Vars, x.Set, x.Generic, st, report)
+	case *ir.LockBatch:
+		// A fused prologue is certified by expanding it: each entry is
+		// one acquisition event at its own rank, in entry order, under
+		// the same two-phase and ordering obligations the unfused
+		// statements carried. Nothing about the batch is trusted.
+		for _, e := range x.Entries {
+			v.lockEvent(n.Stmt, e.Vars, e.Set, e.Generic, st, report)
+		}
 	case *ir.UnlockAllVar:
 		v.release(n.Stmt, x.Var, st)
 	case *ir.Epilogue:

@@ -55,6 +55,13 @@ func (v *verifier) eventRank(s ir.Stmt) int {
 		if len(x.Vars) > 0 {
 			return v.rankOfVar(x.Vars[0])
 		}
+	case *ir.LockBatch:
+		// The batch's last entry has the highest rank (entries are in
+		// non-decreasing rank order), which is what an ordering witness
+		// routed through the batch needs.
+		if n := len(x.Entries); n > 0 && len(x.Entries[n-1].Vars) > 0 {
+			return v.rankOfVar(x.Entries[n-1].Vars[0])
+		}
 	}
 	return -1
 }
@@ -188,6 +195,14 @@ func (v *verifier) lockedAfter(id, bit int, recv string) int {
 		for _, name := range x.Vars {
 			if name == recv {
 				return 1
+			}
+		}
+	case *ir.LockBatch:
+		for _, e := range x.Entries {
+			for _, name := range e.Vars {
+				if name == recv {
+					return 1
+				}
 			}
 		}
 	case *ir.Assign:
