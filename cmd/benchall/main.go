@@ -16,6 +16,8 @@
 //	                           (real execution; writes BENCH_hotpath.json)
 //	benchall -exp chaos      # fault-injection and recovery experiment
 //	                           (real execution; writes BENCH_chaos.json)
+//	benchall -exp telemetry  # observability-layer overhead + trace audit
+//	                           (real execution; writes BENCH_telemetry.json)
 //	benchall -real           # include real-execution measurements
 //	benchall -scale 50000    # simulated transactions per thread
 package main
@@ -36,7 +38,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|hotpath|chaos|stats|all")
+		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|hotpath|chaos|telemetry|stats|all")
 	scale := flag.Int("scale", 20000, "simulated transactions per thread")
 	real := flag.Bool("real", false, "also run real-execution measurements on this host")
 	realOps := flag.Int("realops", 30000, "real-execution operations per thread")
@@ -84,6 +86,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_hotpath.json")
+		ran = true
+	}
+	// The telemetry experiment measures real execution with the
+	// observability layer attached, so it only runs when asked for
+	// explicitly.
+	if *exp == "telemetry" {
+		rep, err := bench.TelemetryBench(bench.TelemetryConfig{OpsPerThread: *scale})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: telemetry experiment: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Format())
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile("BENCH_telemetry.json", append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: writing BENCH_telemetry.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_telemetry.json")
 		ran = true
 	}
 	// The chaos experiment injects real panics and delays into real

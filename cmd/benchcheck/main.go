@@ -1,0 +1,187 @@
+// Command benchcheck schema-validates the BENCH_*.json artifacts the
+// benchall experiments write, so CI fails loudly when a report loses a
+// field or a criterion instead of silently uploading a hollow artifact.
+//
+// The expected schema is selected by filename: BENCH_lockmech.json,
+// BENCH_hotpath.json, BENCH_chaos.json and BENCH_telemetry.json each
+// have a required set of top-level fields (which must be present and
+// non-empty) and required criteria keys (which must be present and
+// finite). Unknown BENCH_ filenames are an error — a new experiment
+// must register its schema here.
+//
+// Usage:
+//
+//	benchcheck BENCH_hotpath.json BENCH_telemetry.json
+//	benchcheck -chaos-strict BENCH_chaos.json
+//
+// -chaos-strict additionally enforces the chaos pass condition on the
+// criteria values themselves: zero leaked locks, zero leaked waiters,
+// zero quiescence failures, zero telemetry mismatches.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// schema lists what a report kind must contain.
+type schema struct {
+	fields   []string // required non-empty top-level fields
+	criteria []string // required keys under "criteria"
+}
+
+var schemas = map[string]schema{
+	"lockmech": {
+		fields: []string{"gomaxprocs", "total_ops_per_cell", "cells", "speedup_v2_over_v1", "criteria"},
+		criteria: []string{
+			"wildcard_vs_fine_contended_speedup",
+			"uncontended_fastpath_v2_over_v1_ns_ratio",
+		},
+	},
+	"hotpath": {
+		fields: []string{"gomaxprocs", "app_ops_per_thread", "core_ops_per_cell",
+			"app_cells", "app_speedup_fused_over_sequential", "mode_cells", "batch_cells",
+			"watchdog_cells", "criteria"},
+		criteria: []string{
+			"gossip_fused_over_sequential_T8plus",
+			"intruder_fused_over_sequential_T2plus",
+			"mode_memo_allocs_per_op",
+			"unwatched_over_watched_ns_ratio",
+		},
+	},
+	"chaos": {
+		fields: []string{"gomaxprocs", "cells", "criteria"},
+		criteria: []string{
+			"recovery_ratio_min",
+			"leaked_locks_total",
+			"quiesce_failures",
+			"telemetry_holds_mismatch",
+			"panic_recovery_mismatch",
+			"leaked_waiters_total",
+		},
+	},
+	"telemetry": {
+		fields: []string{"gomaxprocs", "app_ops_per_thread", "app_cells",
+			"on_over_off_by_threads", "snapshot_cell", "trace_sections_checked",
+			"trace_order_mismatches", "predicted_max_at_rank", "criteria"},
+		criteria: []string{
+			"telemetry_on_over_off_throughput_geomean",
+			"telemetry_overhead_pct",
+			"trace_sections_checked",
+			"trace_order_mismatches",
+		},
+	},
+}
+
+// chaosStrictZero are the chaos criteria that must be exactly zero for
+// a passing run; -chaos-strict turns their values into exit status.
+var chaosStrictZero = []string{
+	"leaked_locks_total",
+	"leaked_waiters_total",
+	"quiesce_failures",
+	"telemetry_holds_mismatch",
+	"panic_recovery_mismatch",
+}
+
+func main() {
+	chaosStrict := flag.Bool("chaos-strict", false,
+		"for chaos reports, also require the leak/quiesce/telemetry-mismatch criteria to be exactly zero")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no files given")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, path := range flag.Args() {
+		if errs := checkFile(path, *chaosStrict); len(errs) > 0 {
+			failed = true
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, e)
+			}
+		} else {
+			fmt.Printf("benchcheck: %s: ok\n", path)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// kindOf maps BENCH_<kind>.json to its schema key.
+func kindOf(path string) string {
+	base := filepath.Base(path)
+	if len(base) > len("BENCH_")+len(".json") && base[:6] == "BENCH_" && filepath.Ext(base) == ".json" {
+		return base[6 : len(base)-len(".json")]
+	}
+	return ""
+}
+
+func checkFile(path string, chaosStrict bool) []error {
+	kind := kindOf(path)
+	sch, ok := schemas[kind]
+	if !ok {
+		return []error{fmt.Errorf("unknown report kind %q (expected BENCH_<lockmech|hotpath|chaos|telemetry>.json)", kind)}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return []error{err}
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		return []error{fmt.Errorf("not a JSON object: %w", err)}
+	}
+
+	var errs []error
+	for _, f := range sch.fields {
+		v, present := top[f]
+		if !present {
+			errs = append(errs, fmt.Errorf("missing field %q", f))
+			continue
+		}
+		// Zero numbers are legitimate values (a mismatch count of 0 is
+		// the passing case); only structural emptiness fails.
+		if s := string(v); s == "null" || s == "{}" || s == "[]" || s == `""` {
+			errs = append(errs, fmt.Errorf("field %q is empty (%s)", f, s))
+		}
+	}
+
+	var criteria map[string]float64
+	if v, present := top["criteria"]; present {
+		if err := json.Unmarshal(v, &criteria); err != nil {
+			errs = append(errs, fmt.Errorf("criteria is not a string→number map: %w", err))
+		}
+	}
+	for _, k := range sch.criteria {
+		v, present := criteria[k]
+		if !present {
+			errs = append(errs, fmt.Errorf("missing criterion %q", k))
+			continue
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			errs = append(errs, fmt.Errorf("criterion %q is not finite: %v", k, v))
+		}
+	}
+	// A telemetry report that checked no schedules proves nothing.
+	if kind == "telemetry" {
+		if v, present := criteria["trace_sections_checked"]; present && v <= 0 {
+			errs = append(errs, fmt.Errorf("criterion trace_sections_checked = %v, want > 0", v))
+		}
+	}
+
+	if kind == "chaos" && chaosStrict {
+		for _, k := range chaosStrictZero {
+			if v, present := criteria[k]; present && v != 0 {
+				errs = append(errs, fmt.Errorf("strict: criterion %q = %v, want 0", k, v))
+			}
+		}
+		if v, present := criteria["recovery_ratio_min"]; present && v < 0.8 {
+			errs = append(errs, fmt.Errorf("strict: recovery_ratio_min = %v, want >= 0.8", v))
+		}
+	}
+	return errs
+}

@@ -7,23 +7,40 @@
 // drain (bounded by a deadline), and the lock instances are audited for
 // leaked holder counts before exit.
 //
+// With -debug-addr the daemon serves live observability over HTTP while
+// the workload runs:
+//
+//	/debug/vars     expvar JSON, including the "semlock" variable — the
+//	                telemetry snapshot of every registered lock group
+//	/debug/semlock  the same snapshot alone, indented
+//	/debug/pprof/   the standard pprof index (profile, trace, symbol, ...)
+//
+// Serving the debug endpoints also turns on wait-duration sampling
+// (core.SetWaitTiming), so snapshots include cumulative blocked time.
+//
 // Usage:
 //
 //	gossipd                          # paper workload, all policies
 //	gossipd -clients 8 -messages 1000 -workers 4
 //	gossipd -policy ours
+//	gossipd -policy ours -debug-addr localhost:6060
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/apps/gossip"
+	"repro/internal/core"
 	"repro/internal/modules/plan"
+	"repro/internal/telemetry"
 )
 
 // drainDeadline bounds how long shutdown waits for in-flight routes.
@@ -36,7 +53,30 @@ func main() {
 	sendCost := flag.Int("sendcost", 60, "synthetic per-frame I/O cost")
 	workers := flag.Int("workers", 4, "router worker count (the paper's active cores)")
 	policy := flag.String("policy", "", "run one policy only (ours|global|2pl|manual)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar/pprof/telemetry on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// Wait-duration sampling is off by default (it costs two clock
+		// reads per blocked acquisition); a debug listener means an
+		// operator wants the full picture.
+		core.SetWaitTiming(true)
+		telemetry.Default.Publish()
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.Handle("/debug/semlock", telemetry.Default.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "gossipd: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("gossipd: debug endpoints on http://%s/debug/{vars,semlock,pprof/}\n", *debugAddr)
+	}
 
 	cfg := gossip.MPerfConfig{
 		Clients: *clients, Messages: *messages,
@@ -56,6 +96,18 @@ func main() {
 	interrupted := false
 	for _, pol := range want {
 		r := gossip.New(pol, cfg.SendCost, plan.Options{})
+		if *debugAddr != "" {
+			if o, ok := r.(*gossip.Ours); ok {
+				// Live provider: each scrape re-walks the group table, so
+				// new groups appear in later snapshots. MPerf creates its
+				// one group in the first moments of the run and only routes
+				// after that; a scrape racing that initial burst may see a
+				// partial member list (Sems is documented as introspection,
+				// not a synchronized view), never a torn counter — the
+				// counters themselves are atomics.
+				telemetry.Default.RegisterProvider(pol, "Map", o.Sems)
+			}
+		}
 		stop := make(chan struct{})
 		done := make(chan gossip.MPerfResult, 1)
 		start := time.Now()

@@ -8,6 +8,7 @@
 //
 //	semlockc -in annotated.go -out generated.go      # rewrite
 //	semlockc -in annotated.go -plan                  # print the plan
+//	semlockc -in annotated.go -plan -counters        # plan + counter map
 //	semlockc -in annotated.go -verify                # print the certificate
 //
 // The -plan output is the paper's notation (compare Fig 2): each atomic
@@ -36,6 +37,7 @@ func main() {
 	out := flag.String("out", "", "output file for the rewritten source (default: stdout)")
 	planOnly := flag.Bool("plan", false, "print the synthesized locking plan instead of code")
 	verifyOnly := flag.Bool("verify", false, "print the OS2PL certificate for the synthesized sections instead of code")
+	counters := flag.Bool("counters", false, "with -plan: also map each lock site to the runtime counters it bumps")
 	stage := flag.String("stage", "fuse",
 		"pipeline stage for -plan: insert|redundant|localset|earlyrelease|nullchecks|refine|fuse (the paper's Figs 13-15, 26, 27, 28, 17, 2, then prologue fusion)")
 	flag.Parse()
@@ -74,7 +76,14 @@ func main() {
 	}
 	if *planOnly {
 		fmt.Print(gosrc.PlanText(res))
+		if *counters {
+			fmt.Println()
+			fmt.Print(synth.CounterMap(res))
+		}
 		return
+	}
+	if *counters {
+		fail(fmt.Errorf("-counters only applies to -plan"))
 	}
 	if st != synth.StageFuse {
 		fail(fmt.Errorf("-stage only applies to -plan; code generation needs the full pipeline"))

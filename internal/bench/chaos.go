@@ -13,6 +13,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/modules/plan"
+	"repro/internal/telemetry"
 )
 
 // ChaosBench is the fault-recovery experiment behind
@@ -50,6 +51,17 @@ type ChaosCell struct {
 	LeakedLocks   int64        `json:"leaked_locks"`  // outstanding holder counts after drain; must be 0
 	QuiesceError  string       `json:"quiesce_error,omitempty"`
 	RecoveryRatio float64      `json:"recovery_ratio"` // recovery ops/sec ÷ baseline ops/sec
+
+	// Telemetry cross-check: the observability layer must agree with the
+	// chaos harness's own accounting. TelemetryHolds is the outstanding-
+	// holds total a telemetry snapshot reports after drain (must equal
+	// LeakedLocks, i.e. 0); RecoveredPanics is the section-panic counter
+	// delta across the cell (must equal the injector's panic count —
+	// every injected panic unwinds through exactly one atomic section);
+	// LeakedWaiters is the global registered-waiter delta (must be 0).
+	TelemetryHolds  int64  `json:"telemetry_outstanding_holds"`
+	RecoveredPanics uint64 `json:"telemetry_recovered_panics"`
+	LeakedWaiters   int64  `json:"leaked_waiters"`
 }
 
 // ChaosReport is the full result of the chaos experiment, the content
@@ -81,6 +93,8 @@ const chaosWatchdogThreshold = time.Millisecond
 // watchdog and the quiescence check.
 func runChaosPhases(app string, inj *chaos.Injector, sems []*core.Semantic, run func() (int, uint64)) ChaosCell {
 	cell := ChaosCell{App: app}
+	panics0 := core.SectionPanicsRecovered()
+	waiters0 := core.WaitersOutstanding()
 
 	var stalls atomic.Int64
 	d := core.NewWatchdog(core.WatchdogConfig{
@@ -121,6 +135,18 @@ func runChaosPhases(app string, inj *chaos.Injector, sems []*core.Semantic, run 
 	if err := chaos.CheckRecovered(sems...); err != nil {
 		cell.QuiesceError = err.Error()
 	}
+
+	// Telemetry cross-check: the same instances seen through a telemetry
+	// registry snapshot must report the same outstanding holds the direct
+	// walk above found, the section-panic counter delta must equal the
+	// injector's panic count, and no waiter registration may leak.
+	reg := telemetry.NewRegistry()
+	reg.Register(app, "chaos", sems...)
+	for _, g := range reg.Snapshot().Groups {
+		cell.TelemetryHolds += g.OutstandingHolds
+	}
+	cell.RecoveredPanics = core.SectionPanicsRecovered() - panics0
+	cell.LeakedWaiters = core.WaitersOutstanding() - waiters0
 	if base := cell.Phases[0].OpsPerSec; base > 0 {
 		cell.RecoveryRatio = cell.Phases[2].OpsPerSec / base
 	}
@@ -234,8 +260,8 @@ func ChaosBench(cfg ChaosConfig) *ChaosReport {
 	rep.Cells = append(rep.Cells, chaosGossipCell(cfg), chaosIntruderCell(cfg))
 
 	minRatio := 0.0
-	var leaked int64
-	var quiesceFailures float64
+	var leaked, holdsMismatch, leakedWaiters int64
+	var quiesceFailures, panicMismatch float64
 	for i, c := range rep.Cells {
 		if i == 0 || c.RecoveryRatio < minRatio {
 			minRatio = c.RecoveryRatio
@@ -244,11 +270,23 @@ func ChaosBench(cfg ChaosConfig) *ChaosReport {
 		if c.QuiesceError != "" {
 			quiesceFailures++
 		}
+		if d := c.TelemetryHolds - c.LeakedLocks; d >= 0 {
+			holdsMismatch += d
+		} else {
+			holdsMismatch -= d
+		}
+		if c.RecoveredPanics != c.Panics {
+			panicMismatch++
+		}
+		leakedWaiters += c.LeakedWaiters
 	}
-	// Pass condition: recovery_ratio_min ≥ 0.8, the other two exactly 0.
+	// Pass condition: recovery_ratio_min ≥ 0.8, everything else exactly 0.
 	rep.Criteria["recovery_ratio_min"] = minRatio
 	rep.Criteria["leaked_locks_total"] = float64(leaked)
 	rep.Criteria["quiesce_failures"] = quiesceFailures
+	rep.Criteria["telemetry_holds_mismatch"] = float64(holdsMismatch)
+	rep.Criteria["panic_recovery_mismatch"] = panicMismatch
+	rep.Criteria["leaked_waiters_total"] = float64(leakedWaiters)
 	return rep
 }
 
@@ -259,6 +297,8 @@ func (r *ChaosReport) Format() string {
 	for _, c := range r.Cells {
 		fmt.Fprintf(&b, "\n%s  (panics=%d slow-holds=%d delays=%d stall-reports=%d leaked-locks=%d)\n",
 			c.App, c.Panics, c.SlowHolds, c.Delays, c.StallReports, c.LeakedLocks)
+		fmt.Fprintf(&b, "  telemetry: outstanding-holds=%d recovered-panics=%d leaked-waiters=%d\n",
+			c.TelemetryHolds, c.RecoveredPanics, c.LeakedWaiters)
 		if c.QuiesceError != "" {
 			fmt.Fprintf(&b, "  QUIESCE FAILED: %s\n", c.QuiesceError)
 		}

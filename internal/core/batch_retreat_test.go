@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatchRetreatRestoresCounters hammers the single-partition batch
+// fast path's retreat against concurrent conflicting holders. The
+// samePart pre-pass claims mode by mode and, on a mid-batch conflict,
+// must undo every earlier claim — counter slots AND summary words —
+// before falling back to the one-pass batch machinery. A phantom
+// conflict bit left behind (a summary word not decremented, a counter
+// slot over-restored) would make this mechanism's summary permanently
+// over-approximate, sending every later wildcard acquisition to the
+// slow path or, worse, deadlocking it. Run under -race this also races
+// the retreat against the wildcard holder's own claim/retreat cycle.
+func TestBatchRetreatRestoresCounters(t *testing.T) {
+	// φ width 64: the size mode conflicts with every key mode (put/size
+	// never commute), giving it a conflict mask far past
+	// summaryCutoffSlots — this mechanism maintains summary counters,
+	// which is exactly the bookkeeping the retreat must restore.
+	tbl := mapTable(t, 64, TableOptions{})
+	s := NewSemantic(tbl)
+	sm := sizeMode(tbl)
+	if p := tbl.part[sm]; !tbl.summaryOn[p] {
+		t.Fatal("test premise: the size mode's mechanism must maintain summary counters")
+	}
+	baseline := WaitersOutstanding()
+
+	const goroutines = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0, 1:
+					// Same-partition key batch: the pre-pass claims the
+					// first key, then retreats when the wildcard holder
+					// blocks the second.
+					a := keyMode(tbl, rng.Intn(64))
+					b := keyMode(tbl, rng.Intn(64))
+					// a may equal b: the batch then claims the slot twice
+					// (two holds), and the two releases below restore both.
+					s.AcquireBatch(a, b)
+					s.Release(a)
+					s.Release(b)
+				case 2:
+					// The wildcard: conflicts with every key slot, forcing
+					// both directions of retreat (its own failed claims and
+					// the key batches').
+					s.Acquire(sm)
+					s.Release(sm)
+				default:
+					// Intra-batch conflict (key vs size within one batch,
+					// self-permitted via baked thresholds) plus a bounded
+					// acquisition whose timeout path retreats as well.
+					k := keyMode(tbl, rng.Intn(64))
+					if k != sm {
+						s.AcquireBatch(k, sm)
+						s.Release(k)
+						s.Release(sm)
+					}
+					if err := s.AcquireWithin(sm, time.Microsecond); err == nil {
+						s.Release(sm)
+					}
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	if err := s.CheckQuiesced(); err != nil {
+		t.Fatalf("counters not restored after batch-retreat hammer: %v", err)
+	}
+	if d := WaitersOutstanding() - baseline; d != 0 {
+		t.Errorf("leaked %d waiter(s)", d)
+	}
+	// The summary must be exactly restored, not merely nonnegative: a
+	// fresh wildcard acquisition must still take the fast path.
+	st0 := s.Stats()
+	s.Acquire(sm)
+	s.Release(sm)
+	if st := s.Stats(); st.FastPath != st0.FastPath+1 {
+		t.Errorf("wildcard acquisition on quiesced instance went slow-path: before %+v after %+v", st0, st)
+	}
+}

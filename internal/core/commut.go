@@ -383,6 +383,41 @@ func (t *ModeTable) Commute(a, b ModeID) bool { return t.fc[a][b] }
 // Mode returns the mode for an id.
 func (t *ModeTable) Mode(id ModeID) Mode { return t.modes[id] }
 
+// MechanismOf returns the index of the lock mechanism guarding mode id,
+// or -1 when the mode conflicts with nothing (including itself) and
+// needs no mechanism. Telemetry and plan reports use this to map static
+// lock sites to the runtime counters of a specific mechanism.
+func (t *ModeTable) MechanismOf(id ModeID) int { return t.part[id] }
+
+// SlotOf returns mode id's counter slot within its mechanism (merged
+// indistinguishable modes share a slot), or -1 when the mode needs no
+// mechanism.
+func (t *ModeTable) SlotOf(id ModeID) int {
+	if t.part[id] < 0 {
+		return -1
+	}
+	return t.localIdx[id]
+}
+
+// Table returns the ModeTable the set handle was created from.
+func (r SetRef) Table() *ModeTable { return r.t }
+
+// Index returns the set's index within its table — a stable identifier
+// for reports that enumerate a table's sets.
+func (r SetRef) Index() int { return r.idx }
+
+// NumModes returns how many distinct mode selections the set can
+// produce (the size of its dynamic lookup table; duplicates possible
+// when φ collisions map different assignments to one mode).
+func (r SetRef) NumModes() int { return len(r.t.sets[r.idx].modes) }
+
+// ModeIDs returns a copy of the set's dynamic lookup table: the ModeID
+// selected for each assignment of abstract values, in the enumeration
+// order of InstantiateModes.
+func (r SetRef) ModeIDs() []ModeID {
+	return append([]ModeID(nil), r.t.sets[r.idx].modes...)
+}
+
 // SetRef is a handle to a registered symbolic set, used on the hot path
 // to select the runtime locking mode from argument values without map
 // lookups (§5.1's dynamic mode selection).

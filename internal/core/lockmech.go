@@ -23,7 +23,35 @@ type LockStats struct {
 	FastPath uint64
 	Slow     uint64
 	Waits    uint64
+	// Batches counts batched acquisitions — one per mechanism group of
+	// an AcquireBatch call, already included in FastPath/Slow, so
+	// FastPath+Slow-Batches recovers the single-mode acquisition count.
+	Batches uint64
+	// Stalls counts bounded acquisitions (AcquireWithin) that exhausted
+	// their patience and returned a StallError.
+	Stalls uint64
+	// WaitNanos is the cumulative measured blocking time of slow-path
+	// waiters. A waiter contributes only when it carried a timestamp —
+	// the instance was Watchdog-watched, or SetWaitTiming(true) was in
+	// effect, when it parked; otherwise its wait is not sampled.
+	WaitNanos int64
 }
+
+// waitSampling globally enables the per-waiter wait timestamps (and
+// with them LockStats.WaitNanos) on instances that no Watchdog watches.
+// Off by default: the timestamp costs a time.Now() per slow-path entry,
+// which only telemetry consumers should pay for.
+var waitSampling atomic.Bool
+
+// SetWaitTiming turns global wait-time sampling on or off. The
+// telemetry layer calls this when a metrics consumer attaches; a
+// Watchdog.Watch enables sampling per instance regardless of this
+// switch. Waiters already parked keep whatever sampling state they
+// were created with.
+func SetWaitTiming(on bool) { waitSampling.Store(on) }
+
+// WaitTimingEnabled reports whether global wait-time sampling is on.
+func WaitTimingEnabled() bool { return waitSampling.Load() }
 
 // Semantic is the per-ADT-instance semantic lock: the realization of the
 // synchronization API of §2.2 (lock / unlockAll) for one ADT instance.
@@ -226,7 +254,12 @@ func (s *Semantic) acquireBatchLogged(ms []ModeID, log []Acquisition) {
 				}
 			}
 			if ok {
-				mech.fastPath.Add(uint64(len(ms)))
+				// One batched acquisition counts once (the documented
+				// LockStats contract), exactly as the tryAcquireBatch
+				// success path below counts once — not once per
+				// constituent mode.
+				mech.batches.Add(1)
+				mech.fastPath.Add(1)
 				return
 			}
 			for j := 0; j < k; j++ {
@@ -275,6 +308,7 @@ func (s *Semantic) acquireBatchLogged(ms []ModeID, log []Acquisition) {
 // acquisition ladder, mirroring Acquire's shape.
 func (s *Semantic) acquireMechBatch(p int, sc *batchScratch, log []Acquisition) {
 	mech := &s.mechs[p]
+	mech.batches.Add(1)
 	b := &sc.b
 	b.slots = b.slots[:0]
 	b.claims = b.claims[:0]
@@ -316,6 +350,9 @@ func (s *Semantic) Stats() LockStats {
 		out.FastPath += s.mechs[i].fastPath.Load() + s.v1[i].fastPath.Load()
 		out.Slow += s.mechs[i].slow.Load() + s.v1[i].slow.Load()
 		out.Waits += s.mechs[i].waits.Load() + s.v1[i].waits.Load()
+		out.Batches += s.mechs[i].batches.Load()
+		out.Stalls += s.mechs[i].stalls.Load() + s.v1[i].stalls.Load()
+		out.WaitNanos += s.mechs[i].waitNanos.Load()
 	}
 	return out
 }
@@ -398,13 +435,21 @@ type mechV2 struct {
 
 	// watched is set once a Watchdog registers the instance. Slow-path
 	// waiters only pay a time.Now() for their diagnostic timestamp when
-	// somebody will actually read it (sampleMech); unwatched mechanisms
-	// skip the clock call entirely.
+	// somebody will actually read it (sampleMech) or when global wait
+	// sampling (SetWaitTiming) is on; otherwise the clock call is
+	// skipped entirely.
 	watched atomic.Bool
+	// watchedAt is when watched first flipped on (unix nanos, 0 =
+	// never). The sampler uses it as a lower bound on the wait of
+	// waiters that parked before timing was available.
+	watchedAt atomic.Int64
 
-	fastPath atomic.Uint64
-	slow     atomic.Uint64
-	waits    atomic.Uint64
+	fastPath  atomic.Uint64
+	slow      atomic.Uint64
+	waits     atomic.Uint64
+	batches   atomic.Uint64
+	stalls    atomic.Uint64
+	waitNanos atomic.Int64
 }
 
 // waiterV2 is one blocked acquirer: the conflict mask it is waiting on,
@@ -442,11 +487,12 @@ var waitersOut atomic.Int64
 func WaitersOutstanding() int64 { return waitersOut.Load() }
 
 // getWaiter checks a waiter out of the pool for one slow-path wait on
-// this mechanism. The diagnostic timestamp is gated on watchdog
-// registration: time.Now() costs a vDSO call on every slow-path entry,
-// and nothing reads w.since unless a Watchdog samples the instance. A
-// waiter parked before the first Watch carries a zero since; sampleMech
-// skips it (its wait start is unknown).
+// this mechanism. The diagnostic timestamp is gated: time.Now() costs a
+// vDSO call on every slow-path entry, and nothing reads w.since unless
+// a Watchdog samples the instance (watched) or a telemetry consumer
+// asked for wait timing (SetWaitTiming). A waiter parked before either
+// gate opened carries a zero since; sampleMech reports it with a lower
+// bound from watchedAt instead of a measured wait.
 func (m *mechV2) getWaiter(mask []wordMask, log []Acquisition) *waiterV2 {
 	w := waiterPool.Get().(*waiterV2)
 	select {
@@ -454,7 +500,7 @@ func (m *mechV2) getWaiter(mask []wordMask, log []Acquisition) *waiterV2 {
 	default:
 	}
 	w.mask = mask
-	if m.watched.Load() {
+	if m.watched.Load() || waitSampling.Load() {
 		w.since = time.Now()
 	} else {
 		w.since = time.Time{}
@@ -462,6 +508,17 @@ func (m *mechV2) getWaiter(mask []wordMask, log []Acquisition) *waiterV2 {
 	w.log = log
 	waitersOut.Add(1)
 	return w
+}
+
+// settleWait folds a finished waiter's measured wait into the
+// mechanism's cumulative wait time, just before the waiter returns to
+// the pool. Waiters without a timestamp (parked with both sampling
+// gates closed) contribute nothing — WaitNanos only ever reports
+// measured time, never a guess.
+func (m *mechV2) settleWait(w *waiterV2) {
+	if !w.since.IsZero() {
+		m.waitNanos.Add(int64(time.Since(w.since)))
+	}
 }
 
 func putWaiter(w *waiterV2) {
@@ -615,6 +672,7 @@ func (m *mechV2) slowAcquire(c *maskInfo, log []Acquisition) {
 		if !m.conflicts(c) {
 			m.deregisterLocked(w)
 			m.mu.Unlock()
+			m.settleWait(w)
 			putWaiter(w)
 			return
 		}
@@ -675,6 +733,7 @@ func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, log []Acquis
 		if !m.conflicts(c) {
 			m.deregisterLocked(w)
 			m.mu.Unlock()
+			m.settleWait(w)
 			putWaiter(w)
 			return nil, true
 		}
@@ -693,6 +752,7 @@ func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, log []Acquis
 				// timer firing; the claim stands — acquired, not stalled.
 				m.deregisterLocked(w)
 				m.mu.Unlock()
+				m.settleWait(w)
 				putWaiter(w)
 				return nil, true
 			}
@@ -711,6 +771,7 @@ func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, log []Acquis
 			default:
 			}
 			m.mu.Unlock()
+			m.settleWait(w)
 			putWaiter(w)
 			return holders, false
 		}
@@ -1004,6 +1065,7 @@ func (m *mechV2) slowAcquireBatch(b *batchScan, log []Acquisition) {
 		if !m.conflictsBatch(b) {
 			m.deregisterLocked(w)
 			m.mu.Unlock()
+			m.settleWait(w)
 			putWaiter(w)
 			return
 		}
@@ -1043,6 +1105,7 @@ type mechanism struct {
 	fastPath atomic.Uint64
 	slow     atomic.Uint64
 	waits    atomic.Uint64
+	stalls   atomic.Uint64
 }
 
 func (m *mechanism) init(nModes int) {

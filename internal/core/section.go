@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/padded"
 )
 
 // This file makes atomic sections panic-safe: Atomically guarantees that
@@ -41,6 +43,26 @@ func (p *SectionPanic) Unwrap() error {
 	return nil
 }
 
+// sectionPanics and sectionAborts are process-wide telemetry counters
+// for the two abnormal section exits: panics that escaped a section
+// (re-raised as *SectionPanic after the epilogue released its locks)
+// and Txn.Abort calls swallowed by their own Atomically frame. Padded
+// cells: the counters sit on the Atomically unwinding path, which chaos
+// workloads hit from many goroutines at once.
+var (
+	sectionPanics padded.Uint64
+	sectionAborts padded.Uint64
+)
+
+// SectionPanicsRecovered returns how many panics have escaped atomic
+// sections process-wide. Every one of them had its section's locks
+// released by the Atomically epilogue before re-panicking.
+func SectionPanicsRecovered() uint64 { return sectionPanics.Load() }
+
+// SectionAborts returns how many Txn.Abort calls have been absorbed by
+// their enclosing Atomically process-wide.
+func SectionAborts() uint64 { return sectionAborts.Load() }
+
 // sectionAbort is the sentinel Txn.Abort panics with. It carries the
 // aborting transaction so nested sections on distinct transactions abort
 // independently: only the Atomically frame running that transaction
@@ -70,6 +92,7 @@ func (t *Txn) Atomically(fn func(*Txn)) {
 			// Normal return; epilogue already ran.
 		case *sectionAbort:
 			if r.t == t {
+				sectionAborts.Add(1)
 				return // our own abort: swallow, locks already released
 			}
 			panic(r) // some outer section's abort; keep unwinding
@@ -78,6 +101,7 @@ func (t *Txn) Atomically(fn func(*Txn)) {
 			if len(t.log) > 0 {
 				log = append(log, t.log...)
 			}
+			sectionPanics.Add(1)
 			panic(&SectionPanic{Value: r, HeldAtPanic: heldAtPanic, Log: log})
 		}
 	}()

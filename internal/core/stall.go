@@ -78,6 +78,7 @@ func (s *Semantic) acquireWithin(m ModeID, patience time.Duration, log []Acquisi
 		if ok {
 			return nil
 		}
+		s.v1[p].stalls.Add(1)
 		return s.stallError(m, p, holders, time.Since(start), log)
 	}
 	mech := &s.mechs[p]
@@ -90,6 +91,7 @@ func (s *Semantic) acquireWithin(m ModeID, patience time.Duration, log []Acquisi
 	if ok {
 		return nil
 	}
+	mech.stalls.Add(1)
 	return s.stallError(m, p, holders, time.Since(start), log)
 }
 
@@ -202,7 +204,12 @@ func (s *Semantic) CheckQuiesced() error {
 type WaiterInfo struct {
 	Slots  []int         `json:"slots"`
 	Waited time.Duration `json:"waited"`
-	Log    []Acquisition `json:"log,omitempty"`
+	// Sampled reports whether Waited is a measured duration. Waiters
+	// that parked before wait timing was available on their mechanism
+	// carry no timestamp; for those Waited is a lower bound — time since
+	// the instance became watched — and Sampled is false.
+	Sampled bool          `json:"sampled"`
+	Log     []Acquisition `json:"log,omitempty"`
 }
 
 // StallReport is one watchdog observation of a mechanism with at least
@@ -216,6 +223,31 @@ type StallReport struct {
 	WaitMask  []uint64     `json:"waitMask"`
 	Holders   []HolderSlot `json:"holders"`
 	Waiters   []WaiterInfo `json:"waiters"`
+}
+
+// String renders the report for logs. Lower-bound waits of pre-Watch
+// waiters (Sampled false) are prefixed "≥" so an unsampled bound is
+// never mistaken for a measured duration.
+func (r StallReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: stall on %s instance %d mech %d:", r.Class, r.Instance, r.Mechanism)
+	for i, h := range r.Holders {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, " held %s(x%d)", h.Mode, h.Count)
+	}
+	for _, w := range r.Waiters {
+		bound := ""
+		if !w.Sampled {
+			bound = "≥"
+		}
+		fmt.Fprintf(&b, "; waiter on slots %v blocked %s%v", w.Slots, bound, w.Waited.Round(time.Millisecond))
+		if len(w.Log) > 0 {
+			fmt.Fprintf(&b, " holding %d lock(s)", len(w.Log))
+		}
+	}
+	return b.String()
 }
 
 // WatchdogConfig tunes a Watchdog. The zero value is not useful; use
@@ -262,11 +294,17 @@ func NewWatchdog(cfg WatchdogConfig) *Watchdog {
 // instance's mechanisms as watched, which turns on the per-waiter wait
 // timestamps the sampler reads — unwatched instances skip that clock
 // call on the slow path entirely. Waiters already parked at the moment
-// of registration carry no timestamp and are skipped until they next
-// block.
+// of registration carry no timestamp; the sampler still reports them,
+// with their wait lower-bounded from the moment of registration
+// (WaiterInfo.Sampled false), so a stuck pre-Watch waiter cannot stay
+// invisible forever.
 func (d *Watchdog) Watch(s *Semantic) {
+	now := time.Now().UnixNano()
 	for p := range s.mechs {
-		s.mechs[p].watched.Store(true)
+		m := &s.mechs[p]
+		if !m.watched.Swap(true) {
+			m.watchedAt.CompareAndSwap(0, now)
+		}
 	}
 	d.mu.Lock()
 	d.sems = append(d.sems, s)
@@ -303,12 +341,21 @@ func (s *Semantic) sampleMech(p int, now time.Time, threshold time.Duration) (St
 
 	var waiters []WaiterInfo
 	for _, w := range m.waiters {
-		if w.since.IsZero() {
-			// Parked before the instance was watched; its wait start is
-			// unknown (the timestamp is gated on watching).
-			continue
+		var waited time.Duration
+		sampled := !w.since.IsZero()
+		if sampled {
+			waited = now.Sub(w.since)
+		} else if at := m.watchedAt.Load(); at != 0 {
+			// Parked before timing was available on this mechanism; its
+			// true wait start is unknown. Lower-bound the wait from the
+			// moment the instance became watched — the bound keeps
+			// growing, so a permanently stuck pre-Watch waiter crosses
+			// the threshold and gets reported instead of being skipped
+			// forever.
+			waited = now.Sub(time.Unix(0, at))
+		} else {
+			continue // never watched: no wait bound at all
 		}
-		waited := now.Sub(w.since)
 		if waited < threshold {
 			continue
 		}
@@ -321,7 +368,7 @@ func (s *Semantic) sampleMech(p int, now time.Time, threshold time.Duration) (St
 				bs &= bs - 1
 			}
 		}
-		wi := WaiterInfo{Slots: slots, Waited: waited}
+		wi := WaiterInfo{Slots: slots, Waited: waited, Sampled: sampled}
 		if len(w.log) > 0 {
 			wi.Log = append([]Acquisition(nil), w.log...)
 		}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests pin the wait-duration contract after the sampling gate:
+// getWaiter only stamps a park timestamp when the mechanism is watched
+// or SetWaitTiming is on, so every consumer of a wait duration must
+// either not depend on the timestamp (StallError measures its own
+// clock) or say explicitly when it is reporting a bound rather than a
+// measurement (WaiterInfo.Sampled).
+
+// TestStallErrorWaitedUnwatched: a bounded acquisition that times out
+// on an instance nobody watches must still report a real, measured wait
+// duration — the timeout path has its own clock and never depended on
+// the waiter timestamp.
+func TestStallErrorWaitedUnwatched(t *testing.T) {
+	tbl := mapTable(t, 1, TableOptions{}) // n=1: key modes conflict with size
+	s := NewSemantic(tbl)
+	km, sm := keyMode(tbl, 1), sizeMode(tbl)
+	s.Acquire(km)
+	defer s.Release(km)
+
+	const patience = 30 * time.Millisecond
+	err := s.AcquireWithin(sm, patience)
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want *StallError", err)
+	}
+	if se.Waited < patience {
+		t.Errorf("StallError.Waited = %v, want >= %v (unwatched instance must measure its own wait)",
+			se.Waited, patience)
+	}
+	if len(se.Holders) == 0 {
+		t.Error("StallError names no holders")
+	}
+	if got := s.Stats().Stalls; got != 1 {
+		t.Errorf("Stats().Stalls = %d, want 1", got)
+	}
+}
+
+// TestWatchdogReportsPreWatchWaiter: a waiter that parked before the
+// instance was watched carries no timestamp, but the sampler must not
+// skip it — it reports the wait as a growing lower bound with Sampled
+// false, and the report renders the bound with a "≥" prefix.
+func TestWatchdogReportsPreWatchWaiter(t *testing.T) {
+	prev := WaitTimingEnabled()
+	SetWaitTiming(false)
+	defer SetWaitTiming(prev)
+
+	tbl := mapTable(t, 1, TableOptions{})
+	s := NewSemantic(tbl)
+	km, sm := keyMode(tbl, 1), sizeMode(tbl)
+	s.Acquire(km)
+
+	acquired := make(chan struct{})
+	go func() {
+		s.Acquire(sm) // parks: conflicts with km, nobody watching yet
+		close(acquired)
+	}()
+	// Wait for the waiter to actually register (past the adaptive spin).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mechs[0].mu.Lock()
+		n := len(s.mechs[0].waiters)
+		s.mechs[0].mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	d := NewWatchdog(WatchdogConfig{Threshold: 5 * time.Millisecond})
+	d.Watch(s)
+	time.Sleep(15 * time.Millisecond) // let the lower bound cross the threshold
+
+	reports := d.Scan()
+	if len(reports) == 0 {
+		t.Fatal("pre-Watch waiter was not reported")
+	}
+	r := reports[0]
+	if len(r.Waiters) != 1 {
+		t.Fatalf("report waiters = %+v, want exactly 1", r.Waiters)
+	}
+	w := r.Waiters[0]
+	if w.Sampled {
+		t.Error("pre-Watch waiter reported as Sampled; its true park time is unknown")
+	}
+	if w.Waited <= 0 {
+		t.Errorf("lower-bound Waited = %v, want > 0", w.Waited)
+	}
+	if str := r.String(); !strings.Contains(str, "≥") {
+		t.Errorf("report %q does not mark the unsampled bound with ≥", str)
+	}
+
+	// The bound keeps growing across scans — a stuck waiter can't hide.
+	time.Sleep(10 * time.Millisecond)
+	again := d.Scan()
+	if len(again) == 0 || len(again[0].Waiters) != 1 {
+		t.Fatal("waiter vanished from second scan")
+	}
+	if again[0].Waiters[0].Waited <= w.Waited {
+		t.Errorf("lower bound did not grow: %v then %v", w.Waited, again[0].Waiters[0].Waited)
+	}
+
+	s.Release(km)
+	<-acquired
+	s.Release(sm)
+}
+
+// TestWatchdogSampledWaiter: once the instance is watched, new waiters
+// carry measured timestamps and report Sampled true with no "≥".
+func TestWatchdogSampledWaiter(t *testing.T) {
+	tbl := mapTable(t, 1, TableOptions{})
+	s := NewSemantic(tbl)
+	km, sm := keyMode(tbl, 1), sizeMode(tbl)
+
+	d := NewWatchdog(WatchdogConfig{Threshold: 5 * time.Millisecond})
+	d.Watch(s)
+
+	s.Acquire(km)
+	acquired := make(chan struct{})
+	go func() {
+		s.Acquire(sm)
+		close(acquired)
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	reports := d.Scan()
+	if len(reports) == 0 {
+		t.Fatal("watched waiter not reported")
+	}
+	w := reports[0].Waiters[0]
+	if !w.Sampled {
+		t.Error("post-Watch waiter reported as unsampled")
+	}
+	if w.Waited <= 0 {
+		t.Errorf("Waited = %v, want > 0", w.Waited)
+	}
+	if str := reports[0].String(); strings.Contains(str, "≥") {
+		t.Errorf("sampled wait rendered as a bound: %q", str)
+	}
+
+	s.Release(km)
+	<-acquired
+	s.Release(sm)
+}
+
+// TestWaitNanosGating: LockStats.WaitNanos accumulates only when wait
+// timing is on (globally or via a watchdog); otherwise blocking costs
+// no clock call and the counter stays zero.
+func TestWaitNanosGating(t *testing.T) {
+	block := func(s *Semantic, km, sm ModeID) {
+		s.Acquire(km)
+		acquired := make(chan struct{})
+		go func() {
+			s.Acquire(sm)
+			close(acquired)
+		}()
+		time.Sleep(20 * time.Millisecond)
+		s.Release(km)
+		<-acquired
+		s.Release(sm)
+	}
+
+	prev := WaitTimingEnabled()
+	defer SetWaitTiming(prev)
+
+	SetWaitTiming(false)
+	tbl := mapTable(t, 1, TableOptions{})
+	s := NewSemantic(tbl)
+	block(s, keyMode(tbl, 1), sizeMode(tbl))
+	if st := s.Stats(); st.WaitNanos != 0 {
+		t.Errorf("WaitNanos = %d with timing off, want 0", st.WaitNanos)
+	}
+
+	SetWaitTiming(true)
+	s2 := NewSemantic(tbl)
+	block(s2, keyMode(tbl, 1), sizeMode(tbl))
+	if st := s2.Stats(); st.Waits == 0 || st.WaitNanos <= 0 {
+		t.Errorf("stats = %+v with timing on, want measured WaitNanos > 0", st)
+	}
+}
+
+// TestBatchStatsContract: one AcquireBatch counts once per mechanism
+// group in LockStats — Batches 1, FastPath 1 on the optimistic path —
+// so FastPath+Slow-Batches recovers the single-mode acquisition count.
+func TestBatchStatsContract(t *testing.T) {
+	tbl := mapTable(t, 8, TableOptions{})
+	s := NewSemantic(tbl)
+	m0, m1 := keyMode(tbl, 0), keyMode(tbl, 1)
+	if m0 == m1 {
+		t.Fatal("test premise: distinct key modes")
+	}
+	s.AcquireBatch(m0, m1)
+	st := s.Stats()
+	if st.Batches != 1 || st.FastPath+st.Slow != 1 {
+		t.Errorf("stats after one batched acquisition = %+v, want Batches=1 counted once in FastPath+Slow", st)
+	}
+	s.Release(m0)
+	s.Release(m1)
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/ir"
 )
 
@@ -63,6 +64,114 @@ func Report(res *Result) string {
 			for i, m := range tbl.Modes() {
 				fmt.Fprintf(&b, "      mode %d: %s\n", i, m)
 			}
+		}
+	}
+	return b.String()
+}
+
+// CounterMap renders the static-to-runtime counter annotation behind
+// semlockc's -counters flag: every lock-acquisition site the synthesis
+// inserted, mapped to the mechanism (and counter slots) its selected
+// modes bump at run time. This is the join key between a compiled plan
+// and a live telemetry snapshot: a snapshot's per-mechanism fast/slow
+// counters attribute back to these sites, and only these.
+func CounterMap(res *Result) string {
+	var b strings.Builder
+	b.WriteString("== lock sites → runtime counters ==\n")
+	for si, sec := range res.Sections {
+		fmt.Fprintf(&b, "section %s:\n", sec.Name)
+		n := 0
+		var site func(vars []string, set core.SymSet, generic bool, kind string)
+		site = func(vars []string, set core.SymSet, generic bool, kind string) {
+			n++
+			k, ok := res.Classes.ClassOfVar(si, vars[0])
+			if !ok {
+				fmt.Fprintf(&b, "  %-12s %v — no class (unlocked)\n", kind, vars)
+				return
+			}
+			fmt.Fprintf(&b, "  %-12s %-14v class %-8s rank %d  ", kind, vars, k, res.Rank(k))
+			tbl := res.Tables[k]
+			switch {
+			case tbl == nil:
+				b.WriteString("no mode table\n")
+			case generic:
+				// A generic acquisition conflicts with everything; it takes
+				// whichever mechanisms the instance has.
+				fmt.Fprintf(&b, "generic → all %d mechanisms\n", tbl.NumMechanisms())
+			default:
+				ref := tbl.Set(set)
+				// Group the set's selectable modes by the mechanism whose
+				// counters they bump; part < 0 means the mode conflicts with
+				// nothing and costs no counter at all.
+				bySlots := map[int][]int{}
+				free := 0
+				for _, id := range ref.ModeIDs() {
+					if mech := tbl.MechanismOf(id); mech < 0 {
+						free++
+					} else {
+						bySlots[mech] = append(bySlots[mech], tbl.SlotOf(id))
+					}
+				}
+				fmt.Fprintf(&b, "set %v: %d modes → ", set, ref.NumModes())
+				mechs := make([]int, 0, len(bySlots))
+				for m := range bySlots {
+					mechs = append(mechs, m)
+					sort.Ints(bySlots[m])
+				}
+				sort.Ints(mechs)
+				// Collapse runs of adjacent mechanisms with identical slot
+				// lists (a one-counter-per-partition class has 64 of them).
+				for i := 0; i < len(mechs); {
+					j := i
+					for j+1 < len(mechs) && mechs[j+1] == mechs[j]+1 &&
+						fmt.Sprint(bySlots[mechs[j+1]]) == fmt.Sprint(bySlots[mechs[i]]) {
+						j++
+					}
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					if j > i {
+						fmt.Fprintf(&b, "mechanisms %d–%d slots %v each", mechs[i], mechs[j], bySlots[mechs[i]])
+					} else {
+						fmt.Fprintf(&b, "mechanism %d slots %v", mechs[i], bySlots[mechs[i]])
+					}
+					i = j + 1
+				}
+				if free > 0 {
+					if len(mechs) > 0 {
+						b.WriteString(", ")
+					}
+					fmt.Fprintf(&b, "%d lock-free (no mechanism)", free)
+				}
+				if len(mechs) == 0 && free == 0 {
+					b.WriteString("no mechanism")
+				}
+				b.WriteString("\n")
+			}
+		}
+		var walk func(blk ir.Block)
+		walk = func(blk ir.Block) {
+			for _, s := range blk {
+				switch x := s.(type) {
+				case *ir.LV:
+					site([]string{x.Var}, x.Set, x.Generic, "LV")
+				case *ir.LV2:
+					site(x.Vars, x.Set, x.Generic, "LV2")
+				case *ir.LockBatch:
+					for i, e := range x.Entries {
+						site(e.Vars, e.Set, e.Generic, fmt.Sprintf("batch[%d]", i))
+					}
+				case *ir.If:
+					walk(x.Then)
+					walk(x.Else)
+				case *ir.While:
+					walk(x.Body)
+				}
+			}
+		}
+		walk(sec.Body)
+		if n == 0 {
+			b.WriteString("  (no lock sites)\n")
 		}
 	}
 	return b.String()

@@ -1,0 +1,99 @@
+// Trace-side telemetry: comparing a transaction's recorded acquisition
+// schedule (core.Txn.StartTrace / TraceEvents) against the OS2PL order
+// the static verifier certified for the section. ScheduleWidths derives
+// the prediction from a synthesized section; CheckSchedule asserts one
+// recorded schedule realizes it. Together they close the loop Locksynth
+// argues for: runtime evidence that the synthesized protocol is the one
+// actually executing.
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/synth"
+)
+
+// ScheduleWidths derives the verifier's predicted acquisition schedule
+// of synthesized section si: for every class rank the section may lock,
+// the maximum number of same-rank acquisitions any single execution can
+// perform. An LV contributes one acquisition at its class's rank, an
+// LV2 up to len(Vars) (same-rank instances ordered dynamically by
+// unique id), and a fused LockBatch the sum of its entries per rank —
+// fusion never reorders across a rank boundary, so the batch realizes
+// the same schedule the unfused statements did.
+func ScheduleWidths(res *synth.Result, si int) map[int]int {
+	maxAtRank := map[int]int{}
+	bump := func(rank, width int) {
+		if maxAtRank[rank] < width {
+			maxAtRank[rank] = width
+		}
+	}
+	rankOf := func(v string) int {
+		k, _ := res.Classes.ClassOfVar(si, v)
+		return res.Rank(k)
+	}
+	var walk func(b ir.Block)
+	walk = func(b ir.Block) {
+		for _, s := range b {
+			switch x := s.(type) {
+			case *ir.LV:
+				bump(rankOf(x.Var), 1)
+			case *ir.LV2:
+				bump(rankOf(x.Vars[0]), len(x.Vars))
+			case *ir.LockBatch:
+				perRank := map[int]int{}
+				for _, e := range x.Entries {
+					perRank[rankOf(e.Vars[0])] += len(e.Vars)
+				}
+				for rank, w := range perRank {
+					bump(rank, w)
+				}
+			case *ir.If:
+				walk(x.Then)
+				walk(x.Else)
+			case *ir.While:
+				walk(x.Body)
+			}
+		}
+	}
+	walk(res.Sections[si].Body)
+	return maxAtRank
+}
+
+// CheckSchedule asserts that one recorded acquisition schedule — a
+// checked transaction's Acquisitions log or a traced transaction's
+// TraceEvents — is a realization of the verifier's prediction: ranks
+// non-decreasing across the schedule, instance ids strictly increasing
+// within each equal-rank group, and every rank and group width drawn
+// from the section's lock statements (maxAtRank, as computed by
+// ScheduleWidths). A nil error means the runtime executed exactly the
+// certified OS2PL order.
+func CheckSchedule(events []core.Acquisition, maxAtRank map[int]int) error {
+	for i := 0; i < len(events); {
+		j := i
+		for j < len(events) && events[j].Rank == events[i].Rank {
+			j++
+		}
+		width, known := maxAtRank[events[i].Rank]
+		if !known {
+			return fmt.Errorf("telemetry: acquisition at rank %d matches no lock statement", events[i].Rank)
+		}
+		if j-i > width {
+			return fmt.Errorf("telemetry: %d acquisitions at rank %d, statically at most %d",
+				j-i, events[i].Rank, width)
+		}
+		for k := i + 1; k < j; k++ {
+			if events[k].ID <= events[k-1].ID {
+				return fmt.Errorf("telemetry: ids not increasing within rank %d group: %v",
+					events[i].Rank, events)
+			}
+		}
+		if j < len(events) && events[j].Rank < events[i].Rank {
+			return fmt.Errorf("telemetry: ranks not increasing: %v", events)
+		}
+		i = j
+	}
+	return nil
+}
