@@ -18,6 +18,8 @@
 //	                           (real execution; writes BENCH_chaos.json)
 //	benchall -exp telemetry  # observability-layer overhead + trace audit
 //	                           (real execution; writes BENCH_telemetry.json)
+//	benchall -exp optimistic # hybrid lock-free reads vs pessimistic prologue
+//	                           (real execution; writes BENCH_optimistic.json)
 //	benchall -real           # include real-execution measurements
 //	benchall -scale 50000    # simulated transactions per thread
 package main
@@ -38,7 +40,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|hotpath|chaos|telemetry|stats|all")
+		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|hotpath|chaos|telemetry|optimistic|stats|all")
 	scale := flag.Int("scale", 20000, "simulated transactions per thread")
 	real := flag.Bool("real", false, "also run real-execution measurements on this host")
 	realOps := flag.Int("realops", 30000, "real-execution operations per thread")
@@ -107,6 +109,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_telemetry.json")
+		ran = true
+	}
+	// The optimistic experiment measures real execution of the hybrid
+	// lock-free read path, so it only runs when asked for explicitly.
+	if *exp == "optimistic" {
+		rep := bench.OptimisticBench(bench.OptimisticConfig{OpsPerThread: *scale})
+		fmt.Println(rep.Format())
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile("BENCH_optimistic.json", append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: writing BENCH_optimistic.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_optimistic.json")
 		ran = true
 	}
 	// The chaos experiment injects real panics and delays into real

@@ -3,11 +3,11 @@
 // field or a criterion instead of silently uploading a hollow artifact.
 //
 // The expected schema is selected by filename: BENCH_lockmech.json,
-// BENCH_hotpath.json, BENCH_chaos.json and BENCH_telemetry.json each
-// have a required set of top-level fields (which must be present and
-// non-empty) and required criteria keys (which must be present and
-// finite). Unknown BENCH_ filenames are an error — a new experiment
-// must register its schema here.
+// BENCH_hotpath.json, BENCH_chaos.json, BENCH_telemetry.json and
+// BENCH_optimistic.json each have a required set of top-level fields
+// (which must be present and non-empty) and required criteria keys
+// (which must be present and finite). Unknown BENCH_ filenames are an
+// error — a new experiment must register its schema here.
 //
 // Usage:
 //
@@ -75,6 +75,16 @@ var schemas = map[string]schema{
 			"trace_order_mismatches",
 		},
 	},
+	"optimistic": {
+		fields: []string{"gomaxprocs", "ops_per_thread", "cells",
+			"ratio_optimistic_over_pessimistic", "criteria"},
+		criteria: []string{
+			"optimistic_over_pessimistic_f99_T8plus",
+			"validation_failure_rate_f99",
+			"f50_worst_regression_pct",
+			"torn_scans",
+		},
+	},
 }
 
 // chaosStrictZero are the chaos criteria that must be exactly zero for
@@ -125,7 +135,7 @@ func checkFile(path string, chaosStrict bool) []error {
 	kind := kindOf(path)
 	sch, ok := schemas[kind]
 	if !ok {
-		return []error{fmt.Errorf("unknown report kind %q (expected BENCH_<lockmech|hotpath|chaos|telemetry>.json)", kind)}
+		return []error{fmt.Errorf("unknown report kind %q (expected BENCH_<lockmech|hotpath|chaos|telemetry|optimistic>.json)", kind)}
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -170,6 +180,15 @@ func checkFile(path string, chaosStrict bool) []error {
 	if kind == "telemetry" {
 		if v, present := criteria["trace_sections_checked"]; present && v <= 0 {
 			errs = append(errs, fmt.Errorf("criterion trace_sections_checked = %v, want > 0", v))
+		}
+	}
+	// A torn scan is a validated optimistic read that observed half of
+	// an atomic pair write — a protocol soundness failure, never a
+	// tuning matter. Unlike the throughput criteria (host-dependent),
+	// this one is enforced unconditionally.
+	if kind == "optimistic" {
+		if v, present := criteria["torn_scans"]; present && v != 0 {
+			errs = append(errs, fmt.Errorf("criterion torn_scans = %v, want 0", v))
 		}
 	}
 

@@ -39,7 +39,7 @@ func main() {
 	verifyOnly := flag.Bool("verify", false, "print the OS2PL certificate for the synthesized sections instead of code")
 	counters := flag.Bool("counters", false, "with -plan: also map each lock site to the runtime counters it bumps")
 	stage := flag.String("stage", "fuse",
-		"pipeline stage for -plan: insert|redundant|localset|earlyrelease|nullchecks|refine|fuse (the paper's Figs 13-15, 26, 27, 28, 17, 2, then prologue fusion)")
+		"pipeline stage: insert|redundant|localset|earlyrelease|nullchecks|refine|fuse|optimistic (the paper's Figs 13-15, 26, 27, 28, 17, 2, then prologue fusion, then the hybrid optimistic rewrite)")
 	flag.Parse()
 
 	if *in == "" {
@@ -85,8 +85,8 @@ func main() {
 	if *counters {
 		fail(fmt.Errorf("-counters only applies to -plan"))
 	}
-	if st != synth.StageFuse {
-		fail(fmt.Errorf("-stage only applies to -plan; code generation needs the full pipeline"))
+	if st < synth.StageFuse {
+		fail(fmt.Errorf("-stage %q only applies to -plan; code generation needs the full pipeline", *stage))
 	}
 	src, err := gosrc.Generate(f, res)
 	if err != nil {
@@ -111,6 +111,7 @@ var stages = map[string]synth.Stage{
 	"nullchecks":   synth.StageNullChecks,
 	"refine":       synth.StageRefine,
 	"fuse":         synth.StageFuse,
+	"optimistic":   synth.StageOptimistic,
 }
 
 func fail(err error) {

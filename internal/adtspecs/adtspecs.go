@@ -36,6 +36,7 @@ func Set() *core.Spec {
 	s.Commute("contains", "size", core.Always)
 	s.Commute("size", "size", core.Always)
 	s.Commute("clear", "clear", core.Always)
+	s.Observer("contains", "size")
 	return s
 }
 
@@ -84,6 +85,7 @@ func Map() *core.Spec {
 	s.Commute("values", "get", core.Always)
 	s.Commute("values", "containsKey", core.Always)
 	s.Commute("values", "size", core.Always)
+	s.Observer("get", "containsKey", "size", "values")
 	return s
 }
 
@@ -103,6 +105,7 @@ func Queue() *core.Spec {
 	s.Commute("isEmpty", "isEmpty", core.Always)
 	s.Commute("isEmpty", "size", core.Always)
 	s.Commute("size", "size", core.Always)
+	s.Observer("isEmpty", "size")
 	return s
 }
 
@@ -135,6 +138,7 @@ func Multimap() *core.Spec {
 	s.Commute("removeAll", "removeAll", core.Always)
 	s.Commute("containsEntry", "containsEntry", core.Always)
 	s.Commute("size", "size", core.Always)
+	s.Observer("get", "containsEntry", "size")
 	return s
 }
 
@@ -151,6 +155,7 @@ func Deque() *core.Spec {
 	)
 	s.Commute("pushFront", "pushBack", core.Always)
 	s.Commute("size", "size", core.Always)
+	s.Observer("size")
 	return s
 }
 
@@ -166,6 +171,7 @@ func Counter() *core.Spec {
 	s.Commute("inc", "dec", core.Always)
 	s.Commute("dec", "dec", core.Always)
 	s.Commute("read", "read", core.Always)
+	s.Observer("read")
 	return s
 }
 
@@ -182,6 +188,7 @@ func PQueue() *core.Spec {
 	s.Commute("peekMin", "peekMin", core.Always)
 	s.Commute("peekMin", "size", core.Always)
 	s.Commute("size", "size", core.Always)
+	s.Observer("peekMin", "size")
 	return s
 }
 
@@ -203,6 +210,7 @@ func List() *core.Spec {
 	s.Commute("size", "size", core.Always)
 	s.Commute("size", "get", core.Always)
 	s.Commute("size", "set", core.Always)
+	s.Observer("get", "size")
 	return s
 }
 
@@ -237,6 +245,7 @@ func OrderedMap() *core.Spec {
 	s.Commute("rangeCount", "rangeCount", core.Always)
 	s.Commute("rangeCount", "size", core.Always)
 	s.Commute("size", "size", core.Always)
+	s.Observer("get", "rangeCount", "size")
 	return s
 }
 
@@ -248,6 +257,7 @@ func Register() *core.Spec {
 		core.MethodSig{Name: "write", Arity: 1},
 	)
 	s.Commute("read", "read", core.Always)
+	s.Observer("read")
 	return s
 }
 

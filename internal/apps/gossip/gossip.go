@@ -431,6 +431,65 @@ func (o *Ours) multicastFused(group string, payload []byte) {
 	})
 }
 
+// Lookup reports whether member is currently registered in group — the
+// router's read-only membership probe. It is the hybrid-execution fast
+// path: both ADT operations are observers (get on the outer map, get on
+// the member map), so the section first runs lock-free under
+// TryOptimistic, observing the two mechanisms it would have locked and
+// validating their version counters at the end, and only re-runs under
+// the pessimistic prologue (LookupPessimistic's body) when validation
+// fails or the per-instance adaptive gate has closed the optimistic
+// path. The observed modes are exactly the modes the pessimistic path
+// locks — unicast's {get(g)} / {get(dst)} — so the conflict predicate
+// is the one the plan's certificate already covers. The individual ADT
+// reads are safe without the semantic locks because every adt structure
+// is linearizable on its own (internal mutex); what validation adds is
+// that the two reads happened inside one conflict-free window.
+func (o *Ours) Lookup(group, member string) bool {
+	var found bool
+	core.Atomically(func(tx *core.Txn) {
+		if tx.TryOptimistic(func(tx *core.Txn) bool {
+			if !tx.Observe(o.groupsSem, tx.CachedMode1(o.uniGRef, group), o.groupsRank) {
+				return false
+			}
+			found = false
+			if v := o.groups.Get(group); v != nil {
+				mm := v.(*memberMap)
+				if !tx.Observe(mm.sem, tx.CachedMode1(o.uniMemRef, member), o.memRank) {
+					return false
+				}
+				found = mm.m.Get(member) != nil
+			}
+			return true
+		}) {
+			return
+		}
+		found = o.lookupLocked(tx, group, member)
+	})
+	return found
+}
+
+// LookupPessimistic is the same query under the ordinary pessimistic
+// prologue — the baseline the optimistic experiment compares against,
+// and the body Lookup falls back to.
+func (o *Ours) LookupPessimistic(group, member string) bool {
+	var found bool
+	core.Atomically(func(tx *core.Txn) {
+		found = o.lookupLocked(tx, group, member)
+	})
+	return found
+}
+
+func (o *Ours) lookupLocked(tx *core.Txn, group, member string) bool {
+	tx.Lock(o.groupsSem, tx.CachedMode1(o.uniGRef, group), o.groupsRank)
+	if v := o.groups.Get(group); v != nil {
+		mm := v.(*memberMap)
+		tx.Lock(mm.sem, tx.CachedMode1(o.uniMemRef, member), o.memRank)
+		return mm.m.Get(member) != nil
+	}
+	return false
+}
+
 // global serializes every section.
 type global struct {
 	mu     cc.GlobalLock

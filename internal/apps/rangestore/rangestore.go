@@ -1,0 +1,215 @@
+// Package rangestore is a range-sharded key-value store: the second
+// workload of the hybrid optimistic/pessimistic experiment
+// (benchall -exp optimistic). Keys [0, Capacity) are partitioned into
+// contiguous ranges, one shard — an adt.HashMap plus its own Semantic
+// lock — per range. Point writes lock one shard's key mode; the pair
+// write locks two shards in one fused LockBatch; the scan is the
+// read-only section that wants the optimistic envelope, because
+// pessimistically it must hold every shard's values() mode at once.
+//
+// The store doubles as its own consistency oracle: PutPair atomically
+// inserts or removes the pair (k, partner(k)) in one section, so the
+// total entry count is even in every serial state. A Scan that returns
+// an odd count has therefore seen a torn pair write — exactly the
+// anomaly version validation must rule out on the lock-free path.
+//
+// Like gossip's Ours router, this is a hand transcription of the plan
+// a synthesized scan/put/pair program would produce: every section runs
+// under core.Atomically, acquisitions flow through core.Txn, and the
+// optimistic sections observe exactly the modes their fallbacks lock.
+package rangestore
+
+import (
+	"repro/internal/adt"
+	"repro/internal/adtspecs"
+	"repro/internal/core"
+)
+
+// shard is one contiguous key range: the map and its semantic lock.
+type shard struct {
+	m   *adt.HashMap
+	sem *core.Semantic
+}
+
+// Store is the range-sharded map.
+type Store struct {
+	shards   []shard
+	capacity int
+	width    int
+
+	writeRef core.SetRef // {put(k,*), remove(k)}
+	getRef   core.SetRef // {get(k)}
+	scanMode core.ModeID // {values()}
+}
+
+// New creates a store of nShards shards covering keys [0, capacity).
+// capacity is rounded up to a multiple of nShards.
+func New(nShards, capacity int) *Store {
+	if nShards < 1 {
+		nShards = 1
+	}
+	width := (capacity + nShards - 1) / nShards
+	if width < 1 {
+		width = 1
+	}
+	writeSet := core.SymSetOf(
+		core.SymOpOf("put", core.VarArg("k"), core.Star()),
+		core.SymOpOf("remove", core.VarArg("k")))
+	getSet := core.SymSetOf(core.SymOpOf("get", core.VarArg("k")))
+	scanSet := core.SymSetOf(core.SymOpOf("values"))
+	tbl := core.NewModeTable(adtspecs.Map(), []core.SymSet{writeSet, getSet, scanSet},
+		core.TableOptions{Phi: core.NewPhi(16)})
+
+	s := &Store{
+		capacity: width * nShards,
+		width:    width,
+		writeRef: tbl.Set(writeSet),
+		getRef:   tbl.Set(getSet),
+		scanMode: tbl.Set(scanSet).Mode(),
+	}
+	s.shards = make([]shard, nShards)
+	for i := range s.shards {
+		s.shards[i] = shard{m: adt.NewHashMap(), sem: core.NewSemantic(tbl)}
+	}
+	return s
+}
+
+// Capacity returns the (rounded) key-space size.
+func (s *Store) Capacity() int { return s.capacity }
+
+// Partner returns the key paired with k by PutPair.
+func (s *Store) Partner(k int) int { return (k + s.capacity/2) % s.capacity }
+
+// Sems returns every shard's semantic lock, for telemetry registration
+// and quiescence checks.
+func (s *Store) Sems() []*core.Semantic {
+	out := make([]*core.Semantic, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.shards[i].sem
+	}
+	return out
+}
+
+func (s *Store) shardOf(k int) *shard {
+	i := (k % s.capacity) / s.width
+	return &s.shards[i]
+}
+
+// Put stores v under k, pessimistically (a point write can never run
+// lock-free: it mutates).
+func (s *Store) Put(k int, v core.Value) {
+	sh := s.shardOf(k)
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(sh.sem, tx.CachedMode1(s.writeRef, k), 0)
+		sh.m.Put(k, v)
+	})
+}
+
+// PutPair toggles the pair (k, Partner(k)) in one atomic section: both
+// present -> both removed, else both inserted. The two shards are
+// acquired as one fused LockBatch — the all-or-nothing claim with a
+// union waiter mask — so a concurrent pessimistic scan can never see
+// one half of the toggle, and an optimistic scan that saw one half can
+// never validate (the batch's acquisition bumps each shard's version
+// counter, so a scan snapshot taken before the toggle cannot survive
+// validation once the toggle's claim stood).
+func (s *Store) PutPair(k int) {
+	k2 := s.Partner(k)
+	a, b := s.shardOf(k), s.shardOf(k2)
+	core.Atomically(func(tx *core.Txn) {
+		tx.LockBatch(
+			core.BatchLock{Sem: a.sem, Mode: s.writeRef.Mode1(k), Rank: 0},
+			core.BatchLock{Sem: b.sem, Mode: s.writeRef.Mode1(k2), Rank: 0},
+		)
+		if a.m.Get(k) != nil {
+			a.m.Remove(k)
+			b.m.Remove(k2)
+		} else {
+			a.m.Put(k, k)
+			b.m.Put(k2, k2)
+		}
+	})
+}
+
+// Get returns the value under k via the optimistic fast path, falling
+// back to the pessimistic point read.
+func (s *Store) Get(k int) core.Value {
+	sh := s.shardOf(k)
+	var v core.Value
+	core.Atomically(func(tx *core.Txn) {
+		if tx.TryOptimistic(func(tx *core.Txn) bool {
+			if !tx.Observe(sh.sem, tx.CachedMode1(s.getRef, k), 0) {
+				return false
+			}
+			v = sh.m.Get(k)
+			return true
+		}) {
+			return
+		}
+		tx.Lock(sh.sem, tx.CachedMode1(s.getRef, k), 0)
+		v = sh.m.Get(k)
+	})
+	return v
+}
+
+// GetPessimistic is the point read under the ordinary prologue — the
+// experiment's baseline.
+func (s *Store) GetPessimistic(k int) core.Value {
+	sh := s.shardOf(k)
+	var v core.Value
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(sh.sem, tx.CachedMode1(s.getRef, k), 0)
+		v = sh.m.Get(k)
+	})
+	return v
+}
+
+// Scan counts the store's entries via the optimistic fast path:
+// observe every shard's values() mode, read every size lock-free, and
+// validate. On failure it re-runs under the pessimistic whole-store
+// batch. Because PutPair keeps the entry count even in every serial
+// state, an odd return would prove a torn read escaped validation.
+func (s *Store) Scan() int {
+	var n int
+	core.Atomically(func(tx *core.Txn) {
+		if tx.TryOptimistic(func(tx *core.Txn) bool {
+			for i := range s.shards {
+				if !tx.Observe(s.shards[i].sem, s.scanMode, 0) {
+					return false
+				}
+			}
+			n = 0
+			for i := range s.shards {
+				n += s.shards[i].m.Size()
+			}
+			return true
+		}) {
+			return
+		}
+		n = s.scanLocked(tx)
+	})
+	return n
+}
+
+// ScanPessimistic counts the entries under the whole-store LockBatch —
+// the experiment's baseline scan.
+func (s *Store) ScanPessimistic() int {
+	var n int
+	core.Atomically(func(tx *core.Txn) {
+		n = s.scanLocked(tx)
+	})
+	return n
+}
+
+func (s *Store) scanLocked(tx *core.Txn) int {
+	locks := make([]core.BatchLock, len(s.shards))
+	for i := range s.shards {
+		locks[i] = core.BatchLock{Sem: s.shards[i].sem, Mode: s.scanMode, Rank: 0}
+	}
+	tx.LockBatch(locks...)
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].m.Size()
+	}
+	return n
+}

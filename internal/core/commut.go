@@ -108,6 +108,12 @@ type maskInfo struct {
 	// small fine-grained mechanism the threshold-baked linear walk is
 	// cheaper than iterating the bitset words.
 	refs []conflictRef
+	// bump marks modes whose successful acquisition must advance the
+	// mechanism's version counter (the optimistic-read invalidation
+	// signal): exactly the modes that conflict with something.
+	// Acquiring a conflict-free mode cannot invalidate any lock-free
+	// read, so it skips the shared-counter RMW.
+	bump bool
 }
 
 // NewModeTable compiles the locking modes for an ADT class from its
@@ -319,7 +325,7 @@ func (t *ModeTable) partition(disabled bool) {
 			continue
 		}
 		self := int32(t.localIdx[i])
-		mi := maskInfo{selfSlot: self, selfWord: self >> 6, refs: t.conflict[i]}
+		mi := maskInfo{selfSlot: self, selfWord: self >> 6, refs: t.conflict[i], bump: len(t.conflict[i]) > 0}
 		byWord := make(map[int32]uint64)
 		for _, ref := range t.conflict[i] {
 			byWord[int32(ref.slot)>>6] |= 1 << (uint(ref.slot) & 63)

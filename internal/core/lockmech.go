@@ -35,6 +35,14 @@ type LockStats struct {
 	// the instance was Watchdog-watched, or SetWaitTiming(true) was in
 	// effect, when it parked; otherwise its wait is not sampled.
 	WaitNanos int64
+	// OptimisticHits counts optimistic executions (Txn.TryOptimistic)
+	// whose end-of-section validation on this instance succeeded;
+	// OptimisticRetries counts validations that failed here — either at
+	// observation time (a conflicting holder was visible) or at
+	// validation time (a conflicting mode was released in the window) —
+	// forcing the section to re-run through the pessimistic prologue.
+	OptimisticHits    uint64
+	OptimisticRetries uint64
 }
 
 // waitSampling globally enables the per-waiter wait timestamps (and
@@ -81,8 +89,22 @@ type Semantic struct {
 	DisableFastPath bool
 	// DisableMechV2 routes acquisitions through the original Fig 20
 	// mechanism — ablation A5. Set it before the first Acquire (the two
-	// generations keep separate counters).
+	// generations keep separate counters). The v1 mechanism has no
+	// version counters, so optimistic observation reports not-ok and
+	// every TryOptimistic on the instance falls back pessimistically.
 	DisableMechV2 bool
+
+	// Optimistic-read outcome counters and the adaptive gate
+	// (Txn.TryOptimistic). optHits/optRetries are the cumulative
+	// validation outcomes reported in LockStats; the three gate cells
+	// implement the windowed failure-rate hysteresis of
+	// optimisticAllowed/recordValidation. All padded: they sit on the
+	// section hot path of read-mostly workloads.
+	optHits     padded.Uint64
+	optRetries  padded.Uint64
+	optGate     padded.Uint64 // 0 = enabled; n>0 = pessimistic runs left before the next probe
+	optWinFail  padded.Uint64
+	optWinTotal padded.Uint64
 }
 
 // NewSemantic creates the semantic lock for one ADT instance of the class
@@ -185,6 +207,16 @@ func (s *Semantic) Release(m ModeID) {
 	// Spelled out instead of calling retreat+wake: both inline here, so
 	// an uncontended release (no registered waiter on the slot) makes no
 	// calls at all — one atomic RMW and one atomic load.
+	//
+	// Release does NOT touch the optimistic version counter; the bump
+	// happens on acquire (see mechV2.version). A release inside a read
+	// window needs no signal of its own: either the releaser held the
+	// mode at the reader's observation scan (the scan saw its counter
+	// and the observation failed), or it acquired after the reader's
+	// version snapshot (its acquire-time bump already invalidates the
+	// snapshot). A writer that acquired AND released entirely before the
+	// observation simply serialized ahead of the reader — its effects
+	// are fully visible, which is exactly a consistent outcome.
 	mech := &s.mechs[p]
 	slot := int32(s.table.localIdx[m])
 	mech.retreat(slot)
@@ -314,11 +346,13 @@ func (s *Semantic) acquireMechBatch(p int, sc *batchScratch, log []Acquisition) 
 	b.claims = b.claims[:0]
 	b.refs = b.refs[:0]
 	b.words = b.words[:0]
+	b.bump = false
 	for _, m := range sc.modes {
 		c := &s.table.masks[m]
 		b.slots = append(b.slots, c.selfSlot)
 		b.addClaim(c.selfSlot)
 		b.mergeWords(c.words)
+		b.bump = b.bump || c.bump
 		for _, r := range c.refs {
 			b.addRef(int32(r.slot))
 		}
@@ -354,8 +388,153 @@ func (s *Semantic) Stats() LockStats {
 		out.Stalls += s.mechs[i].stalls.Load() + s.v1[i].stalls.Load()
 		out.WaitNanos += s.mechs[i].waitNanos.Load()
 	}
+	out.OptimisticHits = s.optHits.Load()
+	out.OptimisticRetries = s.optRetries.Load()
 	return out
 }
+
+// ---------------------------------------------------------------------
+// Optimistic read validation (Txn.TryOptimistic)
+// ---------------------------------------------------------------------
+
+// The adaptive gate's tuning: validation outcomes are accounted in
+// windows of optWindow attempts; a window whose failure share reaches
+// optDisableNum/optDisableDen disables the optimistic path for
+// optProbeInterval executions, after which a single probe attempt
+// decides whether to re-enable. Contended instances thus degrade to the
+// pessimistic path at a bounded duty cycle (one wasted body execution
+// per ~optProbeInterval sections), which is what keeps the write-heavy
+// regression bounded.
+const (
+	optWindow        = 64
+	optDisableNum    = 1 // disable at ≥ 1/4 failures per window
+	optDisableDen    = 4
+	optProbeInterval = 8192
+)
+
+// observeMode begins one optimistic observation of mode m on the
+// instance: it snapshots the version counter of m's mechanism and then
+// verifies that no conflicting mode currently has a holder. The order
+// is load-bearing — version FIRST, holders SECOND. Every conflicting
+// acquirer then lands in exactly one of three cases:
+//
+//  1. bumped before our snapshot, still holding at our scan — the scan
+//     sees its counter and the observation fails;
+//  2. bumped before our snapshot, released before our scan — its whole
+//     critical section finished before any of our reads, so it is a
+//     serialized predecessor, not a conflict;
+//  3. claimed after our scan — its bump lands after our snapshot and
+//     validateMode's compare fails.
+//
+// Loading the version AFTER the scan would open a hole: a writer could
+// claim and bump between the two, hold through our reads, and have its
+// bump absorbed into the snapshot — invisible to scan and compare
+// alike. A false result means a conflicting holder is visible right
+// now (the section would have blocked), or the instance runs the v1
+// mechanism (ablation A5), which has no version counters; the caller
+// falls back to the pessimistic prologue either way.
+func (s *Semantic) observeMode(m ModeID) (uint64, bool) {
+	p := s.table.part[m]
+	if p < 0 {
+		// The mode conflicts with nothing: reads under it are always
+		// valid, nothing to snapshot or validate.
+		return 0, true
+	}
+	if s.DisableMechV2 {
+		return 0, false
+	}
+	mech := &s.mechs[p]
+	ver := mech.version.Load()
+	if mech.conflictsUnclaimed(&s.table.masks[m]) {
+		return 0, false
+	}
+	return ver, true
+}
+
+// validateMode ends an optimistic observation: one version load, one
+// compare — no holder re-scan. An unchanged version proves no
+// conflicting acquisition succeeded since the snapshot (acquire-side
+// bump), and observeMode's scan already ruled out holders established
+// before it; together the section's reads are a consistent snapshot,
+// serializable at the observation point. One deliberate asymmetry: a
+// conflicting writer whose acquire-time bump has not yet surfaced at
+// this load can slip past the compare, but then none of its mutations
+// can have been visible to the section's reads either — shared state
+// is only touched through the ADTs' own linearizable operations, and
+// a read that returned a post-acquire mutation synchronizes with the
+// writer (mutex/atomic ordering), which makes the bump — sequenced
+// before the mutation — visible to this later load. Slipping past is
+// therefore only possible for writers the section never saw: the
+// snapshot stays consistent.
+func (s *Semantic) validateMode(m ModeID, ver uint64) bool {
+	p := s.table.part[m]
+	if p < 0 {
+		return true
+	}
+	return s.mechs[p].version.Load() == ver
+}
+
+// Version returns the current optimistic version counter of mode m's
+// mechanism (test hook; 0 for conflict-free modes).
+func (s *Semantic) Version(m ModeID) uint64 {
+	p := s.table.part[m]
+	if p < 0 || s.DisableMechV2 {
+		return 0
+	}
+	return s.mechs[p].version.Load()
+}
+
+// optimisticAllowed is the adaptive gate's admission test, asked once
+// per Observe. Enabled (gate == 0) admits everything; disabled counts
+// executions down and admits exactly the one that reaches zero as a
+// probe — recordValidation re-arms the countdown if the probe fails.
+// The counter races benignly: concurrent decrements can only shorten
+// the countdown or wrap it, and a wrapped (huge) value is treated as an
+// expired countdown.
+func (s *Semantic) optimisticAllowed() bool {
+	g := s.optGate.Load()
+	if g == 0 {
+		return true
+	}
+	n := s.optGate.Add(^uint64(0))
+	if n == 0 || n > optProbeInterval {
+		// Reached (or raced past) the probe point. Clear the gate so the
+		// probe's recordValidation starts from the enabled state.
+		s.optGate.Store(0)
+		return true
+	}
+	return false
+}
+
+// recordValidation accounts one optimistic outcome on the instance —
+// cumulative counters for telemetry, windowed counters for the gate. A
+// window whose failure share crosses the threshold disables the
+// optimistic path for optProbeInterval executions. All updates race
+// benignly; the gate is a heuristic, not an invariant.
+func (s *Semantic) recordValidation(ok bool) {
+	if ok {
+		s.optHits.Add(1)
+	} else {
+		s.optRetries.Add(1)
+		s.optWinFail.Add(1)
+	}
+	if s.optWinTotal.Add(1) < optWindow {
+		return
+	}
+	// Close the window. Several racing closers just close it more than
+	// once with partially-reset counts — harmless.
+	s.optWinTotal.Store(0)
+	fails := s.optWinFail.Load()
+	s.optWinFail.Store(0)
+	if fails*optDisableDen >= optWindow*optDisableNum {
+		s.optGate.Store(optProbeInterval)
+	}
+}
+
+// OptimisticEnabled reports whether the adaptive gate currently admits
+// optimistic execution on the instance (telemetry/test hook; a false
+// result is transient — the gate probes itself open again).
+func (s *Semantic) OptimisticEnabled() bool { return s.optGate.Load() == 0 }
 
 // Holders returns the current holder count of mode m (test hook).
 func (s *Semantic) Holders(m ModeID) int32 {
@@ -443,6 +622,23 @@ type mechV2 struct {
 	// never). The sampler uses it as a lower bound on the wait of
 	// waiters that parked before timing was available.
 	watchedAt atomic.Int64
+
+	// version is the optimistic-read invalidation counter: every
+	// SUCCESSFUL acquisition of a mode that conflicts with anything
+	// advances it, immediately after the claim-and-scan settles. A
+	// lock-free reader snapshots it at observation and compares at
+	// validation, so validation is a single load — no holder re-scan.
+	// The bump lives on the acquire side (not release) because that is
+	// the only transition a validator cannot otherwise rule out: an
+	// established holder is caught by the observation's holder scan, a
+	// writer that came and went entirely before the observation is just
+	// a serialized predecessor, but a writer arriving after the snapshot
+	// is invisible to any scan that already ran — only its bump reveals
+	// it. See Semantic.observeMode/validateMode for the full protocol
+	// and DESIGN.md §10 for the interleaving argument. Padded: it is a
+	// shared RMW target for every conflicting acquisition in the
+	// mechanism, like the stat cells below.
+	version padded.Uint64
 
 	fastPath  atomic.Uint64
 	slow      atomic.Uint64
@@ -561,6 +757,21 @@ func (m *mechV2) retreat(slot int32) {
 	}
 }
 
+// conflictsUnclaimed is the observer's flavor of conflicts: the caller
+// holds no claim of its own, so every conflicting slot — the self slot
+// included, when the mode self-conflicts — blocks at threshold 0. It
+// always walks the exact flat slot list: an optimistic reader must not
+// miss an established holder, and the summary shortcut's only saving is
+// on wide wildcard masks that read modes rarely have.
+func (m *mechV2) conflictsUnclaimed(c *maskInfo) bool {
+	for _, r := range c.refs {
+		if m.counts[r.slot].Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // conflicts reports whether any conflicting slot has a holder. The
 // caller must already have claimed its own slot (the self-slot
 // threshold accounts for that). Cold words — summary zero, or just the
@@ -617,15 +828,23 @@ func (m *mechV2) tryAcquire(c *maskInfo) bool {
 				m.counts[c.selfSlot].Add(-1)
 				// Our transient claim may have made a concurrent scanner
 				// back off and sleep; its mask covers our slot, so a
-				// targeted wake suffices.
+				// targeted wake suffices. No version bump: a withdrawn
+				// claim never mutated anything, and bumping here would
+				// fail optimistic readers for nothing.
 				m.wake(c.selfSlot)
 				return false
 			}
+		}
+		if c.bump {
+			m.version.Add(1)
 		}
 		return true
 	}
 	m.claim(c.selfSlot)
 	if !m.conflicts(c) {
+		if c.bump {
+			m.version.Add(1)
+		}
 		return true
 	}
 	m.retreat(c.selfSlot)
@@ -670,6 +889,9 @@ func (m *mechV2) slowAcquire(c *maskInfo, log []Acquisition) {
 	for {
 		m.claim(c.selfSlot)
 		if !m.conflicts(c) {
+			if c.bump {
+				m.version.Add(1)
+			}
 			m.deregisterLocked(w)
 			m.mu.Unlock()
 			m.settleWait(w)
@@ -731,6 +953,9 @@ func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, log []Acquis
 	for {
 		m.claim(c.selfSlot)
 		if !m.conflicts(c) {
+			if c.bump {
+				m.version.Add(1)
+			}
 			m.deregisterLocked(w)
 			m.mu.Unlock()
 			m.settleWait(w)
@@ -750,6 +975,9 @@ func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, log []Acquis
 			if len(holders) == 0 {
 				// The conflict cleared between the releaser's wake and the
 				// timer firing; the claim stands — acquired, not stalled.
+				if c.bump {
+					m.version.Add(1)
+				}
 				m.deregisterLocked(w)
 				m.mu.Unlock()
 				m.settleWait(w)
@@ -893,6 +1121,11 @@ type batchScan struct {
 	claims []slotClaim
 	refs   []conflictRef
 	words  []wordMask
+
+	// bump: some constituent mode conflicts with something, so a
+	// successful batch acquisition must advance the mechanism's version
+	// counter (once — one batch is one acquisition event to validators).
+	bump bool
 }
 
 // slotClaim is the batch's claim count on one counter slot (several
@@ -981,6 +1214,9 @@ func (m *mechV2) tryAcquireBatch(b *batchScan) bool {
 		m.claim(s)
 	}
 	if !m.conflictsBatch(b) {
+		if b.bump {
+			m.version.Add(1)
+		}
 		return true
 	}
 	for _, s := range b.slots {
@@ -1063,6 +1299,9 @@ func (m *mechV2) slowAcquireBatch(b *batchScan, log []Acquisition) {
 			m.claim(s)
 		}
 		if !m.conflictsBatch(b) {
+			if b.bump {
+				m.version.Add(1)
+			}
 			m.deregisterLocked(w)
 			m.mu.Unlock()
 			m.settleWait(w)

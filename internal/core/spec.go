@@ -20,10 +20,11 @@ type MethodSig struct {
 // A Spec also lists the ADT's method signatures, which the synthesizer
 // uses to build the generic "lock everything" symbolic set of §3.
 type Spec struct {
-	ADT     string
-	methods []MethodSig
-	byName  map[string]int
-	conds   map[[2]string]Cond
+	ADT       string
+	methods   []MethodSig
+	byName    map[string]int
+	conds     map[[2]string]Cond
+	observers map[string]bool
 }
 
 // NewSpec creates an empty specification for the named ADT class with the
@@ -31,10 +32,11 @@ type Spec struct {
 // Never (conservative: not provably commutative).
 func NewSpec(adt string, methods ...MethodSig) *Spec {
 	s := &Spec{
-		ADT:     adt,
-		methods: append([]MethodSig(nil), methods...),
-		byName:  make(map[string]int, len(methods)),
-		conds:   make(map[[2]string]Cond),
+		ADT:       adt,
+		methods:   append([]MethodSig(nil), methods...),
+		byName:    make(map[string]int, len(methods)),
+		conds:     make(map[[2]string]Cond),
+		observers: make(map[string]bool),
 	}
 	for i, m := range methods {
 		if _, dup := s.byName[m.Name]; dup {
@@ -66,6 +68,27 @@ func (s *Spec) Commute(m1, m2 string, cond Cond) *Spec {
 	s.conds[[2]string{m1, m2}] = cond
 	return s
 }
+
+// Observer declares methods as observers: operations that read the
+// abstract state without modifying it (get, contains, size, ...). The
+// declaration is trusted input to the synthesizer's optimistic
+// certification — a section is eligible for lock-free optimistic
+// execution (ir.Optimistic) only if every ADT call in it is a declared
+// observer — so declare a method only if it has no effect on any
+// subsequent operation's result. Note that observer status is about
+// abstract-state purity, not commutativity: observers may still
+// conflict with mutators (get vs put on one key), which is exactly what
+// the version-counter validation detects at run time.
+func (s *Spec) Observer(methods ...string) *Spec {
+	for _, m := range methods {
+		s.mustHave(m)
+		s.observers[m] = true
+	}
+	return s
+}
+
+// IsObserver reports whether the named method is declared an observer.
+func (s *Spec) IsObserver(method string) bool { return s.observers[method] }
 
 func (s *Spec) mustHave(m string) {
 	if _, ok := s.byName[m]; !ok {

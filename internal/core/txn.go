@@ -42,6 +42,17 @@ type Txn struct {
 	memo     [modeMemoSize]modeMemo
 	memoNext uint8
 
+	// optSnaps is the optimistic snapshot buffer (TryOptimistic): one
+	// entry per instance the section would have locked, holding the
+	// version sampled at observation. Reset clears it — a pooled
+	// transaction must never validate against a stale version vector —
+	// and TryOptimistic additionally truncates it on entry as defense in
+	// depth. optActive marks execution inside an optimistic body, where
+	// Observe records instead of acquiring and Assert accepts coverage
+	// by observed modes.
+	optSnaps  []optSnap
+	optActive bool
+
 	// trace is the telemetry acquisition ring (StartTrace): a bounded
 	// buffer of Acquisition events recorded by recordHeld, the same
 	// machinery that feeds the checked log, but available on unchecked
@@ -66,6 +77,18 @@ type heldLock struct {
 	sem  *Semantic
 	mode ModeID
 	rank int
+}
+
+// optSnap is one optimistic observation: the instance and mode the
+// section would have locked, plus the mechanism version sampled when
+// the observation was made. rank is recorded for diagnostics only —
+// observation acquires nothing, so the OS2PL order does not constrain
+// it.
+type optSnap struct {
+	sem  *Semantic
+	mode ModeID
+	rank int
+	ver  uint64
 }
 
 // NewTxn begins a transaction (the prologue of §3.1: LOCAL_SET := ∅).
@@ -107,6 +130,16 @@ func (t *Txn) Reset() {
 		t.trace = nil
 	} else {
 		t.trace = t.trace[:0]
+	}
+	// Clear the optimistic snapshot state: a pooled transaction reused
+	// by a different section must never validate against a stale version
+	// vector, and a body that panicked mid-TryOptimistic (unwound by
+	// Atomically) left optActive set.
+	t.optActive = false
+	if cap(t.optSnaps) > resetShrinkCap {
+		t.optSnaps = nil
+	} else {
+		t.optSnaps = t.optSnaps[:0]
 	}
 }
 
@@ -329,6 +362,104 @@ func (t *Txn) LockOrdered(rank int, m ModeID, ss ...*Semantic) {
 	}
 }
 
+// Observe is the optimistic counterpart of Lock, valid only inside a
+// TryOptimistic body: instead of acquiring mode m on instance s it
+// snapshots the version counter of m's mechanism (after checking that
+// no conflicting mode currently has a holder) for end-of-body
+// validation. Mirroring Lock's LV semantics, a nil instance and a
+// re-observation of an already-observed instance are no-ops. Observe
+// reports whether the observation is admissible; false — a conflicting
+// holder is visible, the instance's adaptive gate currently refuses
+// optimistic execution, or the instance runs the version-less v1
+// mechanism (DisableMechV2) — means the body should give up and let
+// TryOptimistic fail over to the pessimistic prologue.
+func (t *Txn) Observe(s *Semantic, m ModeID, rank int) bool {
+	if !t.optActive {
+		panic("core: Txn.Observe outside TryOptimistic")
+	}
+	if s == nil {
+		return true
+	}
+	for i := range t.optSnaps {
+		if t.optSnaps[i].sem == s {
+			return true // LOCAL_SET: one observation per instance
+		}
+	}
+	if !s.optimisticAllowed() {
+		return false
+	}
+	ver, ok := s.observeMode(m)
+	if !ok {
+		// A conflicting holder is visible right now: the pessimistic
+		// prologue would have blocked. Count it as a failed validation
+		// so the gate sees the contention.
+		s.recordValidation(false)
+		return false
+	}
+	t.optSnaps = append(t.optSnaps, optSnap{sem: s, mode: m, rank: rank, ver: ver})
+	return true
+}
+
+// TryOptimistic runs body lock-free: body calls Observe where the
+// pessimistic section would Lock, performs its (read-only) operations,
+// and returns false to give up early — typically when an Observe is
+// refused. TryOptimistic then validates every observation and reports
+// whether the optimistic execution committed; on false the caller must
+// discard the body's results and re-run the section through the
+// pessimistic prologue. The body must not acquire any lock and must
+// not mutate shared ADT state — the synthesizer only emits optimistic
+// envelopes for sections it certified read-only, and internal/verify
+// re-proves both properties on every emitted ir.Optimistic node.
+//
+// A panic inside body unwinds through TryOptimistic without cleanup;
+// the enclosing Atomically epilogue and Reset restore the transaction's
+// optimistic state before any reuse.
+func (t *Txn) TryOptimistic(body func(*Txn) bool) bool {
+	if t.optActive {
+		panic("core: nested TryOptimistic")
+	}
+	t.optSnaps = t.optSnaps[:0]
+	t.optActive = true
+	ok := body(t)
+	t.optActive = false
+	if ok {
+		ok = t.validateOptimistic()
+	}
+	t.optSnaps = t.optSnaps[:0]
+	return ok
+}
+
+// validateOptimistic re-checks every observation with one version
+// compare per observed instance (see Semantic.validateMode for why the
+// acquire-side bump makes a holder re-scan unnecessary). Outcomes are
+// recorded per instance — a hit on each instance that validated, a
+// failed validation on the instance that did not — feeding the
+// per-instance adaptive gates.
+func (t *Txn) validateOptimistic() bool {
+	for i := range t.optSnaps {
+		sn := &t.optSnaps[i]
+		if !sn.sem.validateMode(sn.mode, sn.ver) {
+			sn.sem.recordValidation(false)
+			return false
+		}
+	}
+	for i := range t.optSnaps {
+		t.optSnaps[i].sem.recordValidation(true)
+	}
+	return true
+}
+
+// Observed reports whether the transaction's current optimistic body
+// has observed instance s (test hook; the optimistic LOCAL_SET).
+func (t *Txn) Observed(s *Semantic) bool {
+	for i := range t.optSnaps {
+		if t.optSnaps[i].sem == s {
+			return true
+		}
+	}
+	return false
+}
+
 // UnlockInstance releases all modes held on instance s — the early lock
 // release of Appendix A ("if(x!=null) x.unlockAll()" moved before the end
 // of the section). A batched acquisition may have taken several modes on
@@ -376,6 +507,19 @@ func (t *Txn) HeldCount() int { return len(t.held) }
 func (t *Txn) Assert(s *Semantic, op Op) {
 	if !t.checked {
 		return
+	}
+	// Inside an optimistic body nothing is held; coverage comes from the
+	// observed modes instead — the body runs exactly the operations the
+	// pessimistic section would, so each must be covered by the mode the
+	// section would have locked.
+	if t.optActive {
+		for i := range t.optSnaps {
+			if t.optSnaps[i].sem == s && s.table.CoversOp(t.optSnaps[i].mode, op) {
+				return
+			}
+		}
+		panic(fmt.Sprintf(
+			"core: optimistic violation: operation %s on instance (id=%d) not covered by any observed mode", op, s.id))
 	}
 	// A batched acquisition may leave several held modes on one
 	// instance; the operation is covered if any of them covers it.

@@ -1,0 +1,83 @@
+package gosrc
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/synth"
+)
+
+// occSrc has a read-only function (Lookup: both calls declared
+// observers) and a mutator (Store). Compiling at StageOptimistic must
+// wrap exactly Lookup in the hybrid envelope.
+const occSrc = `package demo
+
+import "repro/internal/semadt"
+
+//semlock:atomic
+func Lookup(m *semadt.Map, s *semadt.Set, k, j int) {
+	v := m.Get(k)
+	_ = v
+	has := s.Contains(j)
+	_ = has
+}
+
+//semlock:atomic
+func Store(m *semadt.Map, s *semadt.Set, k, j int) {
+	m.Put(k, j)
+	s.Add(j)
+}
+`
+
+// TestGenerateOptimistic: CompileAt(StageOptimistic) wraps the read-only
+// function, Generate emits tx.TryOptimistic with tx.Observe calls and
+// the unchanged pessimistic fallback, and the generated source parses.
+func TestGenerateOptimistic(t *testing.T) {
+	f, err := ParseFile("occ.go", occSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompileAt(f, synth.StageOptimistic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := ir.Print(res.Sections[0]); !strings.Contains(out, "optimistic {") {
+		t.Fatalf("Lookup not rewritten:\n%s", out)
+	}
+	if out := ir.Print(res.Sections[1]); strings.Contains(out, "optimistic {") {
+		t.Fatalf("Store must stay pessimistic:\n%s", out)
+	}
+
+	src, err := Generate(f, res)
+	if err != nil {
+		t.Fatalf("Generate: %v\n%s", err, src)
+	}
+	fset := token.NewFileSet()
+	if _, perr := parser.ParseFile(fset, "gen.go", src, 0); perr != nil {
+		t.Fatalf("generated source does not parse: %v\n%s", perr, src)
+	}
+	for _, want := range []string{
+		"if !tx.TryOptimistic(func(tx *core.Txn) bool {",
+		"if !tx.Observe(semadt.SemOf(m), ",
+		"if !tx.Observe(semadt.SemOf(s), ",
+		"return false",
+		"return true",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q:\n%s", want, src)
+		}
+	}
+	// The fallback still locks: the pessimistic acquisitions survive
+	// inside the envelope's else-branch.
+	if !strings.Contains(src, "tx.Lock") {
+		t.Errorf("generated source lost the pessimistic fallback:\n%s", src)
+	}
+	// The mutator keeps plain locking with no envelope of its own:
+	// exactly one TryOptimistic in the file.
+	if n := strings.Count(src, "tx.TryOptimistic"); n != 1 {
+		t.Errorf("expected exactly 1 TryOptimistic, found %d:\n%s", n, src)
+	}
+}

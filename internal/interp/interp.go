@@ -192,6 +192,58 @@ func (e *Executor) runStmt(si int, sec *ir.Atomic, s ir.Stmt, env map[string]cor
 		if inst := instOf(env[x.Var]); inst != nil {
 			tx.UnlockInstance(inst.Sem)
 		}
+	case *ir.Observe:
+		// Optimistic counterpart of LV/LV2: snapshot the version counter
+		// of the mode the lock statement would have taken. A failed
+		// observation (holders present, adaptive gate closed) aborts the
+		// enclosing optimistic body via optAbort, which the Optimistic
+		// case recovers into the pessimistic fallback.
+		for _, v := range x.Vars {
+			inst := instOf(env[v])
+			if inst == nil {
+				continue
+			}
+			mode := e.modeFor(inst, x.Set, x.Generic, env)
+			if !tx.Observe(inst.Sem, mode, e.Res.Rank(inst.Class)) {
+				panic(optAbort{})
+			}
+		}
+	case *ir.Optimistic:
+		// Hybrid envelope: run the body lock-free under TryOptimistic
+		// and fall back to the unchanged pessimistic expansion when an
+		// observation or the end-of-body validation fails. Hook records
+		// from the optimistic run are buffered and only delivered on a
+		// validated commit, so a discarded run is invisible to log-based
+		// checkers; the fallback re-execution reports through the hook
+		// directly, and overwrites any environment bindings the
+		// discarded body left behind.
+		var buf []hookRec
+		bodyHook := hook
+		if hook != nil {
+			bodyHook = func(instID uint64, op core.Op, result core.Value) {
+				buf = append(buf, hookRec{instID, op, result})
+			}
+		}
+		committed := tx.TryOptimistic(func(tx *core.Txn) (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, is := r.(optAbort); is {
+						ok = false
+						return
+					}
+					panic(r)
+				}
+			}()
+			e.runBlock(si, sec, x.Body, env, tx, bodyHook)
+			return true
+		})
+		if committed {
+			for _, r := range buf {
+				hook(r.instID, r.op, r.result)
+			}
+			return
+		}
+		e.runBlock(si, sec, x.Fallback, env, tx, hook)
 	case *ir.Call:
 		inst := instOf(env[x.Recv])
 		if inst == nil {
@@ -234,6 +286,18 @@ func (e *Executor) runStmt(si int, sec *ir.Atomic, s ir.Stmt, env map[string]cor
 	default:
 		panic(fmt.Sprintf("interp: unknown statement %T", s))
 	}
+}
+
+// optAbort unwinds a failed observation out of an optimistic body (and
+// only that far: the Optimistic case recovers it inside the TryOptimistic
+// closure, so the envelope's abort never crosses a transaction boundary).
+type optAbort struct{}
+
+// hookRec is one buffered OpHook record from an optimistic body.
+type hookRec struct {
+	instID uint64
+	op     core.Op
+	result core.Value
 }
 
 func (e *Executor) modeFor(inst *Instance, set core.SymSet, generic bool, env map[string]core.Value) core.ModeID {

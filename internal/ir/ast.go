@@ -173,12 +173,42 @@ type LockBatch struct {
 	Entries []BatchEntry
 }
 
+// Observe is the optimistic counterpart of LV/LV2 inside an Optimistic
+// body: instead of locking the ADT pointed to by Vars it snapshots the
+// version counter of the mode the pessimistic section would take
+// (core.Txn.Observe), for end-of-body validation. Several same-class
+// variables share one Observe exactly as they share an LV2 — observation
+// acquires nothing, so no dynamic ordering is needed, only one snapshot
+// per instance. Guarded retains the explicit null check of the LV it
+// replaced.
+type Observe struct {
+	Vars    []string
+	Set     core.SymSet
+	Generic bool
+	Guarded bool
+}
+
+// Optimistic is the hybrid execution envelope (core.Txn.TryOptimistic):
+// Body is the certified read-only variant of the section, with every
+// lock statement replaced by an Observe; Fallback is the unchanged
+// pessimistic expansion (prologue, LV/LV2/LockBatch, epilogue). The
+// runtime runs Body lock-free, validates the observations, and on
+// mismatch discards Body's results and re-runs Fallback. The synthesizer
+// emits this node only for sections it proved read-only, and
+// internal/verify independently certifies both halves.
+type Optimistic struct {
+	Body     Block
+	Fallback Block
+}
+
 func (*Prologue) stmtNode()     {}
 func (*Epilogue) stmtNode()     {}
 func (*LV) stmtNode()           {}
 func (*LV2) stmtNode()          {}
 func (*UnlockAllVar) stmtNode() {}
 func (*LockBatch) stmtNode()    {}
+func (*Observe) stmtNode()      {}
+func (*Optimistic) stmtNode()   {}
 
 // Param declares a variable visible in an atomic section: a pointer to
 // an ADT instance (IsADT) or a plain thread-local value. Type names the
@@ -276,6 +306,12 @@ func cloneStmt(s Stmt) Stmt {
 			c.Entries[i] = e
 		}
 		return c
+	case *Observe:
+		c := *x
+		c.Vars = append([]string(nil), x.Vars...)
+		return &c
+	case *Optimistic:
+		return &Optimistic{Body: cloneBlock(x.Body), Fallback: cloneBlock(x.Fallback)}
 	default:
 		panic("ir: unknown statement type in clone")
 	}

@@ -53,6 +53,13 @@ func findPath(b Block, target Stmt, prefix string) (string, bool) {
 			if p, ok := findPath(x.Body, target, here+".body"); ok {
 				return p, true
 			}
+		case *Optimistic:
+			if p, ok := findPath(x.Body, target, here+".opt"); ok {
+				return p, true
+			}
+			if p, ok := findPath(x.Fallback, target, here+".fb"); ok {
+				return p, true
+			}
 		}
 	}
 	return "", false
@@ -67,6 +74,8 @@ func StmtText(s Stmt) string {
 		return "if(" + condString(x.Cond) + ") {...}"
 	case *While:
 		return "while(" + condString(x.Cond) + ") {...}"
+	case *Optimistic:
+		return "optimistic {...} fallback {...}"
 	case nil:
 		return "<nil>"
 	default:

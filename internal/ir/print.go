@@ -62,6 +62,18 @@ func printStmt(b *strings.Builder, s Stmt, depth int) {
 			parts[i] = fmt.Sprintf("[%s%s]", strings.Join(e.Vars, ","), setSuffix(e.Set, e.Generic))
 		}
 		fmt.Fprintf(b, "lockBatch(%s);\n", strings.Join(parts, ", "))
+	case *Observe:
+		indent(b, depth)
+		fmt.Fprintf(b, "observe(%s%s);\n", strings.Join(x.Vars, ","), setSuffix(x.Set, x.Generic))
+	case *Optimistic:
+		indent(b, depth)
+		b.WriteString("optimistic {\n")
+		printBlock(b, x.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("} fallback {\n")
+		printBlock(b, x.Fallback, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
 	case *Call:
 		indent(b, depth)
 		if x.Assign != "" {

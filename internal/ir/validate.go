@@ -66,7 +66,7 @@ func (a *Atomic) Validate() []error {
 				walk(x.Else)
 			case *While:
 				walk(x.Body)
-			case *Prologue, *Epilogue, *LV, *LV2, *UnlockAllVar, *LockBatch:
+			case *Prologue, *Epilogue, *LV, *LV2, *UnlockAllVar, *LockBatch, *Observe, *Optimistic:
 				errs = append(errs, fmt.Errorf("%s: synthetic statement %T in synthesis input", at(s), s))
 			}
 		}

@@ -5,6 +5,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"repro/internal/adtspecs"
 )
 
 // ---------------------------------------------------------------------
@@ -617,4 +619,153 @@ func exprText(e ast.Expr) string {
 	default:
 		return "txn"
 	}
+}
+
+// ---------------------------------------------------------------------
+// occpure
+// ---------------------------------------------------------------------
+
+// OccPure checks //semlock:readonly markers. The marker, placed on a
+// //semlock:atomic function, asserts that the section only observes its
+// ADTs — the property that makes it eligible for the optimistic
+// lock-free envelope at synth.StageOptimistic. The assertion is easy to
+// break silently during maintenance: add one Put to a marked lookup and
+// the synthesizer quietly stops emitting the envelope (eligibility is
+// recomputed, so nothing is unsound), but the fast path the marker
+// promised is gone. OccPure makes that drift loud: inside a marked
+// section it flags every call to a semadt method that is not a declared
+// observer of its class, and every store to package-level state. The
+// real soundness certificate is internal/verify's optimistic obligation
+// — this is the early, syntactic tripwire. Deliberate exceptions carry
+// //semlockvet:ignore occpure -- <reason>.
+var OccPure = &Analyzer{
+	Name: "occpure",
+	Doc:  "flags mutations of shared ADT state inside //semlock:readonly sections",
+	Run:  runOccPure,
+}
+
+// occObservers maps semadt class name -> spec-level observer set, built
+// from the same adtspecs declarations the synthesizer's eligibility
+// check consults, so the analyzer and the rewrite cannot disagree about
+// what counts as an observation.
+var occObservers = adtspecs.All()
+
+// occLowerMethod mirrors gosrc's Go-name -> spec-name mapping
+// (Get -> get, PutIfAbsent -> putIfAbsent).
+func occLowerMethod(m string) string {
+	if m == "" {
+		return m
+	}
+	return strings.ToLower(m[:1]) + m[1:]
+}
+
+func hasDocDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// occRootIdent unwraps selectors, indexing, derefs, and parens to the
+// base identifier of an assignment target.
+func occRootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func runOccPure(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDocDirective(fn.Doc, "//semlock:readonly") {
+				continue
+			}
+			if !hasDocDirective(fn.Doc, "//semlock:atomic") {
+				p.Reportf(fn.Pos(),
+					"//semlock:readonly on %s without //semlock:atomic; the marker asserts an atomic section is observation-only",
+					fn.Name.Name)
+				continue
+			}
+			p.checkOccPure(fn)
+		}
+	}
+}
+
+func (p *Pass) checkOccPure(fn *ast.FuncDecl) {
+	// semadtClass returns the semadt type name of a receiver expression.
+	semadtClass := func(e ast.Expr) (string, bool) {
+		t := p.TypeOf(e)
+		if t == nil {
+			return "", false
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		n, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		obj := n.Obj()
+		if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/semadt") {
+			return "", false
+		}
+		return obj.Name(), true
+	}
+	isPkgLevel := func(id *ast.Ident) bool {
+		obj := p.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		return ok && v.Parent() == p.Pkg.Scope()
+	}
+	flagStore := func(lhs ast.Expr) {
+		if id := occRootIdent(lhs); id != nil && isPkgLevel(id) {
+			p.Reportf(lhs.Pos(),
+				"store to package-level %s inside //semlock:readonly section %s; the optimistic envelope may run this body and discard it, so it must not write shared state",
+				id.Name, fn.Name.Name)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			class, ok := semadtClass(sel.X)
+			if !ok || sel.Sel.Name == "Sem" {
+				return true
+			}
+			m := occLowerMethod(sel.Sel.Name)
+			if spec := occObservers[class]; spec == nil || !spec.IsObserver(m) {
+				p.Reportf(x.Pos(),
+					"call %s.%s mutates %s state inside //semlock:readonly section %s; drop the marker or move the mutation out",
+					exprText(sel.X), sel.Sel.Name, class, fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				flagStore(lhs)
+			}
+		case *ast.IncDecStmt:
+			flagStore(x.X)
+		}
+		return true
+	})
 }

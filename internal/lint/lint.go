@@ -30,6 +30,10 @@
 //     prologue written long-hand; Txn.LockBatch acquires the same
 //     constituents in one call and claims same-instance runs in a
 //     single pass.
+//   - occpure: a //semlock:atomic function marked //semlock:readonly
+//     asserts it only observes its ADTs (the optimistic-envelope
+//     eligibility property); mutator calls or stores to package-level
+//     state inside such a section break the assertion silently.
 //
 // Deliberate exceptions — plan transcriptions in internal/modules and
 // internal/apps, and benchmarks of the bare mechanism — carry
@@ -92,7 +96,7 @@ func (d Diagnostic) String() string {
 
 // All returns the repository's analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{PaddedCopy, TxnDiscipline, ModeMask, UnlockPath, AbortPath, Batchable}
+	return []*Analyzer{PaddedCopy, TxnDiscipline, ModeMask, UnlockPath, AbortPath, Batchable, OccPure}
 }
 
 // Run applies the analyzers to the packages and returns the findings

@@ -79,6 +79,7 @@ func TestAnalyzers(t *testing.T) {
 		{"abortpath.go", "repro/tdata", AbortPath},
 		{"batchable.go", "repro/tdata", Batchable},
 		{"directives.go", "repro/tdata", TxnDiscipline},
+		{"occpure.go", "repro/tdata", OccPure},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name+"/"+tc.file, func(t *testing.T) {

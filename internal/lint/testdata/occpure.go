@@ -1,0 +1,61 @@
+// Fixture for occpure: //semlock:readonly sections must not mutate
+// shared ADT state or package-level variables.
+package tdata
+
+import "repro/internal/semadt"
+
+var hitCount int
+
+//semlock:atomic
+//semlock:readonly
+func cleanLookup(m *semadt.Map, s *semadt.Set, k, j int) {
+	v := m.Get(k)
+	_ = v
+	n := m.Size() // observer: fine
+	has := s.Contains(j)
+	local := n // local state: fine
+	local++
+	_, _ = has, local
+}
+
+//semlock:atomic
+//semlock:readonly
+func leakyCachingLookup(m *semadt.Map, k int) {
+	v := m.Get(k)
+	m.Put(k, v) // want "mutates Map state"
+}
+
+//semlock:atomic
+//semlock:readonly
+func membershipProbe(s *semadt.Set, q *semadt.Queue, j int) {
+	if !s.Contains(j) {
+		s.Add(j) // want "mutates Set state"
+	}
+	_ = q.Dequeue() // want "mutates Queue state"
+}
+
+//semlock:atomic
+//semlock:readonly
+func countedLookup(m *semadt.Map, k int) {
+	_ = m.ContainsKey(k)
+	hitCount++ // want "store to package-level hitCount"
+}
+
+//semlock:readonly
+func notASection(m *semadt.Map, k int) { // want "without //semlock:atomic"
+	_ = m.Get(k)
+}
+
+//semlock:atomic
+func unmarkedMutator(m *semadt.Map, k int) {
+	m.Put(k, k) // unmarked sections may mutate freely
+}
+
+//semlock:atomic
+//semlock:readonly
+func warmingLookup(m *semadt.Map, k int) {
+	if m.Get(k) == nil {
+		//semlockvet:ignore occpure -- cache warm-up runs before the server accepts traffic
+		m.Put(k, k)
+	}
+}

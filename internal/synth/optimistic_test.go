@@ -1,0 +1,155 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adtspecs"
+	"repro/internal/ir"
+)
+
+// occProgram is a two-section program: "lookup" is read-only (every call
+// a declared observer) and "update" mutates, so StageOptimistic must
+// rewrite exactly the first.
+func occProgram() *Program {
+	lookup := &ir.Atomic{
+		Name: "lookup",
+		Vars: []ir.Param{
+			{Name: "m", Type: "Map", IsADT: true, NonNull: true},
+			{Name: "s", Type: "Set", IsADT: true, NonNull: true},
+			{Name: "k", Type: "int"}, {Name: "j", Type: "int"},
+			{Name: "v", Type: "val"}, {Name: "has", Type: "bool"},
+		},
+		Body: ir.Block{
+			&ir.Call{Recv: "m", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "k"}}, Assign: "v"},
+			&ir.Call{Recv: "s", Method: "contains", Args: []ir.Expr{ir.VarRef{Name: "j"}}, Assign: "has"},
+		},
+	}
+	update := &ir.Atomic{
+		Name: "update",
+		Vars: []ir.Param{
+			{Name: "m", Type: "Map", IsADT: true, NonNull: true},
+			{Name: "s", Type: "Set", IsADT: true, NonNull: true},
+			{Name: "k", Type: "int"}, {Name: "j", Type: "int"},
+		},
+		Body: ir.Block{
+			&ir.Call{Recv: "m", Method: "put", Args: []ir.Expr{ir.VarRef{Name: "k"}, ir.VarRef{Name: "j"}}},
+			&ir.Call{Recv: "s", Method: "add", Args: []ir.Expr{ir.VarRef{Name: "j"}}},
+		},
+	}
+	return &Program{Sections: []*ir.Atomic{lookup, update}, Specs: adtspecs.All()}
+}
+
+// TestOptimisticRewritesReadOnlySection: at StageOptimistic the read-only
+// section becomes a single certified envelope — observations in the body,
+// the unchanged pessimistic expansion in the fallback — while the
+// mutating section is untouched. Verify is on, so the synthesis itself
+// proves the fourth obligation.
+func TestOptimisticRewritesReadOnlySection(t *testing.T) {
+	res, err := Synthesize(occProgram(), Options{StopAfter: StageOptimistic, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sec := res.Sections[0]
+	if len(sec.Body) != 1 {
+		t.Fatalf("lookup body = %d statements, want 1 envelope:\n%s", len(sec.Body), ir.Print(sec))
+	}
+	opt, ok := sec.Body[0].(*ir.Optimistic)
+	if !ok {
+		t.Fatalf("lookup body[0] = %T, want *ir.Optimistic", sec.Body[0])
+	}
+
+	observes, locks := 0, 0
+	walkStmts(opt.Body, func(s ir.Stmt) {
+		switch s.(type) {
+		case *ir.Observe:
+			observes++
+		case *ir.LV, *ir.LV2, *ir.LockBatch, *ir.Prologue, *ir.Epilogue, *ir.UnlockAllVar:
+			locks++
+		}
+	})
+	if observes == 0 || locks != 0 {
+		t.Errorf("optimistic body: %d observes, %d lock statements (want >0, 0):\n%s",
+			observes, locks, ir.Print(sec))
+	}
+
+	fallbackLocks := 0
+	walkStmts(opt.Fallback, func(s ir.Stmt) {
+		switch s.(type) {
+		case *ir.LV, *ir.LV2, *ir.LockBatch:
+			fallbackLocks++
+		}
+	})
+	if fallbackLocks == 0 {
+		t.Errorf("fallback lost its lock statements:\n%s", ir.Print(sec))
+	}
+
+	if out := ir.Print(res.Sections[1]); strings.Contains(out, "optimistic") {
+		t.Errorf("mutating section must stay pessimistic:\n%s", out)
+	}
+}
+
+// TestOptimisticFallbackMatchesFuseOutput: the fallback block is exactly
+// the section the pipeline emits when stopping at StageFuse — the rewrite
+// wraps, it does not alter.
+func TestOptimisticFallbackMatchesFuseOutput(t *testing.T) {
+	fused, err := Synthesize(occProgram(), Options{StopAfter: StageFuse, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ, err := Synthesize(occProgram(), Options{StopAfter: StageOptimistic, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := occ.Sections[0].Body[0].(*ir.Optimistic)
+	want := ir.Print(fused.Sections[0])
+	got := ir.Print(&ir.Atomic{Name: "lookup", Vars: occ.Sections[0].Vars, Body: opt.Fallback})
+	if got != want {
+		t.Errorf("fallback differs from StageFuse output:\n--- fuse\n%s\n--- fallback\n%s", want, got)
+	}
+}
+
+// TestOptimisticOffByDefault: DefaultOptions stops at StageFuse; no
+// envelope appears (schedule-predicting tooling depends on the
+// pessimistic acquisition trace).
+func TestOptimisticOffByDefault(t *testing.T) {
+	res, err := Synthesize(occProgram(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range res.Sections {
+		if out := ir.Print(sec); strings.Contains(out, "optimistic") {
+			t.Errorf("DefaultOptions output contains an envelope:\n%s", out)
+		}
+	}
+}
+
+// TestOptimisticRejectsOpaque: an ir.Opaque expression (the IR's escape
+// hatch for I/O and other irrevocable effects) disqualifies a section
+// even when every ADT call is an observer.
+func TestOptimisticRejectsOpaque(t *testing.T) {
+	p := occProgram()
+	p.Sections = p.Sections[:1]
+	lookup := p.Sections[0]
+	lookup.Vars = append(lookup.Vars, ir.Param{Name: "out", Type: "val"})
+	lookup.Body = append(lookup.Body,
+		&ir.Assign{Lhs: "out", Rhs: ir.Opaque{Text: "send(v)", Reads: []string{"v"}}})
+
+	res, err := Synthesize(p, Options{StopAfter: StageOptimistic, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := ir.Print(res.Sections[0]); strings.Contains(out, "optimistic") {
+		t.Errorf("section with Opaque must stay pessimistic:\n%s", out)
+	}
+}
+
+// TestOptimisticEligibleCounts: the certificate demands at least one lock
+// statement — a section over never-locked variables gains nothing.
+func TestOptimisticEligibleNeedsLocks(t *testing.T) {
+	sec := &ir.Atomic{Name: "empty", Vars: []ir.Param{{Name: "k", Type: "int"}}}
+	if optimisticEligible(0, sec, &Classes{}) {
+		t.Error("lock-free section must not be eligible")
+	}
+}

@@ -364,6 +364,9 @@ func walkStmts(b ir.Block, f func(ir.Stmt)) {
 			walkStmts(x.Else, f)
 		case *ir.While:
 			walkStmts(x.Body, f)
+		case *ir.Optimistic:
+			walkStmts(x.Body, f)
+			walkStmts(x.Fallback, f)
 		}
 	}
 }

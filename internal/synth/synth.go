@@ -35,6 +35,16 @@ const (
 	// changing it, so every earlier stage's output — the paper's
 	// figures — is unaffected.
 	StageFuse
+	// StageOptimistic additionally rewrites sections certified read-only
+	// into the hybrid optimistic/pessimistic envelope (ir.Optimistic,
+	// see optimistic.go): the body runs lock-free with version-counter
+	// observations, falling back to the unchanged pessimistic expansion
+	// on validation failure. Opt-in: the default pipeline stops at
+	// StageFuse, because an optimistic fast path acquires no locks and
+	// therefore changes the runtime acquisition trace that schedule-level
+	// tooling (telemetry schedule corpora, counter maps) predicts from
+	// the plan.
+	StageOptimistic
 )
 
 // Options configures synthesis.
@@ -173,6 +183,18 @@ func Synthesize(p *Program, opts Options) (*Result, error) {
 	if opts.StopAfter >= StageFuse {
 		for si, sec := range res.Sections {
 			fuseLockBatches(si, sec, cs)
+		}
+	}
+
+	// The optimistic rewrite runs last, after fusion, so the fallback
+	// block is exactly the section the pessimistic pipeline would have
+	// emitted (batched prologue included) and the observe statements
+	// mirror the final lock statements one-for-one. Verification then
+	// certifies the envelope itself: the fallback under the three OS2PL
+	// obligations, the body under the read-only obligations.
+	if opts.StopAfter >= StageOptimistic {
+		for si, sec := range res.Sections {
+			makeOptimistic(si, sec, cs)
 		}
 	}
 

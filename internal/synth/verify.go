@@ -23,6 +23,10 @@ func (r *Result) VerifyInput(si int) verify.Input {
 			}
 			return c.GlobalVar, true
 		},
+		Observer: func(key, method string) bool {
+			c, ok := r.Classes.ByKey[key]
+			return ok && c.Spec != nil && c.Spec.IsObserver(method)
+		},
 	}
 }
 

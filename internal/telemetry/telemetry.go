@@ -45,6 +45,13 @@ type GroupStats struct {
 	// snapshot time — nonzero while sections are executing, and a leak
 	// indicator once a workload has drained (cf. Semantic.CheckQuiesced).
 	OutstandingHolds int64 `json:"outstanding_holds"`
+	// OptimisticHits / OptimisticRetries split the instances' optimistic
+	// attempts (core.Txn.TryOptimistic) into validated lock-free commits
+	// and discarded runs that re-ran through the pessimistic fallback. A
+	// high retry share means the adaptive gate is (or should be) closing
+	// the optimistic path for these instances.
+	OptimisticHits    uint64 `json:"optimistic_hits"`
+	OptimisticRetries uint64 `json:"optimistic_retries"`
 }
 
 // Snapshot is one atomic-per-counter view of the runtime: per-group
@@ -159,6 +166,8 @@ func (r *Registry) Snapshot() Snapshot {
 			row.Stalls += st.Stalls
 			row.WaitNanos += st.WaitNanos
 			row.OutstandingHolds += s.OutstandingHolds()
+			row.OptimisticHits += st.OptimisticHits
+			row.OptimisticRetries += st.OptimisticRetries
 		}
 	}
 	sort.Slice(order, func(i, j int) bool {

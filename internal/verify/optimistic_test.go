@@ -1,0 +1,200 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/verify"
+)
+
+// occObserver is the observer declaration the optimistic tests use:
+// read-only Map/Set methods only.
+func occObserver(_, method string) bool {
+	switch method {
+	case "get", "contains", "containsKey", "size":
+		return true
+	}
+	return false
+}
+
+// occSection wraps an envelope (or any statements) into a one-ADT
+// section over a Map m and key k.
+func occSection(body ...ir.Stmt) *ir.Atomic {
+	return &ir.Atomic{
+		Name: "t",
+		Vars: []ir.Param{adt("m", "Map"), {Name: "k"}, {Name: "v"}},
+		Body: ir.Block(body),
+	}
+}
+
+// goodFallback is a complete pessimistic expansion: prologue, generic
+// lock, call, epilogue.
+func goodFallback() ir.Block {
+	return ir.Block{
+		&ir.Prologue{Guard: true},
+		lv("m"),
+		&ir.Call{Recv: "m", Method: "get", Args: []ir.Expr{ir.VarRef{Name: "k"}}, Assign: "v"},
+		&ir.Epilogue{},
+	}
+}
+
+// TestOptimisticObligations drives obligation (4) over hand-built
+// envelopes: the certified shape passes, and each way of breaking the
+// read-only certificate fires the expected obligation.
+func TestOptimisticObligations(t *testing.T) {
+	k := ir.VarRef{Name: "k"}
+	getK := core.SymSetOf(core.SymOpOf("get", core.VarArg("k")))
+
+	cases := []struct {
+		name     string
+		section  *ir.Atomic
+		observer func(string, string) bool
+		want     []verify.Obligation
+		msgHas   string
+	}{
+		{
+			name: "certified envelope",
+			section: occSection(&ir.Optimistic{
+				Body: ir.Block{
+					&ir.Observe{Vars: []string{"m"}, Set: getK},
+					&ir.Call{Recv: "m", Method: "get", Args: []ir.Expr{k}, Assign: "v"},
+				},
+				Fallback: goodFallback(),
+			}),
+			observer: occObserver,
+			want:     nil,
+		},
+		{
+			name: "mutator in body",
+			section: occSection(&ir.Optimistic{
+				Body: ir.Block{
+					&ir.Observe{Vars: []string{"m"}, Generic: true},
+					&ir.Call{Recv: "m", Method: "put", Args: []ir.Expr{k, k}},
+				},
+				Fallback: goodFallback(),
+			}),
+			observer: occObserver,
+			want:     []verify.Obligation{verify.Optimistic},
+			msgHas:   "not a declared observer",
+		},
+		{
+			name: "no observer information fails closed",
+			section: occSection(&ir.Optimistic{
+				Body: ir.Block{
+					&ir.Observe{Vars: []string{"m"}, Set: getK},
+					&ir.Call{Recv: "m", Method: "get", Args: []ir.Expr{k}, Assign: "v"},
+				},
+				Fallback: goodFallback(),
+			}),
+			observer: nil,
+			want:     []verify.Obligation{verify.Optimistic},
+			msgHas:   "not a declared observer",
+		},
+		{
+			name: "lock inside body",
+			section: occSection(&ir.Optimistic{
+				Body: ir.Block{
+					lv("m"),
+					&ir.Call{Recv: "m", Method: "get", Args: []ir.Expr{k}, Assign: "v"},
+				},
+				Fallback: goodFallback(),
+			}),
+			observer: occObserver,
+			want:     []verify.Obligation{verify.Optimistic},
+			msgHas:   "must acquire nothing",
+		},
+		{
+			name: "observation does not cover call",
+			section: occSection(&ir.Optimistic{
+				Body: ir.Block{
+					&ir.Observe{Vars: []string{"m"}, Set: getK},
+					&ir.Call{Recv: "m", Method: "size"},
+				},
+				Fallback: goodFallback(),
+			}),
+			observer: occObserver,
+			want:     []verify.Obligation{verify.Coverage},
+			msgHas:   "does not cover call",
+		},
+		{
+			name: "broken fallback",
+			section: occSection(&ir.Optimistic{
+				Body: ir.Block{
+					&ir.Observe{Vars: []string{"m"}, Set: getK},
+					&ir.Call{Recv: "m", Method: "get", Args: []ir.Expr{k}, Assign: "v"},
+				},
+				Fallback: ir.Block{
+					&ir.Call{Recv: "m", Method: "get", Args: []ir.Expr{k}, Assign: "v"},
+				},
+			}),
+			observer: occObserver,
+			want:     []verify.Obligation{verify.Coverage},
+			msgHas:   "not dominated by a lock",
+		},
+		{
+			name: "envelope after release",
+			section: occSection(
+				&ir.Prologue{Guard: true},
+				lv("m"),
+				&ir.Call{Recv: "m", Method: "get", Args: []ir.Expr{k}, Assign: "v"},
+				&ir.Epilogue{},
+				&ir.Optimistic{
+					Body: ir.Block{
+						&ir.Observe{Vars: []string{"m"}, Set: getK},
+						&ir.Call{Recv: "m", Method: "get", Args: []ir.Expr{k}, Assign: "v"},
+					},
+					Fallback: goodFallback(),
+				},
+			),
+			observer: occObserver,
+			want:     []verify.Obligation{verify.TwoPhase},
+			msgHas:   "optimistic envelope reachable after release",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := mkInput(tc.section, map[string]int{"Map": 0})
+			in.Observer = tc.observer
+			vs := verify.Section(in)
+
+			got := map[verify.Obligation]bool{}
+			for _, v := range vs {
+				got[v.Obligation] = true
+			}
+			want := map[verify.Obligation]bool{}
+			for _, ob := range tc.want {
+				want[ob] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("obligations = %v, want %v\nviolations:\n%s", keys(got), tc.want, renderAll(vs))
+			}
+			for ob := range want {
+				if !got[ob] {
+					t.Errorf("missing obligation %s\nviolations:\n%s", ob, renderAll(vs))
+				}
+			}
+			if tc.msgHas != "" {
+				found := false
+				for _, v := range vs {
+					if strings.Contains(v.Msg, tc.msgHas) {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("no violation message contains %q:\n%s", tc.msgHas, renderAll(vs))
+				}
+			}
+		})
+	}
+}
+
+func keys(m map[verify.Obligation]bool) []verify.Obligation {
+	var out []verify.Obligation
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -29,6 +29,11 @@
 // already-held variables are no-ops (LOCAL_SET semantics, which
 // core.Txn.Lock preserves even for elided sections), so they generate no
 // acquisition event.
+//
+// Sections containing an ir.Optimistic envelope carry a fourth
+// obligation (see the Optimistic constant): the optimistic body must be
+// provably read-only and lock-free, and the fallback block is re-proved
+// as a pessimistic section under the original three obligations.
 package verify
 
 import (
@@ -50,6 +55,15 @@ const (
 	// Ordering is obligation (3): acquisitions in restriction-graph
 	// (class-rank) order.
 	Ordering Obligation = "ordering"
+	// Optimistic is obligation (4), checked only on sections containing
+	// an ir.Optimistic envelope: the optimistic body acquires and
+	// releases nothing, every ADT call in it is a declared observer of
+	// its class (so a discarded run leaves no trace in shared state),
+	// and — via an Observe→LV substitution re-run through obligation
+	// (1) — every call is dominated by an observation whose symbolic
+	// set covers it. The fallback block is certified separately as an
+	// ordinary pessimistic section under obligations (1)–(3).
+	Optimistic Obligation = "optimistic"
 )
 
 // Input is one section to verify plus the synthesis context it was
@@ -68,6 +82,12 @@ type Input struct {
 	// Optional; when set, calls on wrapped classes must go through that
 	// variable (global-lock dominance).
 	WrappedGlobal func(classKey string) (string, bool)
+	// Observer reports whether a method of a class is a declared
+	// observer (core.Spec.IsObserver). Required to certify sections
+	// containing an ir.Optimistic envelope: without it every ADT call in
+	// an optimistic body is a violation (the checker fails closed —
+	// read-only cannot be proven from the section alone).
+	Observer func(classKey, method string) bool
 }
 
 // Violation is one falsified obligation with its counterexample.
@@ -326,7 +346,120 @@ func Section(in Input) []*Violation {
 			}
 		})
 	}
+
+	// Obligation (4): certify every optimistic envelope — the fallback
+	// recursively as a pessimistic section, the body as read-only.
+	out = append(out, v.optimisticObligations(in.Section.Body)...)
 	return out
+}
+
+// optimisticObligations walks the block tree for ir.Optimistic envelopes
+// and certifies each one.
+func (v *verifier) optimisticObligations(b ir.Block) []*Violation {
+	var out []*Violation
+	for _, s := range b {
+		switch x := s.(type) {
+		case *ir.If:
+			out = append(out, v.optimisticObligations(x.Then)...)
+			out = append(out, v.optimisticObligations(x.Else)...)
+		case *ir.While:
+			out = append(out, v.optimisticObligations(x.Body)...)
+		case *ir.Optimistic:
+			out = append(out, v.certifyEnvelope(x)...)
+		}
+	}
+	return out
+}
+
+// certifyEnvelope proves the three parts of obligation (4) for one
+// envelope. Failures in the derived sub-sections (the fallback re-proof,
+// the Observe→LV coverage re-run) surface as ordinary coverage /
+// two-phase / ordering violations against a synthetic section whose name
+// marks which half failed.
+func (v *verifier) certifyEnvelope(opt *ir.Optimistic) []*Violation {
+	var out []*Violation
+
+	// (4a) The body acquires and releases nothing, and every ADT call
+	// is a declared observer. Nested envelopes are rejected outright.
+	var bodyWalk func(b ir.Block)
+	bodyWalk = func(b ir.Block) {
+		for _, s := range b {
+			switch x := s.(type) {
+			case *ir.Prologue, *ir.Epilogue, *ir.LV, *ir.LV2, *ir.LockBatch, *ir.UnlockAllVar, *ir.Optimistic:
+				out = append(out, &Violation{
+					Obligation: Optimistic, Section: v.in.Section, Stmt: s,
+					Msg: fmt.Sprintf("optimistic body must acquire nothing: found %s", ir.StmtText(s)),
+				})
+			case *ir.Call:
+				key, ok := v.classOf(x.Recv)
+				if !ok {
+					break // non-ADT receiver: ir.Validate's problem
+				}
+				if v.in.Observer == nil || !v.in.Observer(key, x.Method) {
+					out = append(out, &Violation{
+						Obligation: Optimistic, Section: v.in.Section, Stmt: s,
+						Msg: fmt.Sprintf("call %s in optimistic body is not a declared observer of class %s",
+							ir.StmtText(s), key),
+					})
+				}
+			case *ir.If:
+				bodyWalk(x.Then)
+				bodyWalk(x.Else)
+			case *ir.While:
+				bodyWalk(x.Body)
+			}
+		}
+	}
+	bodyWalk(opt.Body)
+
+	// (4b) The fallback is a complete pessimistic section in its own
+	// right: re-prove coverage, two-phase and ordering on it.
+	fb := v.subInput("#fallback", opt.Fallback)
+	out = append(out, Section(fb)...)
+
+	// (4c) Coverage of the body: substitute each Observe with the lock
+	// statement it mirrors and re-run the dataflow, proving every call
+	// dominated by an observation whose set covers it (with the same
+	// kill rules for reassigned receivers and stale set arguments).
+	cov := v.subInput("#optimistic", opt.Body)
+	cov.Section = cov.Section.Clone()
+	substituteObserves(cov.Section.Body)
+	out = append(out, Section(cov)...)
+
+	return out
+}
+
+// subInput derives a verification input for one half of an envelope: the
+// same abstraction closures over a synthetic section sharing the outer
+// declarations.
+func (v *verifier) subInput(suffix string, body ir.Block) Input {
+	in := v.in
+	in.Section = &ir.Atomic{
+		Name: v.in.Section.Name + suffix,
+		Vars: v.in.Section.Vars,
+		Body: body,
+	}
+	return in
+}
+
+// substituteObserves rewrites Observe statements into the LV/LV2 they
+// mirror, in place (the caller passes a clone).
+func substituteObserves(b ir.Block) {
+	for i, s := range b {
+		switch x := s.(type) {
+		case *ir.Observe:
+			if len(x.Vars) == 1 {
+				b[i] = &ir.LV{Var: x.Vars[0], Set: x.Set, Generic: x.Generic, Guarded: x.Guarded}
+			} else {
+				b[i] = &ir.LV2{Vars: x.Vars, Set: x.Set, Generic: x.Generic}
+			}
+		case *ir.If:
+			substituteObserves(x.Then)
+			substituteObserves(x.Else)
+		case *ir.While:
+			substituteObserves(x.Body)
+		}
+	}
 }
 
 func (v *verifier) classOf(name string) (string, bool) {
@@ -379,6 +512,25 @@ func (v *verifier) transfer(n *ir.Node, st *state, report func(*Violation)) {
 		if released {
 			st.releases[n.Stmt] = true
 		}
+		for name := range st.vars {
+			v.killVar(name, st)
+		}
+	case *ir.Optimistic:
+		// The envelope is a black box to the surrounding dataflow: both
+		// halves start from an empty lock state and release everything
+		// before returning (certified by the recursive pass in
+		// Section). For the enclosing section that means the node both
+		// acquires (its fallback locks, so it must not be reachable
+		// after a release) and releases (every lock fact dies across
+		// it, and later acquisitions are two-phase violations).
+		if report != nil && len(st.releases) > 0 {
+			rel := firstRelease(v.in.Section, st.releases)
+			report(&Violation{
+				Obligation: TwoPhase, Section: v.in.Section, Stmt: n.Stmt, Related: rel,
+				Msg: fmt.Sprintf("optimistic envelope reachable after release %s", ir.StmtText(rel)),
+			})
+		}
+		st.releases[n.Stmt] = true
 		for name := range st.vars {
 			v.killVar(name, st)
 		}
