@@ -2,6 +2,8 @@
 // demo/input.go.txt for the annotated source and demo/demo_semlock.go
 // for the compiler output) from many goroutines and verifies the
 // atomicity invariant at the end.
+//
+//semlockvet:file-ignore guardedby -- verification reads run after wg.Wait(): every worker has quiesced, the instances are process-local
 package main
 
 import (

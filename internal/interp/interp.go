@@ -6,6 +6,8 @@
 // linearizable containers of internal/adt, and — in checked mode — every
 // operation is asserted against the held modes (S2PL) and the OS2PL
 // order.
+//
+//semlockvet:file-ignore guardedby -- the executor IS the lock manager: Impl.Invoke bodies run under the semantic locks runStmt acquires from the synthesized plan, in checked mode asserted per-operation
 package interp
 
 import (

@@ -711,6 +711,25 @@ func runOccPure(p *Pass) {
 }
 
 func (p *Pass) checkOccPure(fn *ast.FuncDecl) {
+	// callFuns collects every expression in call position, so a mutator
+	// reference that is NOT immediately called — a method value bound to
+	// a variable, deferred, or handed to go — is flagged at its capture
+	// site instead of slipping through.
+	callFuns := make(map[ast.Expr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			f := c.Fun
+			for {
+				paren, ok := f.(*ast.ParenExpr)
+				if !ok {
+					break
+				}
+				f = paren.X
+			}
+			callFuns[f] = true
+		}
+		return true
+	})
 	// semadtClass returns the semadt type name of a receiver expression.
 	semadtClass := func(e ast.Expr) (string, bool) {
 		t := p.TypeOf(e)
@@ -758,6 +777,31 @@ func (p *Pass) checkOccPure(fn *ast.FuncDecl) {
 				p.Reportf(x.Pos(),
 					"call %s.%s mutates %s state inside //semlock:readonly section %s; drop the marker or move the mutation out",
 					exprText(sel.X), sel.Sel.Name, class, fn.Name.Name)
+			}
+		case *ast.SelectorExpr:
+			// A method value (m.Put) or method expression
+			// ((*semadt.Map).Put) escaping call position: the mutator
+			// can then run through defer, go, or any later call, out of
+			// sight of the CallExpr case above.
+			if callFuns[x] || x.Sel.Name == "Sem" {
+				return true
+			}
+			class, ok := semadtClass(x.X)
+			if !ok {
+				return true
+			}
+			if sel, isSel := p.Info.Selections[x]; isSel {
+				if _, isFunc := sel.Obj().(*types.Func); !isFunc {
+					return true
+				}
+			} else if _, isFunc := p.Info.Uses[x.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			m := occLowerMethod(x.Sel.Name)
+			if spec := occObservers[class]; spec == nil || !spec.IsObserver(m) {
+				p.Reportf(x.Pos(),
+					"method value %s.%s captures a mutator of %s inside //semlock:readonly section %s; deferred or spawned, it still mutates state the optimistic envelope may discard",
+					exprText(x.X), x.Sel.Name, class, fn.Name.Name)
 			}
 		case *ast.AssignStmt:
 			for _, lhs := range x.Lhs {

@@ -1,0 +1,161 @@
+package interproc
+
+import (
+	"fmt"
+	"go/token"
+
+	"repro/internal/lint"
+)
+
+// GuardedBy proves every semantic-ADT operation is dominated by an
+// enclosing atomic section. The proof is an exposure analysis over the
+// call graph: entry points are main/init, every function or method
+// with an exported name (interface dispatch and reflection make
+// anything exported reachable from unguarded code), and every function
+// referenced as a value; exposure propagates through call edges that
+// are not themselves dominated by a guard acquisition. A function whose
+// whole body runs inside a section (an Atomically argument or a
+// //semlock:atomic declaration) absorbs exposure; a function that
+// receives the *core.Txn transfers the obligation to its callers by
+// contract. Operations on instances the flow lattice proves
+// thread-local (constructed locally, not yet escaped) are exempt.
+// Goroutines escape their spawner's section by construction, so
+// operations inside spawned or escaping literals are flagged no matter
+// how the enclosing function is reached.
+var GuardedBy = &lint.ProgramAnalyzer{
+	Name: "guardedby",
+	Doc:  "prove every semantic-ADT operation is dominated by an enclosing atomic section or certified baseline guard",
+	Run:  runGuardedBy,
+}
+
+// exposure records how a function becomes reachable from unguarded
+// code: the entry-point cause for roots, or the unguarded call edge
+// from its parent.
+type exposure struct {
+	parent funcKey
+	pos    token.Pos
+	cause  string
+}
+
+func runGuardedBy(pass *lint.ProgramPass) {
+	p := buildProgram(pass.Pkgs)
+
+	exposed := make(map[funcKey]*exposure)
+	var queue []funcKey
+	expose := func(k funcKey, e *exposure) {
+		if exposed[k] == nil {
+			exposed[k] = e
+			queue = append(queue, k)
+		}
+	}
+
+	for _, k := range p.order {
+		fi := p.funcs[k]
+		// Goroutine targets first: a spawn escapes the spawner's
+		// section even when the spawner only ever runs guarded.
+		for _, c := range fi.calls {
+			if !c.isGo {
+				continue
+			}
+			if callee := p.funcs[c.callee]; callee != nil && !callee.sectionGuarded && !callee.hasTxnParam {
+				expose(c.callee, &exposure{parent: k, pos: c.pos,
+					cause: "spawned as a goroutine (escapes any enclosing section)"})
+			}
+		}
+		if exemptPkg(fi.pkg.PkgPath) || fi.sectionGuarded || fi.hasTxnParam {
+			continue
+		}
+		switch {
+		case fi.rootCause != "":
+			expose(k, &exposure{cause: fi.rootCause})
+		case fi.isMain:
+			expose(k, &exposure{cause: "main/init entry point"})
+		case fi.exported:
+			expose(k, &exposure{cause: "exported API (callable from unguarded code)"})
+		}
+	}
+
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		fi := p.funcs[k]
+		for _, c := range fi.calls {
+			if c.guarded && !c.isGo {
+				continue
+			}
+			callee := p.funcs[c.callee]
+			if callee == nil || callee.sectionGuarded || callee.hasTxnParam {
+				continue
+			}
+			expose(c.callee, &exposure{parent: k, pos: c.pos, cause: "called without a dominating guard"})
+		}
+	}
+
+	for _, k := range p.order {
+		fi := p.funcs[k]
+		if exemptPkg(fi.pkg.PkgPath) {
+			continue
+		}
+		exp := exposed[k]
+		for _, op := range fi.ops {
+			if op.guarded || !op.shared {
+				continue
+			}
+			if exp == nil && !op.spawned {
+				continue // only reachable through guarded paths
+			}
+			witness := witnessChain(p, exposed, k)
+			if op.spawned {
+				witness = append(witness,
+					"operation runs inside a spawned goroutine or escaping func literal: it executes outside any enclosing atomic section")
+			}
+			witness = append(witness, op.flow)
+			pass.Report(lint.Diagnostic{
+				Pos: op.pkg.Fset.Position(op.pos),
+				Message: fmt.Sprintf("%s.%s() on %s is reachable outside any atomic section",
+					op.recv, op.method, op.class),
+				Witness: witness,
+			})
+		}
+	}
+}
+
+// witnessChain renders the caller chain from an entry point down to fn,
+// one step per line, root first.
+func witnessChain(p *program, exposed map[funcKey]*exposure, fn funcKey) []string {
+	type step struct {
+		key funcKey
+		exp *exposure
+	}
+	var chain []step
+	seen := make(map[funcKey]bool)
+	for k := fn; k != "" && !seen[k] && len(chain) < 20; {
+		seen[k] = true
+		e := exposed[k]
+		if e == nil {
+			break
+		}
+		chain = append(chain, step{key: k, exp: e})
+		k = e.parent
+	}
+	if len(chain) == 0 {
+		return nil
+	}
+	// chain is leaf→root; render root-first.
+	var lines []string
+	root := chain[len(chain)-1]
+	if fi := p.funcs[root.key]; fi != nil {
+		lines = append(lines, fmt.Sprintf("entry point: %s — %s", fi.name, root.exp.cause))
+	}
+	for i := len(chain) - 2; i >= 0; i-- {
+		st := chain[i]
+		fi := p.funcs[st.key]
+		parent := p.funcs[st.exp.parent]
+		if fi == nil || parent == nil {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%s reaches %s (%s) at %s",
+			parent.name, fi.name, st.exp.cause, parent.pkg.Fset.Position(st.exp.pos)))
+	}
+	return lines
+}

@@ -1,0 +1,94 @@
+// Fixture for the guardedby whole-program analyzer. Each `want`
+// comment marks a line the analyzer must flag; everything else must
+// stay silent.
+package tdata
+
+import (
+	"repro/internal/adt"
+	"repro/internal/cc"
+	"repro/internal/core"
+	"repro/internal/semadt"
+)
+
+type store struct {
+	m    *semadt.Map
+	q    *adt.Queue
+	mu   cc.GlobalLock
+	rank int
+}
+
+// Get is guarded: the operation runs inside an Atomically section.
+func (s *store) Get(k core.Value) core.Value {
+	var v core.Value
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(s.m.Sem(), core.ModeID(0), s.rank)
+		v = s.m.Get(k)
+	})
+	return v
+}
+
+// Peek is exported and reads the map with no section: flagged.
+func (s *store) Peek(k core.Value) core.Value {
+	return s.m.Get(k) // want "reachable outside any atomic section"
+}
+
+// Evict reaches a naked operation through an unguarded helper call:
+// the witness shows the chain Evict -> sweep.
+func (s *store) Evict() {
+	s.sweep()
+}
+
+func (s *store) sweep() {
+	s.q.Dequeue() // want "reachable outside any atomic section"
+}
+
+// Size is guarded by the certified cc baseline.
+func (s *store) Size() int {
+	s.mu.Enter()
+	defer s.mu.Exit()
+	return s.q.Size()
+}
+
+// Snapshot's map is thread-local until returned: exempt.
+func Snapshot() *adt.HashMap {
+	m := adt.NewHashMap()
+	m.Put(1, 2)
+	return m
+}
+
+// Spawn leaks a locally built queue into a goroutine: the operation
+// escapes any section the spawner might hold.
+func Spawn() {
+	q := adt.NewQueue()
+	go func() {
+		q.Enqueue(1) // want "reachable outside any atomic section"
+	}()
+}
+
+// fill receives the transaction, so the section obligation is its
+// callers' by contract: the naked operation is not flagged here.
+func fill(tx *core.Txn, m *semadt.Map) {
+	_ = tx
+	m.Put(1, 2)
+}
+
+// Fill discharges fill's obligation inside a section.
+func Fill(s *store) {
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(s.m.Sem(), core.ModeID(0), s.rank)
+		fill(tx, s.m)
+	})
+}
+
+// Compiled is a //semlock:atomic section: the compiler wraps the whole
+// body in a transaction, so its operations are guarded.
+//
+//semlock:atomic
+func Compiled(s *store) {
+	s.m.Put(1, 2)
+}
+
+// Unsafe is suppressed by a directive with a reason.
+func (s *store) Unsafe() core.Value {
+	return s.m.Get(9) //semlockvet:ignore guardedby -- fixture: deliberate unguarded read
+}

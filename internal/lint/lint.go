@@ -83,20 +83,96 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // TypeOf returns the type of an expression, or nil.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Whole-program analyzers additionally carry
+// a Witness: the interprocedural path (caller chain, escape point,
+// acquisition sequence) demonstrating how the violating state is
+// reached, one step per line.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Witness  []string
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	s := fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	for _, w := range d.Witness {
+		s += "\n    " + w
+	}
+	return s
 }
 
-// All returns the repository's analyzers.
+// All returns the repository's per-package analyzers. Whole-program
+// analyzers (guardedby, rankorder) live in internal/lint/interproc and
+// run through RunProgram.
 func All() []*Analyzer {
 	return []*Analyzer{PaddedCopy, TxnDiscipline, ModeMask, UnlockPath, AbortPath, Batchable, OccPure}
+}
+
+// ProgramAnalyzer is one whole-program check: unlike Analyzer it sees
+// every loaded package at once, so it can build a call graph and reason
+// across function and package boundaries. The interprocedural analyzers
+// of internal/lint/interproc implement this interface.
+type ProgramAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ProgramPass)
+}
+
+// ProgramPass carries the whole loaded program through one
+// whole-program analyzer.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Report records a fully-formed diagnostic (the analyzer name is filled
+// in by the pass).
+func (p *ProgramPass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf records a diagnostic at pos, resolved through pkg's FileSet.
+func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:     pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// RunProgram applies whole-program analyzers to the loaded packages and
+// returns the findings sorted by position. The same //semlockvet:ignore
+// and //semlockvet:file-ignore directives that scope per-package
+// analyzers apply, keyed by the file the diagnostic lands in; malformed
+// directives are NOT re-reported here (Run already reports them), so
+// running both entry points over one load never duplicates findings.
+func RunProgram(pkgs []*Package, analyzers []*ProgramAnalyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&ProgramPass{Analyzer: a, Pkgs: pkgs, diags: &raw})
+	}
+	var diags []Diagnostic
+	sups := make([]*suppressions, 0, len(pkgs))
+	for _, pkg := range pkgs {
+		sups = append(sups, parseSuppressions(pkg, func(Diagnostic) {}))
+	}
+	for _, d := range raw {
+		covered := false
+		for _, s := range sups {
+			if s.covers(d) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			diags = append(diags, d)
+		}
+	}
+	sortDiags(diags)
+	return diags
 }
 
 // Run applies the analyzers to the packages and returns the findings
@@ -125,6 +201,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
+	sortDiags(diags)
+	return diags
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -135,5 +216,4 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
 }

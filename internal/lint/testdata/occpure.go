@@ -59,3 +59,33 @@ func warmingLookup(m *semadt.Map, k int) {
 		m.Put(k, k)
 	}
 }
+
+//semlock:atomic
+//semlock:readonly
+func deferredMutation(m *semadt.Map, k int) {
+	defer m.Remove(k) // want "mutates Map state"
+	_ = m.Get(k)
+}
+
+//semlock:atomic
+//semlock:readonly
+func spawnedMutation(s *semadt.Set, j int) {
+	go s.Clear() // want "mutates Set state"
+	_ = s.Contains(j)
+}
+
+//semlock:atomic
+//semlock:readonly
+func capturedMutator(m *semadt.Map, k int) {
+	f := m.Put // want "captures a mutator"
+	g := m.Get // observer method value: fine
+	defer f(k, k)
+	_ = g(k)
+}
+
+//semlock:atomic
+//semlock:readonly
+func methodExprMutator(m *semadt.Map, k int) {
+	h := (*semadt.Map).Remove // want "captures a mutator"
+	h(m, k)
+}

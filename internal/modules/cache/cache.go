@@ -279,6 +279,7 @@ func (m *manual) Get(k int) core.Value {
 }
 
 func (m *manual) Put(k int, v core.Value) {
+	//semlockvet:ignore guardedby -- deliberate racy pre-check: the size is re-read under LockAll before the flush commits
 	if m.eden.Size() >= m.limit {
 		// Rare path: take every stripe (in index order) and flush.
 		m.stripes.LockAll()

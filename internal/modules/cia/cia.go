@@ -189,5 +189,6 @@ type v8CIA struct {
 }
 
 func (v *v8CIA) ComputeIfAbsent(key int) []byte {
+	//semlockvet:ignore guardedby -- the whole point of the v8 variant: one internally atomic ComputeIfAbsent, no outer section
 	return v.m.ComputeIfAbsent(key, func() core.Value { return compute() }).([]byte)
 }

@@ -1,0 +1,64 @@
+// Package planreg enumerates every synthesized locking plan in the
+// tree. The evaluation modules each compile their own plan privately;
+// whole-program checks — in particular the global lock-order embedding
+// of verify.GlobalOrder that cmd/semlockvet drives — need all of them
+// at once, under stable names. Adding a module with a synthesized plan
+// means adding it here, which is what keeps "every certificate embeds
+// globally" an honest claim.
+package planreg
+
+import (
+	"sort"
+
+	"repro/internal/adtspecs"
+	"repro/internal/apps/gossip"
+	"repro/internal/apps/intruder"
+	"repro/internal/ir"
+	"repro/internal/modules/cache"
+	"repro/internal/modules/cia"
+	"repro/internal/modules/graph"
+	"repro/internal/modules/plan"
+	"repro/internal/synth"
+	"repro/internal/verify"
+)
+
+// Entry is one registered plan under its domain name.
+type Entry struct {
+	Domain string
+	Res    *synth.Result
+}
+
+// All builds every registered plan with default options and returns
+// them sorted by domain. Synthesis runs fresh here (a compile-time
+// cost, a few milliseconds per module); the modules' own memoizing
+// caches are unexported by design.
+func All() []Entry {
+	builders := []struct {
+		domain   string
+		sections []*ir.Atomic
+		classOf  func(*ir.Atomic, string) string
+	}{
+		{"modules/cache", cache.Sections(), cache.ClassOf},
+		{"modules/cia", []*ir.Atomic{cia.Section()}, nil},
+		{"modules/graph", graph.Sections(), graph.ClassOf},
+		{"apps/gossip", gossip.Sections(), gossip.ClassOf},
+		{"apps/intruder", []*ir.Atomic{intruder.Section(), intruder.PopSection()}, nil},
+	}
+	entries := make([]Entry, 0, len(builders))
+	for _, b := range builders {
+		p := plan.MustBuild(b.sections, adtspecs.All(), b.classOf, plan.Options{})
+		entries = append(entries, Entry{Domain: b.domain, Res: p.Res})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Domain < entries[j].Domain })
+	return entries
+}
+
+// GlobalOrder accumulates every registered plan into one program-wide
+// lock-order graph, ready for Check.
+func GlobalOrder() *verify.GlobalOrder {
+	g := verify.NewGlobalOrder()
+	for _, e := range All() {
+		e.Res.ExportOrder(e.Domain, g)
+	}
+	return g
+}

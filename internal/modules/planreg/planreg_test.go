@@ -1,0 +1,22 @@
+package planreg
+
+import "testing"
+
+// TestEveryCertificateEmbedsGlobally is the acceptance check behind
+// `semlockvet -plans`: the per-section OS2PL certificates of every
+// registered plan must embed into one acyclic program-wide lock-order
+// graph (verify.GlobalOrder), with no class rank conflicts and no
+// descending or cyclic acquisition edges.
+func TestEveryCertificateEmbedsGlobally(t *testing.T) {
+	entries := All()
+	if len(entries) < 5 {
+		t.Fatalf("registry lost plans: %d registered", len(entries))
+	}
+	g := GlobalOrder()
+	if g.Classes() == 0 || g.Edges() == 0 {
+		t.Fatalf("degenerate global order: %d classes, %d edges — exporter broke", g.Classes(), g.Edges())
+	}
+	for _, p := range g.Check() {
+		t.Errorf("global order problem: %s", p)
+	}
+}

@@ -1,0 +1,112 @@
+package synth
+
+import (
+	"repro/internal/ir"
+	"repro/internal/verify"
+)
+
+// ExportOrder feeds a synthesized plan's certified acquisition facts
+// into a program-wide lock-order accumulator: every equivalence class
+// at its rank, and every (earlier, later) class pair a section can
+// acquire on one transaction. Class keys are namespaced by domain (the
+// plan's owner — one module's "Map$m" is not another's), so several
+// independently synthesized plans embed into one graph; edges are
+// branch-aware (the arms of an If, and an Optimistic body versus its
+// fallback, extend the same prefix but impose no order on each other).
+//
+// cmd/semlockvet drives this over every registered plan and then runs
+// verify.(*GlobalOrder).Check, extending the per-section Ordering
+// certificate to the global deadlock-freedom claim.
+func (r *Result) ExportOrder(domain string, g *verify.GlobalOrder) {
+	for _, key := range r.Classes.SortedKeys() {
+		c := r.Classes.ByKey[key]
+		g.AddClass(domain, domain+":"+key, c.Rank)
+	}
+	for si, sec := range r.Sections {
+		section := domain + "/" + sec.Name
+		classAt := func(v string) (string, bool) {
+			k, ok := r.Classes.ClassOfVar(si, v)
+			if !ok {
+				return "", false
+			}
+			return domain + ":" + k, true
+		}
+		emit := func(prior []string, class string) []string {
+			for _, p := range prior {
+				g.AddEdge(section, p, class)
+			}
+			for _, p := range prior {
+				if p == class {
+					return prior
+				}
+			}
+			return append(prior, class)
+		}
+		var walk func(blk ir.Block, prior []string) []string
+		walk = func(blk ir.Block, prior []string) []string {
+			for _, s := range blk {
+				switch x := s.(type) {
+				case *ir.LV:
+					if k, ok := classAt(x.Var); ok {
+						prior = emit(prior, k)
+					}
+				case *ir.LV2:
+					if len(x.Vars) > 0 {
+						if k, ok := classAt(x.Vars[0]); ok {
+							prior = emit(prior, k)
+						}
+					}
+				case *ir.LockBatch:
+					// Entries are rank-ordered constituents of one
+					// batched acquisition: each gets the prefix edges,
+					// plus the batch's own internal order.
+					for _, e := range x.Entries {
+						if len(e.Vars) == 0 {
+							continue
+						}
+						if k, ok := classAt(e.Vars[0]); ok {
+							prior = emit(prior, k)
+						}
+					}
+				case *ir.Observe:
+					if len(x.Vars) > 0 {
+						if k, ok := classAt(x.Vars[0]); ok {
+							prior = emit(prior, k)
+						}
+					}
+				case *ir.If:
+					thenOut := walk(x.Then, append([]string(nil), prior...))
+					elseOut := walk(x.Else, append([]string(nil), prior...))
+					prior = mergePrior(prior, thenOut, elseOut)
+				case *ir.While:
+					prior = walk(x.Body, prior)
+				case *ir.Optimistic:
+					bodyOut := walk(x.Body, append([]string(nil), prior...))
+					fbOut := walk(x.Fallback, append([]string(nil), prior...))
+					prior = mergePrior(prior, bodyOut, fbOut)
+				}
+			}
+			return prior
+		}
+		walk(sec.Body, nil)
+	}
+}
+
+func mergePrior(base []string, alts ...[]string) []string {
+	merged := append([]string(nil), base...)
+	for _, alt := range alts {
+		for _, k := range alt {
+			dup := false
+			for _, have := range merged {
+				if have == k {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				merged = append(merged, k)
+			}
+		}
+	}
+	return merged
+}

@@ -1,0 +1,153 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GlobalOrder extends the per-section OS2PL certificate to a
+// program-wide claim. Each synthesized plan certifies its own sections
+// against its own rank table (the Ordering obligation of Section); the
+// paper's deadlock-freedom argument, however, is global — every
+// transaction in the program must walk one shared rank order. This
+// accumulator takes the class-rank facts and acquisition edges of every
+// plan (internal/synth exports them, cmd/semlockvet feeds them in) and
+// checks the embedding:
+//
+//  1. a class keeps one rank everywhere it appears,
+//  2. every acquisition edge ascends (rank(from) <= rank(to); equal
+//     ranks fall back to the runtime's instance-id order), and
+//  3. the union of all edges is acyclic.
+//
+// The API is primitive strings and ints so the package stays importable
+// from internal/synth (which feeds it) without a cycle.
+type GlobalOrder struct {
+	ranks    map[string]int
+	owner    map[string]string // class -> section that first declared it
+	edges    map[[2]string]string
+	problems []string
+}
+
+// NewGlobalOrder returns an empty accumulator.
+func NewGlobalOrder() *GlobalOrder {
+	return &GlobalOrder{
+		ranks: make(map[string]int),
+		owner: make(map[string]string),
+		edges: make(map[[2]string]string),
+	}
+}
+
+// AddClass registers a class at its certified rank. Re-registration at
+// a different rank is an embedding conflict.
+func (g *GlobalOrder) AddClass(section, class string, rank int) {
+	if have, ok := g.ranks[class]; ok {
+		if have != rank {
+			g.problems = append(g.problems, fmt.Sprintf(
+				"class %s certified at rank %d by %s but at rank %d by %s",
+				class, have, g.owner[class], rank, section))
+		}
+		return
+	}
+	g.ranks[class] = rank
+	g.owner[class] = section
+}
+
+// AddEdge records that section acquires class from before class to on
+// one transaction.
+func (g *GlobalOrder) AddEdge(section, from, to string) {
+	if from == to {
+		return
+	}
+	key := [2]string{from, to}
+	if _, have := g.edges[key]; !have {
+		g.edges[key] = section
+	}
+}
+
+// Classes and Edges report the accumulated sizes (for status output).
+func (g *GlobalOrder) Classes() int { return len(g.ranks) }
+func (g *GlobalOrder) Edges() int   { return len(g.edges) }
+
+// Check proves the embedding and returns the list of problems, empty
+// when every certificate's order embeds into one acyclic global graph.
+func (g *GlobalOrder) Check() []string {
+	problems := append([]string(nil), g.problems...)
+
+	keys := make([][2]string, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rf, okf := g.ranks[k[0]]
+		rt, okt := g.ranks[k[1]]
+		if okf && okt && rf > rt {
+			problems = append(problems, fmt.Sprintf(
+				"section %s acquires %s (rank %d) before %s (rank %d): descending edge",
+				g.edges[k], k[0], rf, k[1], rt))
+		}
+	}
+
+	if cyc := g.findCycle(); cyc != nil {
+		path := ""
+		for i, n := range cyc {
+			if i > 0 {
+				path += " -> "
+			}
+			path += n
+		}
+		problems = append(problems, "global lock-order graph has a cycle: "+path)
+	}
+	return problems
+}
+
+// findCycle runs a deterministic DFS over the edge relation.
+func (g *GlobalOrder) findCycle() []string {
+	adj := make(map[string][]string)
+	for k := range g.edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+		sort.Strings(adj[n])
+	}
+	sort.Strings(nodes)
+
+	color := make(map[string]int) // 0 white, 1 gray, 2 black
+	var stack []string
+	onStack := make(map[string]int)
+	var dfs func(n string) []string
+	dfs = func(n string) []string {
+		color[n] = 1
+		onStack[n] = len(stack)
+		stack = append(stack, n)
+		for _, m := range adj[n] {
+			switch color[m] {
+			case 0:
+				if cyc := dfs(m); cyc != nil {
+					return cyc
+				}
+			case 1:
+				return append(append([]string(nil), stack[onStack[m]:]...), m)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		delete(onStack, n)
+		color[n] = 2
+		return nil
+	}
+	for _, n := range nodes {
+		if color[n] == 0 {
+			if cyc := dfs(n); cyc != nil {
+				return cyc
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGlobalOrderClean: consistent ranks, ascending edges, no cycle.
+func TestGlobalOrderClean(t *testing.T) {
+	g := NewGlobalOrder()
+	g.AddClass("s1", "a:Map$m", 0)
+	g.AddClass("s1", "a:Set$s", 1)
+	g.AddClass("s2", "a:Map$m", 0) // same rank: fine
+	g.AddEdge("s1", "a:Map$m", "a:Set$s")
+	g.AddEdge("s2", "a:Map$m", "a:Set$s")
+	g.AddEdge("s2", "a:Map$m", "a:Map$m") // self edge: ignored
+	if problems := g.Check(); len(problems) != 0 {
+		t.Fatalf("clean order reported problems: %v", problems)
+	}
+	if g.Classes() != 2 || g.Edges() != 1 {
+		t.Errorf("got %d classes, %d edges; want 2, 1", g.Classes(), g.Edges())
+	}
+}
+
+// TestGlobalOrderRankConflict: one class certified at two ranks.
+func TestGlobalOrderRankConflict(t *testing.T) {
+	g := NewGlobalOrder()
+	g.AddClass("s1", "a:Map$m", 0)
+	g.AddClass("s2", "a:Map$m", 3)
+	problems := g.Check()
+	if len(problems) != 1 || !strings.Contains(problems[0], "rank 0") || !strings.Contains(problems[0], "rank 3") {
+		t.Fatalf("want one rank-conflict problem naming both ranks, got %v", problems)
+	}
+}
+
+// TestGlobalOrderDescendingEdge: an edge against the rank order.
+func TestGlobalOrderDescendingEdge(t *testing.T) {
+	g := NewGlobalOrder()
+	g.AddClass("s1", "a:Map$m", 2)
+	g.AddClass("s1", "a:Set$s", 0)
+	g.AddEdge("s1", "a:Map$m", "a:Set$s")
+	problems := g.Check()
+	if len(problems) != 1 || !strings.Contains(problems[0], "descending edge") {
+		t.Fatalf("want one descending-edge problem, got %v", problems)
+	}
+}
+
+// TestGlobalOrderCycle: two sections acquiring two classes in opposite
+// orders — the seeded potential-deadlock counterexample.
+func TestGlobalOrderCycle(t *testing.T) {
+	g := NewGlobalOrder()
+	g.AddEdge("s1", "a:Map$m", "a:Set$s")
+	g.AddEdge("s2", "a:Set$s", "a:Map$m")
+	problems := g.Check()
+	if len(problems) != 1 || !strings.Contains(problems[0], "cycle") {
+		t.Fatalf("want one cycle problem, got %v", problems)
+	}
+	if !strings.Contains(problems[0], "a:Map$m -> a:Set$s -> a:Map$m") &&
+		!strings.Contains(problems[0], "a:Set$s -> a:Map$m -> a:Set$s") {
+		t.Errorf("cycle counterexample should print the path, got %q", problems[0])
+	}
+}
