@@ -20,6 +20,8 @@
 //	                           (real execution; writes BENCH_telemetry.json)
 //	benchall -exp optimistic # hybrid lock-free reads vs pessimistic prologue
 //	                           (real execution; writes BENCH_optimistic.json)
+//	benchall -exp resilience # graceful degradation under slow-hold injection
+//	                           (real execution; writes BENCH_resilience.json)
 //	benchall -real           # include real-execution measurements
 //	benchall -scale 50000    # simulated transactions per thread
 package main
@@ -40,7 +42,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|hotpath|chaos|telemetry|optimistic|stats|all")
+		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|hotpath|chaos|telemetry|optimistic|resilience|stats|all")
 	scale := flag.Int("scale", 20000, "simulated transactions per thread")
 	real := flag.Bool("real", false, "also run real-execution measurements on this host")
 	realOps := flag.Int("realops", 30000, "real-execution operations per thread")
@@ -125,6 +127,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_optimistic.json")
+		ran = true
+	}
+	// The resilience experiment sweeps a time-based slow-hold saboteur
+	// over the policied and unpolicied router — real execution only.
+	if *exp == "resilience" {
+		rep := bench.ResilienceBench(bench.ResilienceConfig{})
+		fmt.Println(rep.Format())
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile("BENCH_resilience.json", append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: writing BENCH_resilience.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_resilience.json")
 		ran = true
 	}
 	// The chaos experiment injects real panics and delays into real

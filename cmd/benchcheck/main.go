@@ -3,8 +3,9 @@
 // field or a criterion instead of silently uploading a hollow artifact.
 //
 // The expected schema is selected by filename: BENCH_lockmech.json,
-// BENCH_hotpath.json, BENCH_chaos.json, BENCH_telemetry.json and
-// BENCH_optimistic.json each have a required set of top-level fields
+// BENCH_hotpath.json, BENCH_chaos.json, BENCH_telemetry.json,
+// BENCH_optimistic.json and BENCH_resilience.json each have a required
+// set of top-level fields
 // (which must be present and non-empty) and required criteria keys
 // (which must be present and finite). Unknown BENCH_ filenames are an
 // error — a new experiment must register its schema here.
@@ -13,10 +14,14 @@
 //
 //	benchcheck BENCH_hotpath.json BENCH_telemetry.json
 //	benchcheck -chaos-strict BENCH_chaos.json
+//	benchcheck -chaos-strict BENCH_resilience.json
 //
 // -chaos-strict additionally enforces the chaos pass condition on the
 // criteria values themselves: zero leaked locks, zero leaked waiters,
-// zero quiescence failures, zero telemetry mismatches.
+// zero quiescence failures, zero telemetry mismatches. On resilience
+// reports it enforces the degradation criterion instead: the policied
+// router retains >= 2x the blocking router's completed throughput at
+// the harshest injection rate, with zero leaks.
 package main
 
 import (
@@ -85,6 +90,17 @@ var schemas = map[string]schema{
 			"torn_scans",
 		},
 	},
+	"resilience": {
+		fields: []string{"gomaxprocs", "workers", "points", "policy_state", "criteria"},
+		criteria: []string{
+			"retention_at_max_hold",
+			"retention_at_zero_hold",
+			"policies_engaged_at_max_hold",
+			"leaked_locks_total",
+			"leaked_waiters_total",
+			"quiesce_failures",
+		},
+	},
 }
 
 // chaosStrictZero are the chaos criteria that must be exactly zero for
@@ -99,7 +115,7 @@ var chaosStrictZero = []string{
 
 func main() {
 	chaosStrict := flag.Bool("chaos-strict", false,
-		"for chaos reports, also require the leak/quiesce/telemetry-mismatch criteria to be exactly zero")
+		"for chaos reports, also require the leak/quiesce/telemetry-mismatch criteria to be exactly zero; for resilience reports, enforce the >=2x degradation retention and zero-leak criteria")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no files given")
@@ -135,7 +151,7 @@ func checkFile(path string, chaosStrict bool) []error {
 	kind := kindOf(path)
 	sch, ok := schemas[kind]
 	if !ok {
-		return []error{fmt.Errorf("unknown report kind %q (expected BENCH_<lockmech|hotpath|chaos|telemetry|optimistic>.json)", kind)}
+		return []error{fmt.Errorf("unknown report kind %q (expected BENCH_<lockmech|hotpath|chaos|telemetry|optimistic|resilience>.json)", kind)}
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -200,6 +216,22 @@ func checkFile(path string, chaosStrict bool) []error {
 		}
 		if v, present := criteria["recovery_ratio_min"]; present && v < 0.8 {
 			errs = append(errs, fmt.Errorf("strict: recovery_ratio_min = %v, want >= 0.8", v))
+		}
+	}
+	// The resilience degradation criterion: at the harshest injection
+	// rate, the policied router must retain at least twice the blocking
+	// router's completed throughput, with nothing leaked.
+	if kind == "resilience" && chaosStrict {
+		for _, k := range []string{"leaked_locks_total", "leaked_waiters_total", "quiesce_failures"} {
+			if v, present := criteria[k]; present && v != 0 {
+				errs = append(errs, fmt.Errorf("strict: criterion %q = %v, want 0", k, v))
+			}
+		}
+		if v, present := criteria["retention_at_max_hold"]; present && v < 2.0 {
+			errs = append(errs, fmt.Errorf("strict: retention_at_max_hold = %v, want >= 2.0", v))
+		}
+		if v, present := criteria["policies_engaged_at_max_hold"]; present && v <= 0 {
+			errs = append(errs, fmt.Errorf("strict: policies_engaged_at_max_hold = %v, want > 0", v))
 		}
 	}
 	return errs

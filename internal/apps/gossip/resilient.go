@@ -1,0 +1,197 @@
+// Resilient is the gossip router under the resilience layer: every
+// section runs through a resilience.Policy — admission-gated, breaker-
+// checked, bounded-patience acquisitions with budgeted retries — and the
+// read-only membership probe gets a hedged variant that races the
+// pessimistic acquisition against the optimistic envelope when the
+// pessimistic side exceeds its latency budget.
+//
+// The sections keep the irrevocability discipline of Ours: every ADT
+// mutation and every I/O happens only after the last acquisition of the
+// section, so a bounded acquisition that stalls aborts the attempt with
+// at most one benign partial effect — register's creation of an empty
+// member map under the outer lock, which a retry (or any later
+// register) completes idempotently.
+
+package gossip
+
+import (
+	"sync/atomic"
+
+	"repro/internal/adt"
+	"repro/internal/core"
+	"repro/internal/resilience"
+)
+
+// Resilient wraps an Ours router with a resilience policy. The embedded
+// router's blocking methods remain available; the overridden Router
+// methods run policy-guarded and drop the operation (counted) when the
+// policy gives up — the router analogue of a network server shedding a
+// request instead of wedging a handler goroutine on it.
+type Resilient struct {
+	*Ours
+	policy *resilience.Policy
+
+	// Dropped counts operations abandoned after the policy gave up:
+	// shed by the gate, refused by the breaker, or stalled past the
+	// retry budget.
+	Dropped atomic.Uint64
+}
+
+// NewResilient wraps o with policy p.
+func NewResilient(o *Ours, p *resilience.Policy) *Resilient {
+	return &Resilient{Ours: o, policy: p}
+}
+
+// Policy returns the wrapped policy (telemetry registration, tests).
+func (r *Resilient) Policy() *resilience.Policy { return r.policy }
+
+func (r *Resilient) drop(err error) {
+	if err != nil {
+		r.Dropped.Add(1)
+	}
+}
+
+// Register routes through RegisterErr, dropping the operation if the
+// policy gives up.
+func (r *Resilient) Register(group, member string, conn *Conn) {
+	r.drop(r.RegisterErr(group, member, conn))
+}
+
+// Unregister routes through UnregisterErr.
+func (r *Resilient) Unregister(group, member string) {
+	r.drop(r.UnregisterErr(group, member))
+}
+
+// Unicast routes through UnicastErr.
+func (r *Resilient) Unicast(group, dst string, payload []byte) {
+	r.drop(r.UnicastErr(group, dst, payload))
+}
+
+// Multicast routes through MulticastErr.
+func (r *Resilient) Multicast(group string, payload []byte) {
+	r.drop(r.MulticastErr(group, payload))
+}
+
+// RegisterErr is the register section under the policy: gate admission,
+// breaker check, bounded acquisitions, budgeted retries. The error is
+// nil on success, ErrShed/ErrBreakerOpen when refused up front, or the
+// final attempt's StallError (wrapped in ErrBudgetExhausted when the
+// retry budget bound) when every attempt stalled.
+func (r *Resilient) RegisterErr(group, member string, conn *Conn) error {
+	return r.policy.Run(func(tx *core.Txn) error {
+		if err := r.policy.Acquire(tx, r.groupsSem, tx.CachedMode1(r.regGroupsRef, group), r.groupsRank); err != nil {
+			return err
+		}
+		var mm *memberMap
+		if v := r.groups.Get(group); v != nil {
+			mm = v.(*memberMap)
+		} else {
+			mm = &memberMap{m: adt.NewHashMap(), sem: core.NewSemantic(r.memTable)}
+			r.groups.Put(group, mm)
+		}
+		if err := r.policy.Acquire(tx, mm.sem, r.regMem2(member, conn), r.memRank); err != nil {
+			return err
+		}
+		r.fault("register")
+		mm.m.Put(member, conn)
+		return nil
+	})
+}
+
+// UnregisterErr is the unregister section under the policy.
+func (r *Resilient) UnregisterErr(group, member string) error {
+	return r.policy.Run(func(tx *core.Txn) error {
+		if err := r.policy.Acquire(tx, r.groupsSem, tx.CachedMode1(r.unregGRef, group), r.groupsRank); err != nil {
+			return err
+		}
+		if v := r.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			if err := r.policy.Acquire(tx, mm.sem, tx.CachedMode1(r.unregMemRef, member), r.memRank); err != nil {
+				return err
+			}
+			r.fault("unregister")
+			mm.m.Remove(member)
+		}
+		return nil
+	})
+}
+
+// UnicastErr is the unicast section under the policy. The I/O stays
+// inside the section, after the last acquisition — an aborted attempt
+// never half-sends.
+func (r *Resilient) UnicastErr(group, dst string, payload []byte) error {
+	return r.policy.Run(func(tx *core.Txn) error {
+		if err := r.policy.Acquire(tx, r.groupsSem, tx.CachedMode1(r.uniGRef, group), r.groupsRank); err != nil {
+			return err
+		}
+		if v := r.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			if err := r.policy.Acquire(tx, mm.sem, tx.CachedMode1(r.uniMemRef, dst), r.memRank); err != nil {
+				return err
+			}
+			r.fault("unicast")
+			if c := mm.m.Get(dst); c != nil {
+				c.(*Conn).Send(payload)
+			}
+		}
+		return nil
+	})
+}
+
+// MulticastErr is the multicast section under the policy.
+func (r *Resilient) MulticastErr(group string, payload []byte) error {
+	return r.policy.Run(func(tx *core.Txn) error {
+		if err := r.policy.Acquire(tx, r.groupsSem, tx.CachedMode1(r.mcGRef, group), r.groupsRank); err != nil {
+			return err
+		}
+		if v := r.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			if err := r.policy.Acquire(tx, mm.sem, r.mcMemMode, r.memRank); err != nil {
+				return err
+			}
+			r.fault("multicast")
+			for _, c := range mm.m.Values() {
+				c.(*Conn).Send(payload)
+			}
+		}
+		return nil
+	})
+}
+
+// LookupHedged is the membership probe as a hedged read: the
+// pessimistic acquisition runs with the policy's patience and a cancel
+// channel; if it exceeds the hedge budget, the optimistic envelope —
+// observing exactly the modes the pessimistic side locks — races it,
+// and the loser is cancelled (the pessimistic side withdraws its
+// waiter cleanly, holding nothing). Both sides compute the same
+// membership answer, so whichever commits is a correct serializable
+// read.
+func (r *Resilient) LookupHedged(group, member string) (bool, resilience.HedgeOutcome, error) {
+	return resilience.HedgedRead(r.policy,
+		func(tx *core.Txn, cancel <-chan struct{}) (bool, error) {
+			if err := r.policy.AcquireCancel(tx, r.groupsSem, tx.CachedMode1(r.uniGRef, group), r.groupsRank, cancel); err != nil {
+				return false, err
+			}
+			if v := r.groups.Get(group); v != nil {
+				mm := v.(*memberMap)
+				if err := r.policy.AcquireCancel(tx, mm.sem, tx.CachedMode1(r.uniMemRef, member), r.memRank, cancel); err != nil {
+					return false, err
+				}
+				return mm.m.Get(member) != nil, nil
+			}
+			return false, nil
+		},
+		func(tx *core.Txn) (bool, bool) {
+			if !tx.Observe(r.groupsSem, tx.CachedMode1(r.uniGRef, group), r.groupsRank) {
+				return false, false
+			}
+			if v := r.groups.Get(group); v != nil {
+				mm := v.(*memberMap)
+				if !tx.Observe(mm.sem, tx.CachedMode1(r.uniMemRef, member), r.memRank) {
+					return false, false
+				}
+				return mm.m.Get(member) != nil, true
+			}
+			return false, true
+		})
+}

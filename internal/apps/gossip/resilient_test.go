@@ -1,0 +1,171 @@
+package gossip
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/modules/plan"
+	"repro/internal/resilience"
+)
+
+// TestResilientRouterShedsAndRecovers: with a fault injected into the
+// register section (a sleep while both locks are held), policy-guarded
+// operations against the same group must stall, burn their retry
+// budget, and be dropped — not wedge forever — and once the fault
+// clears, the same operations must succeed again.
+func TestResilientRouterShedsAndRecovers(t *testing.T) {
+	o := NewOurs(0, plan.Options{})
+	p := resilience.New("gossip", resilience.Config{
+		Patience: time.Millisecond,
+		Retries:  2,
+		Backoff:  resilience.Backoff{Base: 50 * time.Microsecond, Max: 200 * time.Microsecond},
+		Budget:   &resilience.BudgetConfig{Capacity: 100, RefillPerSec: 1e4},
+	})
+	r := NewResilient(o, p)
+
+	r.Register("g", "m1", NewConn("m1", 0))
+
+	// Hold the register fault point — both the outer mode for "g" and
+	// the member lock — for 40ms on a helper goroutine.
+	release := make(chan struct{})
+	held := make(chan struct{})
+	o.FaultHook = func(site string) {
+		if site == "register" {
+			close(held)
+			<-release
+		}
+	}
+	var faultWG sync.WaitGroup
+	faultWG.Add(1)
+	go func() {
+		defer faultWG.Done()
+		o.Register("g", "m2", NewConn("m2", 0)) // blocking variant carries the fault
+	}()
+	<-held
+	o.FaultHook = nil
+
+	// Conflicting policy-guarded writes must be dropped, not wedge.
+	if err := r.RegisterErr("g", "m3", NewConn("m3", 0)); err == nil {
+		t.Fatal("RegisterErr succeeded against a held conflicting lock")
+	} else if !resilience.Retryable(err) && !errors.Is(err, resilience.ErrBudgetExhausted) {
+		t.Fatalf("RegisterErr error lost its type: %v", err)
+	}
+	r.Register("g", "m4", NewConn("m4", 0))
+	if r.Dropped.Load() == 0 {
+		t.Fatal("dropped counter untouched by a shed Register")
+	}
+
+	close(release)
+	faultWG.Wait()
+
+	// Fault cleared: everything flows again.
+	if err := r.RegisterErr("g", "m3", NewConn("m3", 0)); err != nil {
+		t.Fatalf("RegisterErr after recovery: %v", err)
+	}
+	if err := r.UnicastErr("g", "m1", []byte("x")); err != nil {
+		t.Fatalf("UnicastErr after recovery: %v", err)
+	}
+	found, _, err := r.LookupHedged("g", "m3")
+	if err != nil || !found {
+		t.Fatalf("LookupHedged(g, m3) = (%v, %v), want (true, nil)", found, err)
+	}
+	found, _, err = r.LookupHedged("g", "nobody")
+	if err != nil || found {
+		t.Fatalf("LookupHedged(g, nobody) = (%v, %v), want (false, nil)", found, err)
+	}
+	for _, sem := range o.Sems() {
+		if err := sem.CheckQuiesced(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestResilientRouterHammer races all four policy-guarded operations
+// and hedged lookups across groups while a saboteur repeatedly parks on
+// the register fault point of one hot group. Run under -race; the
+// invariants are liveness (no wedged goroutine survives the hammer),
+// no leaked waiters, and quiesced locks.
+func TestResilientRouterHammer(t *testing.T) {
+	o := NewOurs(0, plan.Options{})
+	p := resilience.New("gossip", resilience.Config{
+		Patience:    time.Millisecond,
+		Retries:     5,
+		Backoff:     resilience.Backoff{Base: 20 * time.Microsecond, Max: 200 * time.Microsecond},
+		Budget:      &resilience.BudgetConfig{Capacity: 10000, RefillPerSec: 1e6},
+		HedgeBudget: 100 * time.Microsecond,
+	})
+	r := NewResilient(o, p)
+	groups := []string{"hot", "warm", "cold"}
+	for _, g := range groups {
+		r.Register(g, "seed", NewConn("seed", 0))
+	}
+	o.FaultHook = func(site string) {
+		if site == "register" {
+			time.Sleep(200 * time.Microsecond) // slow-hold saboteur window
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var ops, lookups atomic.Int64
+	wg.Add(1)
+	go func() { // saboteur: slow registers on the hot group
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			o.Register("hot", "sab", NewConn("sab", 0))
+		}
+	}()
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g := groups[i%len(groups)]
+				switch i % 4 {
+				case 0:
+					r.Register(g, "m", NewConn("m", 0))
+				case 1:
+					r.Unicast(g, "seed", []byte("x"))
+				case 2:
+					r.Multicast(g, []byte("y"))
+				case 3:
+					if _, _, err := r.LookupHedged(g, "seed"); err == nil {
+						lookups.Add(1)
+					}
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	o.FaultHook = nil
+
+	if ops.Load() == 0 || lookups.Load() == 0 {
+		t.Fatalf("hammer did no work: ops=%d lookups=%d", ops.Load(), lookups.Load())
+	}
+	t.Logf("ops=%d lookups=%d dropped=%d", ops.Load(), lookups.Load(), r.Dropped.Load())
+	for _, sem := range o.Sems() {
+		if err := sem.CheckQuiesced(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := core.WaitersOutstanding(); n != 0 {
+		t.Fatalf("leaked %d waiter(s)", n)
+	}
+}

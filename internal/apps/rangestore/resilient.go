@@ -1,0 +1,133 @@
+// Resilient is the range store under the resilience layer: point writes
+// and pair toggles run policy-guarded (bounded acquisitions, budgeted
+// retries, gate/breaker admission), and the whole-store scan gets a
+// hedged variant — the pessimistic shard-by-shard acquisition races the
+// optimistic validated scan once it exceeds the hedge budget. The
+// PutPair evenness oracle carries over unchanged: a hedged scan that
+// returns an odd count has seen a torn pair write, whichever side won.
+
+package rangestore
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/resilience"
+)
+
+// Resilient wraps a Store with a resilience policy.
+type Resilient struct {
+	*Store
+	policy *resilience.Policy
+
+	// Dropped counts operations abandoned after the policy gave up.
+	Dropped atomic.Uint64
+}
+
+// NewResilient wraps s with policy p.
+func NewResilient(s *Store, p *resilience.Policy) *Resilient {
+	return &Resilient{Store: s, policy: p}
+}
+
+// Policy returns the wrapped policy.
+func (r *Resilient) Policy() *resilience.Policy { return r.policy }
+
+// PutErr is the point write under the policy.
+func (r *Resilient) PutErr(k int, v core.Value) error {
+	sh := r.shardOf(k)
+	return r.policy.Run(func(tx *core.Txn) error {
+		if err := r.policy.Acquire(tx, sh.sem, tx.CachedMode1(r.writeRef, k), 0); err != nil {
+			return err
+		}
+		sh.m.Put(k, v)
+		return nil
+	})
+}
+
+// PutPairErr is the pair toggle under the policy. The two shard locks
+// are taken sequentially in (rank, id) order with bounded patience —
+// the fused batch claim has no bounded variant — and the mutations run
+// only after both are held, so an aborted attempt toggles nothing.
+func (r *Resilient) PutPairErr(k int) error {
+	k2 := r.Partner(k)
+	a, b := r.shardOf(k), r.shardOf(k2)
+	// Same φ-ordering contract as LockBatch: ascending instance id.
+	first, second, kf, ks := a, b, k, k2
+	if b.sem.ID() < a.sem.ID() {
+		first, second, kf, ks = b, a, k2, k
+	}
+	return r.policy.Run(func(tx *core.Txn) error {
+		if err := r.policy.Acquire(tx, first.sem, tx.CachedMode1(r.writeRef, kf), 0); err != nil {
+			return err
+		}
+		if first != second {
+			if err := r.policy.Acquire(tx, second.sem, tx.CachedMode1(r.writeRef, ks), 0); err != nil {
+				return err
+			}
+		}
+		if a.m.Get(k) != nil {
+			a.m.Remove(k)
+			b.m.Remove(k2)
+		} else {
+			a.m.Put(k, k)
+			b.m.Put(k2, k2)
+		}
+		return nil
+	})
+}
+
+// GetHedged is the point read as a hedged read: pessimistic bounded
+// acquisition of the key mode races the optimistic observation once the
+// hedge budget elapses.
+func (r *Resilient) GetHedged(k int) (core.Value, resilience.HedgeOutcome, error) {
+	sh := r.shardOf(k)
+	return resilience.HedgedRead(r.policy,
+		func(tx *core.Txn, cancel <-chan struct{}) (core.Value, error) {
+			if err := r.policy.AcquireCancel(tx, sh.sem, tx.CachedMode1(r.getRef, k), 0, cancel); err != nil {
+				return nil, err
+			}
+			return sh.m.Get(k), nil
+		},
+		func(tx *core.Txn) (core.Value, bool) {
+			if !tx.Observe(sh.sem, tx.CachedMode1(r.getRef, k), 0) {
+				return nil, false
+			}
+			return sh.m.Get(k), true
+		})
+}
+
+// ScanHedged is the whole-store count as a hedged read. The pessimistic
+// side acquires every shard's values() mode shard-by-shard — ascending
+// shard index, which is ascending instance id, the same (rank, id)
+// order the batch claim uses — each with bounded patience and the
+// shared cancel channel, so a scan stuck behind a slow writer can be
+// abandoned mid-prologue with every already-held shard released by the
+// section epilogue and the in-flight waiter withdrawn. The optimistic
+// side is Scan's validated lock-free count.
+func (r *Resilient) ScanHedged() (int, resilience.HedgeOutcome, error) {
+	return resilience.HedgedRead(r.policy,
+		func(tx *core.Txn, cancel <-chan struct{}) (int, error) {
+			for i := range r.shards {
+				if err := r.policy.AcquireCancel(tx, r.shards[i].sem, r.scanMode, 0, cancel); err != nil {
+					return 0, err
+				}
+			}
+			n := 0
+			for i := range r.shards {
+				n += r.shards[i].m.Size()
+			}
+			return n, nil
+		},
+		func(tx *core.Txn) (int, bool) {
+			for i := range r.shards {
+				if !tx.Observe(r.shards[i].sem, r.scanMode, 0) {
+					return 0, false
+				}
+			}
+			n := 0
+			for i := range r.shards {
+				n += r.shards[i].m.Size()
+			}
+			return n, true
+		})
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/modules/plan"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 )
 
@@ -62,6 +63,19 @@ type ChaosCell struct {
 	TelemetryHolds  int64  `json:"telemetry_outstanding_holds"`
 	RecoveredPanics uint64 `json:"telemetry_recovered_panics"`
 	LeakedWaiters   int64  `json:"leaked_waiters"`
+
+	// Resilience accounting, populated only by the policied cell:
+	// operations the policy dropped instead of wedging on (stalled past
+	// the retry budget, shed by the gate, or refused by the breaker),
+	// and the hedged-lookup counters. The recovery criteria apply to
+	// the policied cell unchanged — absorbing faults by dropping work
+	// must still leave zero leaked locks and a recovered throughput.
+	Dropped        uint64 `json:"dropped_ops,omitempty"`
+	Shed           uint64 `json:"shed_ops,omitempty"`
+	BreakerTrips   uint64 `json:"breaker_trips,omitempty"`
+	BreakerRejects uint64 `json:"breaker_rejects,omitempty"`
+	Hedges         uint64 `json:"hedges_launched,omitempty"`
+	HedgeWins      uint64 `json:"hedge_wins,omitempty"`
 }
 
 // ChaosReport is the full result of the chaos experiment, the content
@@ -202,6 +216,100 @@ func chaosGossipCell(cfg ChaosConfig) ChaosCell {
 	return runChaosPhases("gossip", inj, r.Sems(), run)
 }
 
+// chaosGossipResilientCell runs the policied router through the same
+// three phases. Unlike the plain cell, operations the policy gives up
+// on — stalled past the retry budget, shed, or breaker-refused — are
+// dropped (counted) instead of blocking until the fault clears; the
+// structural recovery criteria apply unchanged, and the policy's
+// shed/hedge counters land in the cell for the -chaos-strict artifact.
+func chaosGossipResilientCell(cfg ChaosConfig) ChaosCell {
+	o := gossip.NewOurs(0, plan.Options{})
+	inj := chaosInjector()
+	o.FaultHook = inj.Hook
+	pol := resilience.New("gossip-chaos", resilience.Config{
+		Patience:    500 * time.Microsecond,
+		Retries:     3,
+		Backoff:     resilience.Backoff{Base: 50 * time.Microsecond, Max: 500 * time.Microsecond},
+		Budget:      &resilience.BudgetConfig{Capacity: 5000, RefillPerSec: 50000},
+		HedgeBudget: 200 * time.Microsecond,
+		Breaker: &resilience.BreakerConfig{
+			Window:        100 * time.Millisecond,
+			Buckets:       4,
+			TripStallRate: 2000,
+			Cooldown:      time.Millisecond,
+			Probes:        2,
+		},
+	})
+	r := gossip.NewResilient(o, pol)
+	mgr := resilience.NewManager(nil, time.Millisecond)
+	mgr.Add(pol)
+	mgr.Start()
+	payload := []byte("chaos-payload")
+	for g := 0; g < 4; g++ {
+		for m := 0; m < 8; m++ {
+			name := fmt.Sprintf("m%d", m)
+			o.Register(fmt.Sprintf("g%d", g), name, gossip.NewConn(name, 0))
+		}
+	}
+
+	var dropped atomic.Uint64
+	opsPer := cfg.OpsPerPhase / cfg.Workers
+	run := func() (int, uint64) {
+		var faulted atomic.Uint64
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < opsPer; i++ {
+					g := fmt.Sprintf("g%d", (w+i)%4)
+					m := fmt.Sprintf("m%d", i%8)
+					op := (w*31 + i*7) % 100
+					var err error
+					hit := chaos.Shield(func() {
+						switch {
+						case op < 10:
+							err = r.RegisterErr(g, m, gossip.NewConn(m, 0))
+						case op < 20:
+							err = r.UnregisterErr(g, m)
+						case op < 50:
+							err = r.UnicastErr(g, m, payload)
+						case op < 60:
+							_, _, err = r.LookupHedged(g, m)
+						default:
+							err = r.MulticastErr(g, payload)
+						}
+					})
+					if hit {
+						faulted.Add(1)
+					}
+					if resilienceDropped(err) {
+						dropped.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return opsPer * cfg.Workers, faulted.Load()
+	}
+	cell := runChaosPhases("gossip-resilient", inj, o.Sems(), run)
+	mgr.Stop()
+	cell.Dropped = dropped.Load()
+	for _, row := range pol.Stats() {
+		switch row.Kind {
+		case "policy":
+			cell.Hedges = row.Counters["hedges_launched"]
+			cell.HedgeWins = row.Counters["hedge_wins"]
+		case "breaker":
+			cell.BreakerTrips = row.Counters["tripped"]
+			cell.BreakerRejects = row.Counters["rejected"]
+		case "gate":
+			cell.Shed = row.Counters["shed"]
+		}
+	}
+	return cell
+}
+
 // chaosIntruderCell runs the reassembly pipeline through the three
 // phases; each phase processes a fresh capture of cfg.Flows flows.
 func chaosIntruderCell(cfg ChaosConfig) ChaosCell {
@@ -257,7 +365,7 @@ func ChaosBench(cfg ChaosConfig) *ChaosReport {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Criteria:   map[string]float64{},
 	}
-	rep.Cells = append(rep.Cells, chaosGossipCell(cfg), chaosIntruderCell(cfg))
+	rep.Cells = append(rep.Cells, chaosGossipCell(cfg), chaosGossipResilientCell(cfg), chaosIntruderCell(cfg))
 
 	minRatio := 0.0
 	var leaked, holdsMismatch, leakedWaiters int64
@@ -299,6 +407,10 @@ func (r *ChaosReport) Format() string {
 			c.App, c.Panics, c.SlowHolds, c.Delays, c.StallReports, c.LeakedLocks)
 		fmt.Fprintf(&b, "  telemetry: outstanding-holds=%d recovered-panics=%d leaked-waiters=%d\n",
 			c.TelemetryHolds, c.RecoveredPanics, c.LeakedWaiters)
+		if c.Dropped+c.Shed+c.BreakerTrips+c.Hedges > 0 {
+			fmt.Fprintf(&b, "  resilience: dropped=%d shed=%d breaker-trips=%d breaker-rejects=%d hedges=%d hedge-wins=%d\n",
+				c.Dropped, c.Shed, c.BreakerTrips, c.BreakerRejects, c.Hedges, c.HedgeWins)
+		}
 		if c.QuiesceError != "" {
 			fmt.Fprintf(&b, "  QUIESCE FAILED: %s\n", c.QuiesceError)
 		}

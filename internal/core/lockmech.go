@@ -920,6 +920,18 @@ type stallSlot struct {
 	count int32
 }
 
+// acqOutcome is the three-way result of a bounded acquisition: the mode
+// was acquired, patience ran out with a conflict still present, or the
+// caller's cancel channel closed first (a hedge won the race, a shutdown
+// began) and the waiter withdrew without claiming anything.
+type acqOutcome uint8
+
+const (
+	acqOK acqOutcome = iota
+	acqStalled
+	acqCanceled
+)
+
 // conflictHolders collects every conflicting slot currently over its
 // threshold, with the count of other holders on each. The caller has
 // already claimed its own slot (thresholds account for that, as in
@@ -943,7 +955,14 @@ func (m *mechV2) conflictHolders(c *maskInfo) []stallSlot {
 // makes one final claim-and-scan under mu — a release may have raced the
 // timer — so a reported stall is a real conflict observed at the moment
 // of giving up, never a stale one.
-func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, log []Acquisition) ([]stallSlot, bool) {
+//
+// A nil cancel channel never fires (the select arm blocks forever), so
+// the plain bounded path pays only the extra select case. A closed
+// cancel withdraws immediately WITHOUT the final claim-and-scan: the
+// caller has explicitly renounced the lock (a hedge validated, a
+// shutdown began), so acquiring on a cleared conflict would hand it a
+// lock it must then release — worse than simply leaving.
+func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, cancel <-chan struct{}, log []Acquisition) ([]stallSlot, acqOutcome) {
 	m.slow.Add(1)
 	w := m.getWaiter(c.words, log)
 	timer := time.NewTimer(patience)
@@ -960,7 +979,7 @@ func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, log []Acquis
 			m.mu.Unlock()
 			m.settleWait(w)
 			putWaiter(w)
-			return nil, true
+			return nil, acqOK
 		}
 		m.retreat(c.selfSlot)
 		m.waits.Add(1)
@@ -968,6 +987,13 @@ func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, log []Acquis
 		select {
 		case <-w.ch:
 			m.mu.Lock()
+		case <-cancel:
+			m.mu.Lock()
+			m.withdrawLocked(w)
+			m.mu.Unlock()
+			m.settleWait(w)
+			putWaiter(w)
+			return nil, acqCanceled
 		case <-timer.C:
 			m.mu.Lock()
 			m.claim(c.selfSlot)
@@ -982,27 +1008,32 @@ func (m *mechV2) acquireWithin(c *maskInfo, patience time.Duration, log []Acquis
 				m.mu.Unlock()
 				m.settleWait(w)
 				putWaiter(w)
-				return nil, true
+				return nil, acqOK
 			}
 			m.retreat(c.selfSlot)
-			m.deregisterLocked(w)
-			// A signal racing the timeout may have parked a token in w.ch.
-			// That token announced a release this waiter will now never
-			// consume; re-donate it to the remaining overlapping waiters
-			// before the channel is recycled so their progress does not
-			// depend on the next release. (Channels are per-waiter, so a
-			// discarded token cannot block anyone outright — re-donation
-			// converts our wasted wakeup into a chance at theirs.)
-			select {
-			case <-w.ch:
-				m.redonateLocked(w.mask)
-			default:
-			}
+			m.withdrawLocked(w)
 			m.mu.Unlock()
 			m.settleWait(w)
 			putWaiter(w)
-			return holders, false
+			return holders, acqStalled
 		}
+	}
+}
+
+// withdrawLocked removes a waiter that is giving up (timeout or cancel):
+// it deregisters the waiter and re-donates any wake token a racing
+// release parked in its channel. That token announced a release this
+// waiter will now never consume; forwarding it to the remaining
+// overlapping waiters keeps their progress independent of the next
+// release. (Channels are per-waiter, so a discarded token cannot block
+// anyone outright — re-donation converts our wasted wakeup into a
+// chance at theirs.) Callers hold mu.
+func (m *mechV2) withdrawLocked(w *waiterV2) {
+	m.deregisterLocked(w)
+	select {
+	case <-w.ch:
+		m.redonateLocked(w.mask)
+	default:
 	}
 }
 
@@ -1430,7 +1461,7 @@ func (m *mechanism) wakeWaiters() {
 // coarser than v2's timer-armed select, but it preserves the same
 // contract: acquired before the deadline, or a report of the conflicting
 // holder slots observed at the moment of giving up.
-func (m *mechanism) acquireWithin(slot int, conf []conflictRef, patience time.Duration) ([]stallSlot, bool) {
+func (m *mechanism) acquireWithin(slot int, conf []conflictRef, patience time.Duration, cancel <-chan struct{}) ([]stallSlot, acqOutcome) {
 	m.slow.Add(1)
 	deadline := time.Now().Add(patience)
 	backoff := 50 * time.Microsecond
@@ -1443,14 +1474,22 @@ func (m *mechanism) acquireWithin(slot int, conf []conflictRef, patience time.Du
 			}
 		}
 		if len(out) == 0 {
-			return nil, true // the claim stands: acquired
+			return nil, acqOK // the claim stands: acquired
 		}
 		m.counts[slot].Add(-1)
 		// Our transient claim may have bounced a concurrent scanner into
 		// the cond wait; the broadcast path is cheap when nobody waits.
 		m.wakeWaiters()
+		// The poll loop has no channel to select on, so cancellation is
+		// checked once per iteration — worst-case latency is one backoff
+		// step (≤1ms), acceptable for the ablation-only path.
+		select {
+		case <-cancel:
+			return nil, acqCanceled
+		default:
+		}
 		if !time.Now().Before(deadline) {
-			return out, false
+			return out, acqStalled
 		}
 		m.waits.Add(1)
 		time.Sleep(backoff)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -56,6 +58,13 @@ func (e *StallError) Error() string {
 	return b.String()
 }
 
+// ErrCanceled is returned by the cancellable bounded-acquisition paths
+// (AcquireWithinCancel, Txn.LockWithinCancel) when the caller's cancel
+// channel closed before the mode was acquired. A canceled acquisition
+// leaves no trace in the mechanism — same cleanup discipline as a
+// timeout — and is NOT counted as a stall: the caller chose to leave.
+var ErrCanceled = errors.New("core: bounded acquisition canceled")
+
 // AcquireWithin is Acquire with bounded patience: it blocks at most
 // patience waiting for mode m and returns nil once the mode is held, or
 // a *StallError naming the conflicting holder slots if the wait timed
@@ -64,19 +73,32 @@ func (e *StallError) Error() string {
 // racing release donated is forwarded to the remaining waiters.
 // Callers use Txn.LockWithin rather than calling this directly.
 func (s *Semantic) AcquireWithin(m ModeID, patience time.Duration) error {
-	return s.acquireWithin(m, patience, nil)
+	return s.acquireWithin(m, patience, nil, nil)
 }
 
-func (s *Semantic) acquireWithin(m ModeID, patience time.Duration, log []Acquisition) error {
+// AcquireWithinCancel is AcquireWithin with an additional cancellation
+// channel: closing cancel while the acquisition is parked makes it
+// withdraw cleanly and return ErrCanceled. A nil cancel is equivalent
+// to AcquireWithin. The resilience layer's hedged reads use this to
+// revoke a pessimistic acquisition the moment an optimistic hedge
+// validates.
+func (s *Semantic) AcquireWithinCancel(m ModeID, patience time.Duration, cancel <-chan struct{}) error {
+	return s.acquireWithin(m, patience, cancel, nil)
+}
+
+func (s *Semantic) acquireWithin(m ModeID, patience time.Duration, cancel <-chan struct{}, log []Acquisition) error {
 	p := s.table.part[m]
 	if p < 0 {
 		return nil
 	}
 	start := time.Now()
 	if s.DisableMechV2 {
-		holders, ok := s.v1[p].acquireWithin(s.table.localIdx[m], s.table.conflict[m], patience)
-		if ok {
+		holders, out := s.v1[p].acquireWithin(s.table.localIdx[m], s.table.conflict[m], patience, cancel)
+		switch out {
+		case acqOK:
 			return nil
+		case acqCanceled:
+			return ErrCanceled
 		}
 		s.v1[p].stalls.Add(1)
 		return s.stallError(m, p, holders, time.Since(start), log)
@@ -87,9 +109,12 @@ func (s *Semantic) acquireWithin(m ModeID, patience time.Duration, log []Acquisi
 		mech.fastPath.Add(1)
 		return nil
 	}
-	holders, ok := mech.acquireWithin(c, patience, log)
-	if ok {
+	holders, out := mech.acquireWithin(c, patience, cancel, log)
+	switch out {
+	case acqOK:
 		return nil
+	case acqCanceled:
+		return ErrCanceled
 	}
 	mech.stalls.Add(1)
 	return s.stallError(m, p, holders, time.Since(start), log)
@@ -115,7 +140,86 @@ func (s *Semantic) stallError(m ModeID, p int, holders []stallSlot, waited time.
 	if len(log) > 0 {
 		e.Log = append([]Acquisition(nil), log...)
 	}
+	emitStall(StallEvent{
+		Instance:  s.id,
+		Class:     e.Class,
+		Mechanism: p,
+		Source:    StallTimeout,
+		Waited:    waited,
+		Waiters:   1,
+	})
 	return e
+}
+
+// ---------------------------------------------------------------------
+// Unified stall observation
+// ---------------------------------------------------------------------
+
+// StallSource names which clock produced a StallEvent: the bounded
+// acquisition that self-clocked its own exhausted patience, or the
+// watchdog sampler that found waiters blocked past its threshold.
+type StallSource uint8
+
+const (
+	// StallTimeout: an AcquireWithin/LockWithin call gave up. Exactly one
+	// event per timed-out acquisition; Waited is the patience actually
+	// spent, Waiters is 1.
+	StallTimeout StallSource = iota
+	// StallWatchdog: a Watchdog scan found a mechanism with waiters
+	// blocked past the threshold. One event per stalled mechanism per
+	// scan — repeated scans over the same stuck waiter re-emit, so
+	// watchdog events measure sustained pressure, not distinct failures.
+	// Waited is the longest observed wait, Waiters the over-threshold
+	// waiter count.
+	StallWatchdog
+)
+
+func (s StallSource) String() string {
+	if s == StallWatchdog {
+		return "watchdog"
+	}
+	return "timeout"
+}
+
+// StallEvent is one stall observation, from either clock. Both the
+// timeout path and the watchdog funnel through the same observer so a
+// consumer (the resilience layer's breaker windows) sees one coherent
+// event stream instead of two contradictory counts.
+type StallEvent struct {
+	Instance  uint64
+	Class     string
+	Mechanism int
+	Source    StallSource
+	Waited    time.Duration
+	Waiters   int
+}
+
+// stallObserver holds the process-wide observer. An atomic pointer (not
+// a mutex) keeps the nil-observer check on the stall path to one load.
+var stallObserver atomic.Pointer[func(StallEvent)]
+
+// SetStallObserver installs fn as the process-wide stall observer; both
+// bounded-acquisition timeouts and watchdog threshold crossings are
+// delivered to it. fn is called synchronously from the stalling
+// goroutine or the watchdog sampler — keep it brief and never acquire
+// semantic locks inside it. Passing nil uninstalls. Returns the
+// previous observer so tests and layered consumers can chain or
+// restore.
+func SetStallObserver(fn func(StallEvent)) (prev func(StallEvent)) {
+	var p *func(StallEvent)
+	if fn != nil {
+		p = &fn
+	}
+	if old := stallObserver.Swap(p); old != nil {
+		return *old
+	}
+	return nil
+}
+
+func emitStall(ev StallEvent) {
+	if fn := stallObserver.Load(); fn != nil {
+		(*fn)(ev)
+	}
 }
 
 // modeNameOfSlot resolves a mechanism-local counter slot back to the
@@ -313,6 +417,9 @@ func (d *Watchdog) Watch(s *Semantic) {
 
 // Scan samples every watched instance once, returning a report for each
 // mechanism that has at least one waiter blocked past the threshold.
+// Each report is also delivered to the process-wide stall observer
+// (SetStallObserver) as a StallWatchdog event, the same stream the
+// timeout path feeds — one clock, not two.
 func (d *Watchdog) Scan() []StallReport {
 	d.mu.Lock()
 	sems := append([]*Semantic(nil), d.sems...)
@@ -324,6 +431,20 @@ func (d *Watchdog) Scan() []StallReport {
 		for p := range s.mechs {
 			if r, ok := s.sampleMech(p, now, d.cfg.Threshold); ok {
 				out = append(out, r)
+				var longest time.Duration
+				for _, w := range r.Waiters {
+					if w.Waited > longest {
+						longest = w.Waited
+					}
+				}
+				emitStall(StallEvent{
+					Instance:  r.Instance,
+					Class:     r.Class,
+					Mechanism: r.Mechanism,
+					Source:    StallWatchdog,
+					Waited:    longest,
+					Waiters:   len(r.Waiters),
+				})
 			}
 		}
 	}

@@ -218,7 +218,25 @@ func (t *Txn) LockWithin(s *Semantic, m ModeID, rank int, patience time.Duration
 	if !t.preLock(s, rank) {
 		return nil
 	}
-	if err := s.acquireWithin(m, patience, t.log); err != nil {
+	if err := s.acquireWithin(m, patience, nil, t.log); err != nil {
+		return err
+	}
+	t.recordHeld(s, m, rank)
+	return nil
+}
+
+// LockWithinCancel is LockWithin with an additional cancellation
+// channel: closing cancel while the acquisition is parked makes it
+// withdraw cleanly and return ErrCanceled, with the transaction exactly
+// as it was — nothing acquired, nothing recorded, earlier-held locks
+// untouched (the enclosing section's epilogue releases those). The
+// resilience layer's hedged reads use this to revoke the pessimistic
+// side of a read race the moment the optimistic hedge validates.
+func (t *Txn) LockWithinCancel(s *Semantic, m ModeID, rank int, patience time.Duration, cancel <-chan struct{}) error {
+	if !t.preLock(s, rank) {
+		return nil
+	}
+	if err := s.acquireWithin(m, patience, cancel, t.log); err != nil {
 		return err
 	}
 	t.recordHeld(s, m, rank)

@@ -622,6 +622,149 @@ func exprText(e ast.Expr) string {
 }
 
 // ---------------------------------------------------------------------
+// retrypath
+// ---------------------------------------------------------------------
+
+// RetryPath checks the discipline around the bounded-acquisition
+// surface (Txn.LockWithin / LockWithinCancel, Semantic.AcquireWithin /
+// AcquireWithinCancel). Two shapes defeat the point of a patience
+// bound:
+//
+//   - a discarded error (expression statement or blank assignment): the
+//     acquisition can time out, report a StallError — and the caller
+//     proceeds as if the lock were held. The bound becomes dead code
+//     and the section races its conflictors.
+//   - an unbounded `for {}` loop re-attempting a bounded acquisition
+//     with no retry budget: the StallError is handled, but by turning a
+//     blocked waiter into an infinite retry storm — under a real stall
+//     this burns CPU forever and amplifies the overload the patience
+//     bound was meant to surface. Bound the loop, or gate each attempt
+//     with resilience.Budget.TryWithdraw (resilience.Policy.Run does
+//     both and adds backoff).
+//
+// internal/core (the mechanism) and internal/resilience (the sanctioned
+// retry loop) are exempt; test files are not loaded by semlockvet.
+var RetryPath = &Analyzer{
+	Name: "retrypath",
+	Doc:  "flags discarded bounded-acquisition errors and unbounded stall-retry loops without a budget",
+	Run:  runRetryPath,
+}
+
+// namedFromPkg reports whether t (possibly behind a pointer) is the
+// named type from a package whose import path ends in pkgSuffix.
+func namedFromPkg(t types.Type, pkgSuffix, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// boundedAcqCall reports whether call is one of the bounded-acquisition
+// entry points, and renders it for diagnostics.
+func (p *Pass) boundedAcqCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "LockWithin", "LockWithinCancel":
+		if namedFromCore(p.TypeOf(sel.X), "Txn") {
+			return exprText(sel.X) + "." + sel.Sel.Name, true
+		}
+	case "AcquireWithin", "AcquireWithinCancel":
+		if namedFromCore(p.TypeOf(sel.X), "Semantic") {
+			return exprText(sel.X) + "." + sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+func runRetryPath(p *Pass) {
+	if strings.HasSuffix(p.PkgPath, "internal/core") || strings.HasSuffix(p.PkgPath, "internal/resilience") {
+		return // the mechanism and the sanctioned retry loop live here
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					if name, ok := p.boundedAcqCall(call); ok {
+						p.Reportf(call.Pos(),
+							"%s error discarded; a timed-out acquisition returns a StallError with the lock NOT held — handle it or the patience bound is dead code",
+							name)
+					}
+				}
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, rhs := range x.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || !isBlank(x.Lhs[i]) {
+						continue
+					}
+					if name, ok := p.boundedAcqCall(call); ok {
+						p.Reportf(call.Pos(),
+							"%s error assigned to _; a timed-out acquisition returns a StallError with the lock NOT held — handle it or the patience bound is dead code",
+							name)
+					}
+				}
+			case *ast.ForStmt:
+				if x.Cond == nil {
+					p.checkUnboundedRetry(x)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkUnboundedRetry flags a `for {}` loop that re-attempts a bounded
+// acquisition without withdrawing from a retry budget. Function
+// literals inside the loop are separate control flow (a spawned worker
+// retrying is that goroutine's loop, not this one) and are skipped.
+func (p *Pass) checkUnboundedRetry(loop *ast.ForStmt) {
+	var acq string
+	budgeted := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := p.boundedAcqCall(call); ok && acq == "" {
+			acq = name
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "TryWithdraw":
+				if namedFromPkg(p.TypeOf(sel.X), "internal/resilience", "Budget") {
+					budgeted = true
+				}
+			case "Run", "Acquire", "AcquireCancel":
+				// Delegating to the policy layer IS the budgeted path.
+				if namedFromPkg(p.TypeOf(sel.X), "internal/resilience", "Policy") {
+					budgeted = true
+				}
+			}
+		}
+		return true
+	})
+	if acq != "" && !budgeted {
+		p.Reportf(loop.Pos(),
+			"unbounded for-loop retries %s without a retry budget; bound the iterations or gate each attempt with Budget.TryWithdraw (resilience.Policy.Run does both)",
+			acq)
+	}
+}
+
+// ---------------------------------------------------------------------
 // occpure
 // ---------------------------------------------------------------------
 

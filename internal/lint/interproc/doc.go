@@ -7,8 +7,10 @@
 //   - guardedby: proves every call to a semantic-ADT operation (the
 //     internal/adt containers and their internal/semadt wrappers) is
 //     dominated by an enclosing atomic section's Txn — reached from
-//     core.Atomically / Txn.Atomically / Txn.TryOptimistic, a
-//     //semlock:atomic-compiled section, or an explicitly certified
+//     core.Atomically / Txn.Atomically / Txn.TryOptimistic, the
+//     resilience layer's section entries (resilience.Policy.Run and
+//     resilience.HedgedRead run their closures inside core.Atomically),
+//     a //semlock:atomic-compiled section, or an explicitly certified
 //     baseline guard (internal/cc, or a hand-transcribed plan's raw
 //     Semantic acquisition) — and reports the interprocedural witness
 //     (caller chain from an unguarded entry point, the spawn or escape

@@ -414,7 +414,7 @@ func litClass(pkg *lint.Package, body *ast.BlockStmt, lit *ast.FuncLit) litKind 
 			}
 			for _, a := range n.Args {
 				if a == lit {
-					if isSectionEntry(pkg, n) || isTryOptimistic(pkg, n) {
+					if isSectionEntry(pkg, n) || isTryOptimistic(pkg, n) || isPolicySection(pkg, n) {
 						kind = litSection
 					} else {
 						kind = litEscapes
@@ -474,6 +474,38 @@ func isSectionEntry(pkg *lint.Package, call *ast.CallExpr) bool {
 	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
 	return fn != nil && fn.Name() == "Atomically" && fn.Pkg() != nil &&
 		strings.HasSuffix(fn.Pkg().Path(), "internal/core")
+}
+
+// isPolicySection: (*resilience.Policy).Run(section) or
+// resilience.HedgedRead(p, pessimistic, optimistic). The resilience
+// layer runs every closure argument inside core.Atomically (HedgedRead
+// additionally wraps its optimistic side in TryOptimistic), so the
+// literal bodies are section-guarded exactly like Atomically arguments.
+// HedgedRead is generic; an explicit instantiation shows up as an
+// IndexExpr around the selector and is unwrapped first.
+func isPolicySection(pkg *lint.Package, call *ast.CallExpr) bool {
+	fun := call.Fun
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = x.X
+	case *ast.IndexListExpr:
+		fun = x.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if selObj, isMethod := pkg.Info.Selections[sel]; isMethod {
+		fn, _ := selObj.Obj().(*types.Func)
+		if fn == nil || fn.Name() != "Run" {
+			return false
+		}
+		n, ok := namedFrom(selObj.Recv(), "internal/resilience")
+		return ok && n == "Policy"
+	}
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return fn != nil && fn.Name() == "HedgedRead" && fn.Pkg() != nil &&
+		strings.HasSuffix(fn.Pkg().Path(), "internal/resilience")
 }
 
 // isTryOptimistic: (*core.Txn).TryOptimistic(fn) — body runs on the
@@ -845,8 +877,10 @@ func (s *scanner) scanCall(call *ast.CallExpr, ctx *guardCtx) {
 	// runs on the enclosing one, but its Observe events never advance
 	// the rank watermark and are discarded before any fallback locks
 	// (core.Txn.TryOptimistic resets optSnaps), so for ordering
-	// purposes the body is an isolated alternative too.
-	if isSectionEntry(s.pkg, call) || isTryOptimistic(s.pkg, call) {
+	// purposes the body is an isolated alternative too. The resilience
+	// layer's Policy.Run and HedgedRead run their closures inside
+	// core.Atomically, each on a fresh transaction, so the same applies.
+	if isSectionEntry(s.pkg, call) || isTryOptimistic(s.pkg, call) || isPolicySection(s.pkg, call) {
 		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 			s.scanExpr(sel.X, ctx)
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/adt"
 	"repro/internal/cc"
 	"repro/internal/core"
+	"repro/internal/resilience"
 	"repro/internal/semadt"
 )
 
@@ -91,4 +92,46 @@ func Compiled(s *store) {
 // Unsafe is suppressed by a directive with a reason.
 func (s *store) Unsafe() core.Value {
 	return s.m.Get(9) //semlockvet:ignore guardedby -- fixture: deliberate unguarded read
+}
+
+// PoliciedPut is guarded: Policy.Run wraps its closure in
+// core.Atomically, so the operations inside are section-guarded.
+func PoliciedPut(pol *resilience.Policy, s *store) error {
+	return pol.Run(func(tx *core.Txn) error {
+		if err := pol.Acquire(tx, s.m.Sem(), core.ModeID(0), s.rank); err != nil {
+			return err
+		}
+		s.m.Put(1, 2)
+		return nil
+	})
+}
+
+// HedgedGet is guarded on both sides: HedgedRead runs the pessimistic
+// closure in its own atomic section and the optimistic closure inside
+// TryOptimistic.
+func HedgedGet(pol *resilience.Policy, s *store) (core.Value, error) {
+	v, _, err := resilience.HedgedRead(pol,
+		func(tx *core.Txn, cancel <-chan struct{}) (core.Value, error) {
+			if err := pol.AcquireCancel(tx, s.m.Sem(), core.ModeID(0), s.rank, cancel); err != nil {
+				return nil, err
+			}
+			return s.m.Get(1), nil
+		},
+		func(tx *core.Txn) (core.Value, bool) {
+			if !tx.Observe(s.m.Sem(), core.ModeID(0), s.rank) {
+				return nil, false
+			}
+			return s.m.Get(1), true
+		})
+	return v, err
+}
+
+// PolicyLikeButNot: a closure handed to an arbitrary higher-order
+// function stays an escape — only the resilience entry points certify
+// their arguments.
+func PolicyLikeButNot(run func(func(tx *core.Txn) error) error, s *store) error {
+	return run(func(tx *core.Txn) error {
+		s.m.Put(3, 4) // want "reachable outside any atomic section"
+		return nil
+	})
 }

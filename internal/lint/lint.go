@@ -34,6 +34,11 @@
 //     asserts it only observes its ADTs (the optimistic-envelope
 //     eligibility property); mutator calls or stores to package-level
 //     state inside such a section break the assertion silently.
+//   - retrypath: a bounded acquisition (LockWithin / AcquireWithin and
+//     their Cancel variants) signals stalls through its error; a
+//     discarded error proceeds without the lock, and an unbounded
+//     `for {}` retry without a resilience budget turns one stall into
+//     a retry storm.
 //
 // Deliberate exceptions — plan transcriptions in internal/modules and
 // internal/apps, and benchmarks of the bare mechanism — carry
@@ -106,7 +111,7 @@ func (d Diagnostic) String() string {
 // analyzers (guardedby, rankorder) live in internal/lint/interproc and
 // run through RunProgram.
 func All() []*Analyzer {
-	return []*Analyzer{PaddedCopy, TxnDiscipline, ModeMask, UnlockPath, AbortPath, Batchable, OccPure}
+	return []*Analyzer{PaddedCopy, TxnDiscipline, ModeMask, UnlockPath, AbortPath, Batchable, OccPure, RetryPath}
 }
 
 // ProgramAnalyzer is one whole-program check: unlike Analyzer it sees

@@ -80,6 +80,7 @@ func TestAnalyzers(t *testing.T) {
 		{"batchable.go", "repro/tdata", Batchable},
 		{"directives.go", "repro/tdata", TxnDiscipline},
 		{"occpure.go", "repro/tdata", OccPure},
+		{"retrypath.go", "repro/tdata", RetryPath},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Name+"/"+tc.file, func(t *testing.T) {
@@ -125,6 +126,14 @@ func TestPathGates(t *testing.T) {
 	abortInCore := loadFixture(t, "repro/internal/core", "abortpath.go")
 	if diags := Run([]*Package{abortInCore}, []*Analyzer{AbortPath}); len(diags) != 0 {
 		t.Errorf("abortpath fired inside internal/core: %v", diags)
+	}
+	retryInCore := loadFixture(t, "repro/internal/core", "retrypath.go")
+	if diags := Run([]*Package{retryInCore}, []*Analyzer{RetryPath}); len(diags) != 0 {
+		t.Errorf("retrypath fired inside internal/core: %v", diags)
+	}
+	retryInResilience := loadFixture(t, "repro/internal/resilience", "retrypath.go")
+	if diags := Run([]*Package{retryInResilience}, []*Analyzer{RetryPath}); len(diags) != 0 {
+		t.Errorf("retrypath fired inside internal/resilience: %v", diags)
 	}
 }
 

@@ -1,0 +1,236 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// BreakerState is the circuit breaker's state-machine position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: traffic flows; every Allow re-checks the trip
+	// conditions against the sliding windows.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is refused with ErrBreakerOpen until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: up to Probes concurrent attempts are admitted as
+	// probes; Probes consecutive successes close the breaker, any
+	// failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a circuit breaker. Zero-valued fields take the
+// defaults documented per field.
+type BreakerConfig struct {
+	// Window / Buckets shape the sliding windows both trip signals are
+	// measured over. Defaults: 1s over 8 buckets.
+	Window  time.Duration
+	Buckets int
+	// TripStallRate is the windowed stall rate (events/sec on the
+	// unified stall feed) at or above which the breaker opens. <= 0
+	// disables rate tripping.
+	TripStallRate float64
+	// TripWaiters is the windowed-max outstanding-waiter count at or
+	// above which the breaker opens. <= 0 disables waiter tripping.
+	TripWaiters int64
+	// Cooldown is how long an open breaker refuses before moving to
+	// half-open. Default 50ms.
+	Cooldown time.Duration
+	// Probes is both the half-open concurrency cap and the consecutive
+	// successes required to close. Default 3.
+	Probes int
+}
+
+// Breaker is a circuit breaker over one policy's traffic, driven by the
+// two windowed signals the runtime already measures: the unified stall
+// feed (RecordStall) and the outstanding-waiter gauge (ObserveWaiters).
+// Admission is Allow; the returned done func reports the attempt's
+// outcome so half-open probes can vote on recovery.
+type Breaker struct {
+	name string
+	cfg  BreakerConfig
+
+	stalls  *telemetry.RateWindow
+	waiters *telemetry.GaugeWindow
+
+	mu       sync.Mutex
+	state    BreakerState
+	openedAt time.Time
+	probing  int // probes in flight while half-open
+	probeOK  int // consecutive probe successes this half-open episode
+
+	statev   atomic.Int32 // mirror of state for lock-free State()
+	tripped  atomic.Uint64
+	rejected atomic.Uint64
+	admitted atomic.Uint64
+	probes   atomic.Uint64
+	reopened atomic.Uint64
+	reclosed atomic.Uint64
+}
+
+// NewBreaker creates a closed breaker named name (the telemetry row
+// key).
+func NewBreaker(name string, cfg BreakerConfig) *Breaker {
+	if cfg.Window <= 0 {
+		cfg.Window = time.Second
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 8
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 50 * time.Millisecond
+	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = 3
+	}
+	return &Breaker{
+		name:    name,
+		cfg:     cfg,
+		stalls:  telemetry.NewRateWindow(cfg.Window, cfg.Buckets),
+		waiters: telemetry.NewGaugeWindow(cfg.Window, cfg.Buckets),
+	}
+}
+
+// RecordStall feeds one stall observation into the breaker's window.
+// Wired to the unified stall feed by the Manager, so timeout-path and
+// watchdog stalls land in the same window by construction.
+func (b *Breaker) RecordStall(core.StallEvent) { b.stalls.Add(1) }
+
+// ObserveWaiters feeds one outstanding-waiter gauge sample.
+func (b *Breaker) ObserveWaiters(n int64) { b.waiters.Observe(n) }
+
+// noopDone is handed to closed-state admissions: their outcome carries
+// no state-machine weight, so sharing one func keeps Allow
+// allocation-free on the common path.
+var noopDone = func(bool) {}
+
+// Allow asks the breaker to admit one attempt. On admission it returns
+// a done func the caller MUST invoke with the attempt's outcome (true =
+// success or non-stall failure, false = stall); on refusal it returns
+// ErrBreakerOpen. Closed-state admissions get a shared no-op done;
+// half-open admissions get a probe callback that votes on recovery.
+func (b *Breaker) Allow() (done func(ok bool), err error) {
+	b.mu.Lock()
+	switch b.state {
+	case BreakerClosed:
+		if b.tripLocked() {
+			b.mu.Unlock()
+			b.rejected.Add(1)
+			return nil, fmt.Errorf("resilience: breaker %s tripped: %w", b.name, ErrBreakerOpen)
+		}
+		b.mu.Unlock()
+		b.admitted.Add(1)
+		return noopDone, nil
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cfg.Cooldown {
+			b.mu.Unlock()
+			b.rejected.Add(1)
+			return nil, fmt.Errorf("resilience: breaker %s cooling down: %w", b.name, ErrBreakerOpen)
+		}
+		b.setStateLocked(BreakerHalfOpen)
+		b.probing, b.probeOK = 0, 0
+		fallthrough
+	default: // BreakerHalfOpen
+		if b.probing >= b.cfg.Probes {
+			b.mu.Unlock()
+			b.rejected.Add(1)
+			return nil, fmt.Errorf("resilience: breaker %s probe quota full: %w", b.name, ErrBreakerOpen)
+		}
+		b.probing++
+		b.mu.Unlock()
+		b.probes.Add(1)
+		b.admitted.Add(1)
+		var once sync.Once
+		return func(ok bool) { once.Do(func() { b.probeDone(ok) }) }, nil
+	}
+}
+
+// tripLocked evaluates the trip conditions. Callers hold mu.
+func (b *Breaker) tripLocked() bool {
+	trip := false
+	if b.cfg.TripStallRate > 0 && b.stalls.Rate() >= b.cfg.TripStallRate {
+		trip = true
+	}
+	if b.cfg.TripWaiters > 0 && b.waiters.Max() >= b.cfg.TripWaiters {
+		trip = true
+	}
+	if trip {
+		b.setStateLocked(BreakerOpen)
+		b.openedAt = time.Now()
+		b.tripped.Add(1)
+	}
+	return trip
+}
+
+// probeDone records a half-open probe's outcome: any failure reopens
+// immediately (restarting the cooldown), Probes consecutive successes
+// close.
+func (b *Breaker) probeDone(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing > 0 {
+		b.probing--
+	}
+	if b.state != BreakerHalfOpen {
+		return // a concurrent probe already decided the episode
+	}
+	if !ok {
+		b.setStateLocked(BreakerOpen)
+		b.openedAt = time.Now()
+		b.probeOK = 0
+		b.reopened.Add(1)
+		return
+	}
+	b.probeOK++
+	if b.probeOK >= b.cfg.Probes {
+		b.setStateLocked(BreakerClosed)
+		b.reclosed.Add(1)
+	}
+}
+
+func (b *Breaker) setStateLocked(s BreakerState) {
+	b.state = s
+	b.statev.Store(int32(s))
+}
+
+// State returns the current state without taking the lock.
+func (b *Breaker) State() BreakerState { return BreakerState(b.statev.Load()) }
+
+// Stats returns the breaker's telemetry row.
+func (b *Breaker) Stats() telemetry.PolicyStats {
+	return telemetry.PolicyStats{
+		Policy: b.name,
+		Kind:   "breaker",
+		State:  b.State().String(),
+		Counters: map[string]uint64{
+			"admitted": b.admitted.Load(),
+			"rejected": b.rejected.Load(),
+			"tripped":  b.tripped.Load(),
+			"probes":   b.probes.Load(),
+			"reopened": b.reopened.Load(),
+			"reclosed": b.reclosed.Load(),
+		},
+		Rates: map[string]float64{
+			"stall_rate":  b.stalls.Rate(),
+			"waiters_max": float64(b.waiters.Max()),
+		},
+	}
+}

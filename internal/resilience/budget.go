@@ -1,0 +1,89 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BudgetConfig tunes a retry budget. The zero value is not useful; use
+// DefaultBudgetConfig as a starting point.
+type BudgetConfig struct {
+	// Capacity is the maximum number of banked retry tokens — the burst
+	// of retries the policy tolerates before refusals start.
+	Capacity float64
+	// RefillPerSec is the sustained retry rate the bucket refills at.
+	RefillPerSec float64
+}
+
+// DefaultBudgetConfig allows a burst of 50 retries refilling at 100/s —
+// generous for a healthy runtime, a hard wall for a retry storm.
+func DefaultBudgetConfig() BudgetConfig {
+	return BudgetConfig{Capacity: 50, RefillPerSec: 100}
+}
+
+// Budget is a token-bucket retry budget shared by every caller of a
+// policy: each retry after a StallError withdraws one token, and an
+// empty bucket turns the retry into an ErrBudgetExhausted failure. The
+// bound is global per policy — N callers stalling together can spend at
+// most the bucket, not N buckets — which is what keeps a contention
+// storm from amplifying itself.
+type Budget struct {
+	mu     sync.Mutex
+	cfg    BudgetConfig
+	tokens float64
+	last   time.Time
+
+	granted atomic.Uint64
+	denied  atomic.Uint64
+}
+
+// NewBudget creates a full bucket.
+func NewBudget(cfg BudgetConfig) *Budget {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultBudgetConfig().Capacity
+	}
+	if cfg.RefillPerSec <= 0 {
+		cfg.RefillPerSec = DefaultBudgetConfig().RefillPerSec
+	}
+	return &Budget{cfg: cfg, tokens: cfg.Capacity, last: time.Now()}
+}
+
+// TryWithdraw takes one retry token if available.
+func (b *Budget) TryWithdraw() bool {
+	now := time.Now()
+	b.mu.Lock()
+	b.tokens += now.Sub(b.last).Seconds() * b.cfg.RefillPerSec
+	if b.tokens > b.cfg.Capacity {
+		b.tokens = b.cfg.Capacity
+	}
+	b.last = now
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	b.mu.Unlock()
+	if ok {
+		b.granted.Add(1)
+	} else {
+		b.denied.Add(1)
+	}
+	return ok
+}
+
+// Tokens returns the current (refilled) token level.
+func (b *Budget) Tokens() float64 {
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.tokens + now.Sub(b.last).Seconds()*b.cfg.RefillPerSec
+	if t > b.cfg.Capacity {
+		t = b.cfg.Capacity
+	}
+	return t
+}
+
+// Counts returns the lifetime granted/denied withdrawal counts.
+func (b *Budget) Counts() (granted, denied uint64) {
+	return b.granted.Load(), b.denied.Load()
+}

@@ -1,0 +1,197 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// GateConfig tunes an admission gate. Zero-valued fields take the
+// defaults documented per field.
+type GateConfig struct {
+	// MaxConcurrent is the in-flight transaction cap while pressured.
+	// Default 4.
+	MaxConcurrent int
+	// QueueDepth bounds the FIFO of transactions waiting for a slot
+	// while pressured; arrivals beyond it are shed immediately.
+	// Default 16.
+	QueueDepth int
+	// QueueTimeout bounds how long a queued transaction waits for a slot
+	// before being shed. Default 1ms.
+	QueueTimeout time.Duration
+	// PressureOn / PressureOff are the outstanding-waiter thresholds the
+	// Manager's control loop applies with hysteresis: pressure turns on
+	// at >= PressureOn and off at <= PressureOff. PressureOn <= 0
+	// disables telemetry-driven pressure (SetPressure may still be
+	// called directly). Default off threshold: PressureOn/2.
+	PressureOn  int64
+	PressureOff int64
+}
+
+// Gate is admission control: unpressured it admits everything for the
+// cost of one mutex acquisition; pressured it caps in-flight
+// transactions, queues a bounded FIFO of waiters, and sheds the rest
+// with ErrShed. Shedding happens before acquisition — a shed
+// transaction holds no locks, so refusing it protects the sections
+// already in flight without adding deadlock or priority-inversion
+// pressure.
+type Gate struct {
+	name string
+	cfg  GateConfig
+
+	mu        sync.Mutex
+	pressured bool
+	inflight  int
+	queue     []*gateWaiter
+
+	admitted  atomic.Uint64
+	queuedN   atomic.Uint64
+	shed      atomic.Uint64
+	qTimeouts atomic.Uint64
+}
+
+// gateWaiter is one queued arrival. admitted is set under mu by the
+// slot hand-off before ch closes, so a waiter whose timer raced the
+// hand-off can tell (under mu) whether the slot is already its own.
+type gateWaiter struct {
+	ch       chan struct{}
+	admitted bool
+}
+
+// NewGate creates an unpressured gate named name.
+func NewGate(name string, cfg GateConfig) *Gate {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = time.Millisecond
+	}
+	if cfg.PressureOff <= 0 {
+		cfg.PressureOff = cfg.PressureOn / 2
+	}
+	return &Gate{name: name, cfg: cfg}
+}
+
+// SetPressure flips the gate's pressure state. Releasing pressure
+// drains the whole queue — every waiter is admitted, because the
+// condition that justified making them wait is gone.
+func (g *Gate) SetPressure(on bool) {
+	g.mu.Lock()
+	was := g.pressured
+	g.pressured = on
+	if was && !on {
+		g.handLocked()
+	}
+	g.mu.Unlock()
+}
+
+// Pressured reports the current pressure state.
+func (g *Gate) Pressured() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.pressured
+}
+
+// Enter asks for admission, blocking in the bounded queue if the gate
+// is pressured and full. nil means admitted — the caller MUST call Exit
+// when its section finishes (success, stall, or panic). ErrShed means
+// refused: the queue was full or the queue wait timed out, and the
+// caller holds nothing.
+func (g *Gate) Enter() error {
+	g.mu.Lock()
+	if !g.pressured || g.inflight < g.cfg.MaxConcurrent {
+		g.inflight++
+		g.mu.Unlock()
+		g.admitted.Add(1)
+		return nil
+	}
+	if len(g.queue) >= g.cfg.QueueDepth {
+		g.mu.Unlock()
+		g.shed.Add(1)
+		return fmt.Errorf("resilience: gate %s queue full (%d): %w", g.name, g.cfg.QueueDepth, ErrShed)
+	}
+	w := &gateWaiter{ch: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.mu.Unlock()
+	g.queuedN.Add(1)
+
+	timer := time.NewTimer(g.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		// Slot handed over: inflight was already incremented for us.
+		g.admitted.Add(1)
+		return nil
+	case <-timer.C:
+		g.mu.Lock()
+		if w.admitted {
+			// The hand-off raced the timer and won; the slot is ours.
+			g.mu.Unlock()
+			g.admitted.Add(1)
+			return nil
+		}
+		for i, q := range g.queue {
+			if q == w {
+				g.queue = append(g.queue[:i], g.queue[i+1:]...)
+				break
+			}
+		}
+		g.mu.Unlock()
+		g.qTimeouts.Add(1)
+		g.shed.Add(1)
+		return fmt.Errorf("resilience: gate %s queue wait exceeded %v: %w", g.name, g.cfg.QueueTimeout, ErrShed)
+	}
+}
+
+// Exit releases an admitted caller's slot, handing it to the queue head
+// if one is waiting.
+func (g *Gate) Exit() {
+	g.mu.Lock()
+	g.inflight--
+	g.handLocked()
+	g.mu.Unlock()
+}
+
+// handLocked admits queued waiters while slots are available (all of
+// them once pressure is off). Callers hold mu.
+func (g *Gate) handLocked() {
+	for len(g.queue) > 0 && (!g.pressured || g.inflight < g.cfg.MaxConcurrent) {
+		w := g.queue[0]
+		g.queue = g.queue[1:]
+		w.admitted = true
+		g.inflight++
+		close(w.ch)
+	}
+}
+
+// Stats returns the gate's telemetry row.
+func (g *Gate) Stats() telemetry.PolicyStats {
+	g.mu.Lock()
+	state := "open"
+	if g.pressured {
+		state = "pressured"
+	}
+	inflight, depth := g.inflight, len(g.queue)
+	g.mu.Unlock()
+	return telemetry.PolicyStats{
+		Policy: g.name,
+		Kind:   "gate",
+		State:  state,
+		Counters: map[string]uint64{
+			"admitted":       g.admitted.Load(),
+			"queued":         g.queuedN.Load(),
+			"shed":           g.shed.Load(),
+			"queue_timeouts": g.qTimeouts.Load(),
+		},
+		Rates: map[string]float64{
+			"inflight":    float64(inflight),
+			"queue_depth": float64(depth),
+		},
+	}
+}

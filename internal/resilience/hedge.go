@@ -1,0 +1,161 @@
+package resilience
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// HedgeOutcome reports which side of a hedged read produced the
+// returned value.
+type HedgeOutcome uint8
+
+const (
+	// HedgePessimistic: the lock-based side won (the hedge never
+	// launched, failed validation, or validated too late).
+	HedgePessimistic HedgeOutcome = iota
+	// HedgeWon: the optimistic hedge validated first; the pessimistic
+	// acquisition was cancelled (or its late result discarded).
+	HedgeWon
+	// HedgeError: neither side produced a value; the returned error is
+	// the pessimistic side's.
+	HedgeError
+)
+
+func (o HedgeOutcome) String() string {
+	switch o {
+	case HedgeWon:
+		return "hedge"
+	case HedgeError:
+		return "error"
+	default:
+		return "pessimistic"
+	}
+}
+
+// winner CAS values: 0 undecided.
+const (
+	hedgeUndecided int32 = iota
+	hedgePessWon
+	hedgeHedgeWon
+)
+
+// HedgedRead races a read-only section's pessimistic execution against
+// a deferred optimistic hedge (a free function because Go methods
+// cannot be generic; the policy supplies budget, patience, and
+// counters).
+//
+// The pessimistic closure runs immediately in its own atomic section,
+// locking via p.AcquireCancel with the supplied cancel channel. If it
+// is still blocked when the policy's HedgeBudget elapses, the
+// optimistic closure launches inside core.Txn.TryOptimistic in a second
+// transaction: Observe-validated reads against the PR 6 version
+// counters, no locks. Whichever side finishes first claims a
+// compare-and-swap; the loser is cancelled cleanly — a winning hedge
+// closes cancel so the parked pessimistic acquisition withdraws with
+// core.ErrCanceled and holds nothing, while a validated-but-late hedge
+// simply discards its snapshot (reads mutate nothing, so "no
+// double-commit" means exactly one side's value is ever returned).
+//
+// Both sides are joined before returning: the pessimistic side runs on
+// the calling goroutine and the hedge's completion is awaited, so a
+// HedgedRead leaks no goroutine regardless of outcome. Stalled attempts
+// (neither side won) retry under the policy's budget like Run.
+//
+// The section must be genuinely read-only: the optimistic closure runs
+// WITHOUT locks and must only Observe and read; the pessimistic closure
+// must tolerate cancellation between its lock calls.
+func HedgedRead[T any](p *Policy,
+	pessimistic func(tx *core.Txn, cancel <-chan struct{}) (T, error),
+	optimistic func(tx *core.Txn) (T, bool),
+) (T, HedgeOutcome, error) {
+	var val T
+	outcome := HedgeError
+	err := p.retryLoop(func() error {
+		v, o, err := hedgeOnce(p, pessimistic, optimistic)
+		val, outcome = v, o
+		return err
+	})
+	return val, outcome, err
+}
+
+type hedgeResult[T any] struct {
+	val T
+	won bool
+}
+
+func hedgeOnce[T any](p *Policy,
+	pessimistic func(tx *core.Txn, cancel <-chan struct{}) (T, error),
+	optimistic func(tx *core.Txn) (T, bool),
+) (T, HedgeOutcome, error) {
+	if p.cfg.HedgeBudget <= 0 {
+		var v T
+		var err error
+		core.Atomically(func(tx *core.Txn) { v, err = pessimistic(tx, nil) })
+		if err != nil {
+			var zero T
+			return zero, HedgeError, err
+		}
+		return v, HedgePessimistic, nil
+	}
+
+	var winner atomic.Int32
+	cancel := make(chan struct{})
+	hedgeDone := make(chan hedgeResult[T], 1)
+	timer := time.AfterFunc(p.cfg.HedgeBudget, func() {
+		p.hedgesLaunched.Add(1)
+		var out hedgeResult[T]
+		core.Atomically(func(tx *core.Txn) {
+			validated := tx.TryOptimistic(func(tx *core.Txn) bool {
+				v, ok := optimistic(tx)
+				if !ok {
+					return false
+				}
+				out.val = v
+				return true
+			})
+			if validated && winner.CompareAndSwap(hedgeUndecided, hedgeHedgeWon) {
+				out.won = true
+				// Revoke the pessimistic side: its parked acquisition
+				// withdraws with ErrCanceled, holding nothing.
+				close(cancel)
+			}
+		})
+		hedgeDone <- out
+	})
+
+	var pval T
+	var perr error
+	core.Atomically(func(tx *core.Txn) { pval, perr = pessimistic(tx, cancel) })
+	if perr == nil {
+		winner.CompareAndSwap(hedgeUndecided, hedgePessWon)
+	}
+
+	// Join the hedge if its timer fired (Stop reports whether it was
+	// stopped before running): the engine never returns with the hedge
+	// goroutine still in flight.
+	var hres hedgeResult[T]
+	launched := !timer.Stop()
+	if launched {
+		hres = <-hedgeDone
+	}
+
+	switch winner.Load() {
+	case hedgeHedgeWon:
+		p.hedgeWins.Add(1)
+		if errors.Is(perr, core.ErrCanceled) {
+			p.hedgeCancels.Add(1)
+		}
+		return hres.val, HedgeWon, nil
+	case hedgePessWon:
+		if launched {
+			p.hedgeLosses.Add(1)
+		}
+		return pval, HedgePessimistic, nil
+	default:
+		var zero T
+		return zero, HedgeError, perr
+	}
+}

@@ -1,0 +1,207 @@
+package resilience_test
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resilience"
+)
+
+// TestHedgedReadPessimisticFast: with no contention the pessimistic
+// side finishes inside the hedge budget, the hedge never launches, and
+// the pessimistic value is returned.
+func TestHedgedReadPessimisticFast(t *testing.T) {
+	tbl, keys := keyedTable(t)
+	s := core.NewSemantic(tbl)
+	km := keys.Mode(1)
+	p := resilience.New("t", resilience.Config{
+		Patience:    10 * time.Millisecond,
+		HedgeBudget: 50 * time.Millisecond,
+	})
+	v, outcome, err := resilience.HedgedRead(p,
+		func(tx *core.Txn, cancel <-chan struct{}) (int, error) {
+			if err := p.AcquireCancel(tx, s, km, 0, cancel); err != nil {
+				return 0, err
+			}
+			return 41, nil
+		},
+		func(tx *core.Txn) (int, bool) {
+			if !tx.Observe(s, km, 0) {
+				return 0, false
+			}
+			return 42, true
+		})
+	if err != nil || outcome != resilience.HedgePessimistic || v != 41 {
+		t.Fatalf("got (%d, %v, %v), want (41, pessimistic, nil)", v, outcome, err)
+	}
+	if err := s.CheckQuiesced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHedgedReadWinsOnStall: a pessimistic acquisition blocked by a
+// live conflicting holder must lose to the optimistic hedge observing
+// an unconflicted instance region, and the canceled pessimistic side
+// must withdraw holding nothing.
+func TestHedgedReadWinsOnStall(t *testing.T) {
+	tbl, keys := keyedTable(t)
+	s := core.NewSemantic(tbl)
+	kmBlocked := keys.Mode(1) // held by the blocker for the whole test
+	kmFree := keys.Mode(2)    // different φ bucket: observably quiet
+	s.Acquire(kmBlocked)
+	before := runtime.NumGoroutine()
+
+	p := resilience.New("t", resilience.Config{
+		Patience:    200 * time.Millisecond,
+		HedgeBudget: time.Millisecond,
+	})
+	start := time.Now()
+	v, outcome, err := resilience.HedgedRead(p,
+		func(tx *core.Txn, cancel <-chan struct{}) (int, error) {
+			if err := p.AcquireCancel(tx, s, kmBlocked, 0, cancel); err != nil {
+				return 0, err
+			}
+			return 1, nil
+		},
+		func(tx *core.Txn) (int, bool) {
+			if !tx.Observe(s, kmFree, 0) {
+				return 0, false
+			}
+			return 2, true
+		})
+	if err != nil || outcome != resilience.HedgeWon || v != 2 {
+		t.Fatalf("got (%d, %v, %v), want (2, hedge, nil)", v, outcome, err)
+	}
+	// The hedge decided the race long before the pessimistic patience.
+	if waited := time.Since(start); waited > 100*time.Millisecond {
+		t.Errorf("hedged read took %v — pessimistic patience leaked into the hedge path", waited)
+	}
+	var wins uint64
+	for _, row := range p.Stats() {
+		if row.Kind == "policy" {
+			wins = row.Counters["hedge_wins"]
+		}
+	}
+	if wins != 1 {
+		t.Errorf("hedge_wins = %d, want 1", wins)
+	}
+	s.Release(kmBlocked)
+	if err := s.CheckQuiesced(); err != nil {
+		t.Fatal(err)
+	}
+	if n := core.WaitersOutstanding(); n != 0 {
+		t.Fatalf("canceled pessimistic side leaked %d waiter(s)", n)
+	}
+	checkGoroutines(t, before)
+}
+
+// TestHedgedReadNoDoubleCommitHammer races hedged readers against a
+// writer that keeps two counters equal inside one locked section. A
+// torn read — from either side of the hedge, or from both sides
+// committing — would observe a != b. Run under -race.
+func TestHedgedReadNoDoubleCommitHammer(t *testing.T) {
+	tbl, keys := keyedTable(t)
+	s := core.NewSemantic(tbl)
+	km := keys.Mode(3)
+	// Guarded by km; written only inside locked sections. Atomics keep
+	// the lock-free optimistic reads visible to the race detector as
+	// synchronized — the torn-pair oracle (a == b in every serial state)
+	// is still enforced purely by the semantic lock and validation.
+	var a, b atomic.Int64
+
+	p := resilience.New("t", resilience.Config{
+		Patience:    5 * time.Millisecond,
+		Retries:     50,
+		Backoff:     resilience.Backoff{Base: 20 * time.Microsecond, Max: 200 * time.Microsecond},
+		Budget:      &resilience.BudgetConfig{Capacity: 1000, RefillPerSec: 100000},
+		HedgeBudget: 100 * time.Microsecond,
+	})
+	before := runtime.NumGoroutine()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = p.Run(func(tx *core.Txn) error {
+				if err := p.Acquire(tx, s, km, 0); err != nil {
+					return err
+				}
+				a.Add(1)
+				time.Sleep(10 * time.Microsecond) // widen the torn window
+				b.Add(1)
+				return nil
+			})
+		}
+	}()
+
+	var reads, hedgeWins atomic.Int64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				type pair struct{ a, b int64 }
+				v, outcome, err := resilience.HedgedRead(p,
+					func(tx *core.Txn, cancel <-chan struct{}) (pair, error) {
+						if err := p.AcquireCancel(tx, s, km, 0, cancel); err != nil {
+							return pair{}, err
+						}
+						return pair{a.Load(), b.Load()}, nil
+					},
+					func(tx *core.Txn) (pair, bool) {
+						if !tx.Observe(s, km, 0) {
+							return pair{}, false
+						}
+						return pair{a.Load(), b.Load()}, true
+					})
+				if err != nil {
+					if !resilience.Retryable(err) && !errors.Is(err, resilience.ErrBudgetExhausted) {
+						t.Errorf("unexpected read error: %v", err)
+						return
+					}
+					continue
+				}
+				if v.a != v.b {
+					t.Errorf("torn read: a=%d b=%d (outcome %v)", v.a, v.b, outcome)
+					return
+				}
+				reads.Add(1)
+				if outcome == resilience.HedgeWon {
+					hedgeWins.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if reads.Load() == 0 {
+		t.Fatal("hammer completed no reads")
+	}
+	t.Logf("reads=%d hedgeWins=%d a=%d", reads.Load(), hedgeWins.Load(), a.Load())
+	if err := s.CheckQuiesced(); err != nil {
+		t.Fatal(err)
+	}
+	if n := core.WaitersOutstanding(); n != 0 {
+		t.Fatalf("leaked %d waiter(s)", n)
+	}
+	checkGoroutines(t, before)
+}

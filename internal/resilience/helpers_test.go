@@ -1,0 +1,41 @@
+package resilience_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/adtspecs"
+	"repro/internal/core"
+)
+
+// keyedTable builds the standard keyed-map table used across the
+// runtime's tests: a key set (get/put/remove on one key — modes on the
+// same φ bucket self-conflict, modes on different buckets commute) plus
+// a size set.
+func keyedTable(t *testing.T) (*core.ModeTable, core.SetRef) {
+	t.Helper()
+	keySet := core.SymSetOf(
+		core.SymOpOf("get", core.VarArg("k")),
+		core.SymOpOf("put", core.VarArg("k"), core.Star()),
+		core.SymOpOf("remove", core.VarArg("k")))
+	tbl := core.NewModeTable(adtspecs.Map(), []core.SymSet{keySet},
+		core.TableOptions{Phi: core.NewPhi(8)})
+	return tbl, tbl.Set(keySet)
+}
+
+// checkGoroutines fails the test if the goroutine count has not settled
+// back to the baseline (small slack for runtime background goroutines).
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d, baseline %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -54,17 +54,32 @@ type GroupStats struct {
 	OptimisticRetries uint64 `json:"optimistic_retries"`
 }
 
+// PolicyStats is one resilience-policy component's state at snapshot
+// time: a breaker's state machine position, a retry budget's token
+// level, a gate's queue depth, a hedge engine's win/loss split. The
+// shape is deliberately generic (string state + counter/rate maps) so
+// telemetry does not import the resilience package; sources register
+// the concrete values via RegisterPolicySource.
+type PolicyStats struct {
+	Policy   string             `json:"policy"`
+	Kind     string             `json:"kind"`            // "breaker" | "budget" | "gate" | "hedge"
+	State    string             `json:"state,omitempty"` // state-machine position, when the kind has one
+	Counters map[string]uint64  `json:"counters,omitempty"`
+	Rates    map[string]float64 `json:"rates,omitempty"`
+}
+
 // Snapshot is one atomic-per-counter view of the runtime: per-group
 // aggregates plus the process-wide counters (parked-waiter population,
-// panics recovered by section epilogues, section aborts). Counters are
-// loaded individually without stopping the world, so a snapshot taken
-// mid-workload is internally consistent per counter, not across
-// counters.
+// panics recovered by section epilogues, section aborts) and any
+// registered resilience-policy state. Counters are loaded individually
+// without stopping the world, so a snapshot taken mid-workload is
+// internally consistent per counter, not across counters.
 type Snapshot struct {
-	Groups                 []GroupStats `json:"groups"`
-	WaitersOutstanding     int64        `json:"waiters_outstanding"`
-	SectionPanicsRecovered uint64       `json:"section_panics_recovered"`
-	SectionAborts          uint64       `json:"section_aborts"`
+	Groups                 []GroupStats  `json:"groups"`
+	Policies               []PolicyStats `json:"policies,omitempty"`
+	WaitersOutstanding     int64         `json:"waiters_outstanding"`
+	SectionPanicsRecovered uint64        `json:"section_panics_recovered"`
+	SectionAborts          uint64        `json:"section_aborts"`
 }
 
 // group is one registered instance collection. Exactly one of sems and
@@ -76,13 +91,20 @@ type group struct {
 	provider func() []*core.Semantic
 }
 
+// policySource is one registered resilience-policy state provider.
+type policySource struct {
+	name string
+	fn   func() []PolicyStats
+}
+
 // Registry maps application-level groups of Semantic instances to
 // snapshot rows. Registration is cheap (it records the instance
 // pointers, nothing more); all cost is on the snapshot reader.
 // A Registry is safe for concurrent use.
 type Registry struct {
-	mu     sync.Mutex
-	groups []*group
+	mu       sync.Mutex
+	groups   []*group
+	policies []policySource
 }
 
 // NewRegistry returns an empty registry.
@@ -114,6 +136,33 @@ func (r *Registry) RegisterProvider(groupName, class string, provider func() []*
 	r.mu.Unlock()
 }
 
+// RegisterPolicySource adds a resilience-policy state provider under
+// name: every snapshot calls fn and appends its rows to
+// Snapshot.Policies. Like instance providers, fn runs on the snapshot
+// reader's goroutine and must be internally synchronized.
+func (r *Registry) RegisterPolicySource(name string, fn func() []PolicyStats) {
+	r.mu.Lock()
+	r.policies = append(r.policies, policySource{name: name, fn: fn})
+	r.mu.Unlock()
+}
+
+// UnregisterPolicySource removes every policy source registered under
+// name.
+func (r *Registry) UnregisterPolicySource(name string) {
+	r.mu.Lock()
+	kept := r.policies[:0]
+	for _, p := range r.policies {
+		if p.name != name {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(r.policies); i++ {
+		r.policies[i] = policySource{}
+	}
+	r.policies = kept
+	r.mu.Unlock()
+}
+
 // Unregister removes every group registered under groupName.
 func (r *Registry) Unregister(groupName string) {
 	r.mu.Lock()
@@ -136,6 +185,7 @@ func (r *Registry) Unregister(groupName string) {
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	groups := append([]*group(nil), r.groups...)
+	policies := append([]policySource(nil), r.policies...)
 	r.mu.Unlock()
 
 	type key struct{ group, class string }
@@ -184,6 +234,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, k := range order {
 		out.Groups = append(out.Groups, *rows[k])
+	}
+	for _, p := range policies {
+		out.Policies = append(out.Policies, p.fn()...)
 	}
 	return out
 }
