@@ -22,6 +22,10 @@
 //	                           (real execution; writes BENCH_optimistic.json)
 //	benchall -exp resilience # graceful degradation under slow-hold injection
 //	                           (real execution; writes BENCH_resilience.json)
+//	benchall -exp net        # gossipd over TCP: connection sweep with
+//	                           p50/p95/p99 latency and the in-process ratio
+//	                           (real execution; writes BENCH_net.json)
+//	benchall -exp net -netconns 16 -netdur 100ms   # short CI smoke cell
 //	benchall -real           # include real-execution measurements
 //	benchall -scale 50000    # simulated transactions per thread
 package main
@@ -42,10 +46,12 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|hotpath|chaos|telemetry|optimistic|resilience|stats|all")
+		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|hotpath|chaos|telemetry|optimistic|resilience|net|stats|all")
 	scale := flag.Int("scale", 20000, "simulated transactions per thread")
 	real := flag.Bool("real", false, "also run real-execution measurements on this host")
 	realOps := flag.Int("realops", 30000, "real-execution operations per thread")
+	netConns := flag.String("netconns", "", "for -exp net: comma-separated connection sweep (default 64,256,1024,4096)")
+	netDur := flag.Duration("netdur", 0, "for -exp net: per-cell measurement window (default 400ms)")
 	flag.Parse()
 
 	cfg := bench.SimConfig{TxnsPerThread: *scale, Seed: 1}
@@ -143,6 +149,37 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_resilience.json")
+		ran = true
+	}
+	// The net experiment serves the router over real TCP sockets and
+	// sweeps client connection counts — real execution only.
+	if *exp == "net" {
+		ncfg := bench.NetConfig{Duration: *netDur}
+		if *netConns != "" {
+			for _, f := range strings.Split(*netConns, ",") {
+				var n int
+				if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n <= 0 {
+					fmt.Fprintf(os.Stderr, "benchall: bad -netconns entry %q\n", f)
+					os.Exit(2)
+				}
+				ncfg.Conns = append(ncfg.Conns, n)
+			}
+		}
+		rep, err := bench.NetBench(ncfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: net experiment: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Format())
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile("BENCH_net.json", append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: writing BENCH_net.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_net.json")
 		ran = true
 	}
 	// The chaos experiment injects real panics and delays into real

@@ -4,8 +4,8 @@
 //
 // The expected schema is selected by filename: BENCH_lockmech.json,
 // BENCH_hotpath.json, BENCH_chaos.json, BENCH_telemetry.json,
-// BENCH_optimistic.json and BENCH_resilience.json each have a required
-// set of top-level fields
+// BENCH_optimistic.json, BENCH_resilience.json and BENCH_net.json each
+// have a required set of top-level fields
 // (which must be present and non-empty) and required criteria keys
 // (which must be present and finite). Unknown BENCH_ filenames are an
 // error — a new experiment must register its schema here.
@@ -101,6 +101,34 @@ var schemas = map[string]schema{
 			"quiesce_failures",
 		},
 	},
+	"net": {
+		fields: []string{"gomaxprocs", "cell_seconds", "points", "inproc_baseline",
+			"net_over_inproc_ratio", "criteria"},
+		criteria: []string{
+			"steady_frame_allocs_per_op",
+			"leaked_conns_total",
+			"leaked_locks_total",
+			"leaked_waiters_total",
+			"quiesce_failures",
+			"drain_failures",
+			"max_conns_swept",
+			"net_over_inproc_at_read50",
+		},
+	},
+}
+
+// netStrictZero are the net criteria enforced unconditionally: a
+// nonzero steady-state allocation count or any leaked resource is a
+// regression of the wire path's core claims, never a host-speed matter.
+// The sweep floor (max_conns_swept) is informational so a short CI
+// smoke cell still validates.
+var netStrictZero = []string{
+	"steady_frame_allocs_per_op",
+	"leaked_conns_total",
+	"leaked_locks_total",
+	"leaked_waiters_total",
+	"quiesce_failures",
+	"drain_failures",
 }
 
 // chaosStrictZero are the chaos criteria that must be exactly zero for
@@ -151,7 +179,7 @@ func checkFile(path string, chaosStrict bool) []error {
 	kind := kindOf(path)
 	sch, ok := schemas[kind]
 	if !ok {
-		return []error{fmt.Errorf("unknown report kind %q (expected BENCH_<lockmech|hotpath|chaos|telemetry|optimistic|resilience>.json)", kind)}
+		return []error{fmt.Errorf("unknown report kind %q (expected BENCH_<lockmech|hotpath|chaos|telemetry|optimistic|resilience|net>.json)", kind)}
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -205,6 +233,14 @@ func checkFile(path string, chaosStrict bool) []error {
 	if kind == "optimistic" {
 		if v, present := criteria["torn_scans"]; present && v != 0 {
 			errs = append(errs, fmt.Errorf("criterion torn_scans = %v, want 0", v))
+		}
+	}
+
+	if kind == "net" {
+		for _, k := range netStrictZero {
+			if v, present := criteria[k]; present && v != 0 {
+				errs = append(errs, fmt.Errorf("criterion %q = %v, want 0", k, v))
+			}
 		}
 	}
 

@@ -26,6 +26,18 @@
 //	gossipd -policy ours -debug-addr localhost:6060
 //	gossipd -policy ours -resilience                  # policied router
 //	gossipd -policy ours -resilience -patience 300us -retries 3 -hedge-budget 150us
+//	gossipd -listen :7946                             # serve the wire protocol
+//	gossipd -listen :7946 -resilience -debug-addr localhost:6060
+//
+// -listen switches gossipd from the self-contained MPerf workload to a
+// network daemon: the ours router served over the TCP wire protocol of
+// internal/net/wire (drive it with gossipload -addr). SIGINT/SIGTERM
+// drains exactly like the workload mode — stop accepting, finish
+// in-flight sections, flush responses, audit for leaked connections and
+// holds. With -debug-addr, /debug/semlock additionally carries the
+// per-connection and per-frame-type counters ("net" rows); with
+// -resilience, requests run admission-gated and refusals go back to
+// clients as wire-level error frames.
 //
 // -resilience wraps the ours router in the resilience layer: every
 // route becomes a budgeted bounded-patience section behind a circuit
@@ -49,6 +61,7 @@ import (
 	"repro/internal/apps/gossip"
 	"repro/internal/core"
 	"repro/internal/modules/plan"
+	"repro/internal/net/server"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 )
@@ -68,6 +81,7 @@ func main() {
 	patience := flag.Duration("patience", 500*time.Microsecond, "with -resilience: per-acquisition patience bound")
 	retries := flag.Int("retries", 2, "with -resilience: budgeted retry attempts per stalled section")
 	hedgeBudget := flag.Duration("hedge-budget", 200*time.Microsecond, "with -resilience: pessimistic latency before a lookup hedges optimistically")
+	listen := flag.String("listen", "", "serve the wire protocol on this TCP address (e.g. :7946) instead of running the MPerf workload")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -90,6 +104,11 @@ func main() {
 			}
 		}()
 		fmt.Printf("gossipd: debug endpoints on http://%s/debug/{vars,semlock,pprof/}\n", *debugAddr)
+	}
+
+	if *listen != "" {
+		serveListen(*listen, *sendCost, *resil, *debugAddr != "", *patience, *retries, *hedgeBudget)
+		return
 	}
 
 	cfg := gossip.MPerfConfig{
@@ -221,5 +240,76 @@ func main() {
 			}
 			return
 		}
+	}
+}
+
+// serveListen is the -listen daemon mode: the ours router behind the
+// TCP wire protocol, with the same drain discipline and leak audit as
+// the workload mode.
+func serveListen(addr string, sendCost int, resil, debug bool, patience time.Duration, retries int, hedgeBudget time.Duration) {
+	waiters0 := core.WaitersOutstanding()
+	cfg := server.Config{Addr: addr, SendCost: sendCost}
+	var mgr *resilience.Manager
+	if resil {
+		rp := resilience.New("gossipd-net", resilience.Config{
+			Patience:    patience,
+			Retries:     retries,
+			Backoff:     resilience.Backoff{Base: 50 * time.Microsecond, Max: time.Millisecond},
+			HedgeBudget: hedgeBudget,
+			Budget:      &resilience.BudgetConfig{Capacity: 10000, RefillPerSec: 1e5},
+			Breaker:     &resilience.BreakerConfig{TripStallRate: 1000, Cooldown: time.Millisecond, Probes: 3},
+			Gate:        &resilience.GateConfig{MaxConcurrent: 64, QueueDepth: 256, QueueTimeout: time.Millisecond, PressureOn: 16, PressureOff: 4},
+		})
+		cfg.Policy = rp
+		var reg *telemetry.Registry
+		if debug {
+			reg = telemetry.Default
+		}
+		mgr = resilience.NewManager(reg, time.Millisecond)
+		mgr.Add(rp)
+		mgr.Start()
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gossipd: listen: %v\n", err)
+		os.Exit(1)
+	}
+	if debug {
+		telemetry.Default.RegisterProvider("gossipd-net", "Map", s.Router().Sems)
+		telemetry.Default.RegisterNetSource("gossipd-net", s.NetStats)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve() }()
+	fmt.Printf("gossipd: serving the wire protocol on %s (resilience %v)\n", s.Addr(), resil)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "gossipd: accept loop: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Printf("gossipd: %v: stopped accepting, draining %d connection(s) (deadline %v)\n",
+			sig, s.ActiveConns(), drainDeadline)
+	}
+	if err := s.Shutdown(drainDeadline); err != nil {
+		fmt.Fprintf(os.Stderr, "gossipd: %v\n", err)
+		os.Exit(1)
+	}
+	if mgr != nil {
+		mgr.Stop()
+	}
+
+	leaked := int64(0)
+	for _, sem := range s.Router().Sems() {
+		leaked += sem.OutstandingHolds()
+	}
+	leakedWaiters := core.WaitersOutstanding() - waiters0
+	st := s.NetStats()[0]
+	fmt.Printf("gossipd: drained cleanly — %d conns served, %d frames in / %d out, leaked conns: %d, leaked locks: %d, leaked waiters: %d\n",
+		st.Conns["accepted"], st.Frames["in.total"], st.Frames["out.total"],
+		s.ActiveConns(), leaked, leakedWaiters)
+	if s.ActiveConns() != 0 || leaked != 0 || leakedWaiters != 0 {
+		os.Exit(1)
 	}
 }

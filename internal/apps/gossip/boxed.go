@@ -1,0 +1,193 @@
+// Boxed-key entry points for the networked wire path.
+//
+// Converting a Go string to the runtime's Value (an interface) heap-
+// allocates a string header at every call site, which is where all four
+// steady-state allocations of the string-keyed router methods come
+// from. The TCP server interns each group/member name it decodes into a
+// pre-boxed core.Value once per connection, so the V variants below —
+// the same fused sections, taking already-boxed keys — run the whole
+// decode→route→respond path without allocating.
+//
+// The V variants are the fused-prologue forms (interned mode selectors,
+// transaction memo); semantically they are identical to the string
+// methods, and TestBoxedEquivalence pins that.
+
+package gossip
+
+import (
+	"repro/internal/adt"
+	"repro/internal/core"
+)
+
+// RegisterV is Register with pre-boxed keys.
+func (o *Ours) RegisterV(group, member core.Value, conn *Conn) {
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, tx.CachedMode1(o.regGroupsRef, group), o.groupsRank)
+		var mm *memberMap
+		if v := o.groups.Get(group); v != nil {
+			mm = v.(*memberMap)
+		} else {
+			mm = &memberMap{m: adt.NewHashMap(), sem: core.NewSemantic(o.memTable)}
+			o.groups.Put(group, mm)
+		}
+		tx.Lock(mm.sem, o.regMem2(member, conn), o.memRank)
+		o.fault("register")
+		mm.m.Put(member, conn)
+	})
+}
+
+// UnregisterV is Unregister with pre-boxed keys.
+func (o *Ours) UnregisterV(group, member core.Value) {
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, tx.CachedMode1(o.unregGRef, group), o.groupsRank)
+		if v := o.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			tx.Lock(mm.sem, tx.CachedMode1(o.unregMemRef, member), o.memRank)
+			o.fault("unregister")
+			mm.m.Remove(member)
+		}
+	})
+}
+
+// UnicastV is Unicast with pre-boxed keys.
+func (o *Ours) UnicastV(group, dst core.Value, payload []byte) {
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, tx.CachedMode1(o.uniGRef, group), o.groupsRank)
+		if v := o.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			tx.Lock(mm.sem, tx.CachedMode1(o.uniMemRef, dst), o.memRank)
+			o.fault("unicast")
+			if c := mm.m.Get(dst); c != nil {
+				c.(*Conn).Send(payload) // I/O inside the section
+			}
+		}
+	})
+}
+
+// MulticastV is Multicast with a pre-boxed key.
+func (o *Ours) MulticastV(group core.Value, payload []byte) {
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(o.groupsSem, tx.CachedMode1(o.mcGRef, group), o.groupsRank)
+		if v := o.groups.Get(group); v != nil {
+			mm := v.(*memberMap)
+			tx.Lock(mm.sem, o.mcMemMode, o.memRank)
+			o.fault("multicast")
+			for _, c := range mm.m.Values() {
+				c.(*Conn).Send(payload) // I/O inside the section
+			}
+		}
+	})
+}
+
+// LookupV is Lookup with pre-boxed keys: optimistic first, pessimistic
+// fallback, same as the string form.
+func (o *Ours) LookupV(group, member core.Value) bool {
+	var found bool
+	core.Atomically(func(tx *core.Txn) {
+		if tx.TryOptimistic(func(tx *core.Txn) bool {
+			if !tx.Observe(o.groupsSem, tx.CachedMode1(o.uniGRef, group), o.groupsRank) {
+				return false
+			}
+			found = false
+			if v := o.groups.Get(group); v != nil {
+				mm := v.(*memberMap)
+				if !tx.Observe(mm.sem, tx.CachedMode1(o.uniMemRef, member), o.memRank) {
+					return false
+				}
+				found = mm.m.Get(member) != nil
+			}
+			return true
+		}) {
+			return
+		}
+		found = o.lookupLockedV(tx, group, member)
+	})
+	return found
+}
+
+func (o *Ours) lookupLockedV(tx *core.Txn, group, member core.Value) bool {
+	tx.Lock(o.groupsSem, tx.CachedMode1(o.uniGRef, group), o.groupsRank)
+	if v := o.groups.Get(group); v != nil {
+		mm := v.(*memberMap)
+		tx.Lock(mm.sem, tx.CachedMode1(o.uniMemRef, member), o.memRank)
+		return mm.m.Get(member) != nil
+	}
+	return false
+}
+
+// SendReq is one unicast inside a batched prologue: a run of adjacent
+// unicast frames pipelined on one server connection.
+type SendReq struct {
+	Group, Dst core.Value
+	Payload    []byte
+}
+
+// BatchScratch holds the reusable slices of UnicastBatchV so a steady
+// connection batches without allocating. The zero value is ready; one
+// scratch belongs to one connection goroutine at a time.
+type BatchScratch struct {
+	outer []core.BatchLock
+	inner []core.BatchLock
+	mms   []*memberMap
+}
+
+// UnicastBatchV routes a run of unicasts as ONE atomic section whose
+// prologue is fused: every outer-map mode is acquired in a single
+// LockBatch (one AcquireBatch pass over the groups mechanism, one
+// union-mask waiter on conflict), then — the member maps now resolvable
+// under the outer locks — every inner-map mode in a second LockBatch,
+// then the sends. This is the PR 4 fused-prologue path fed by the
+// network: adjacent requests on a connection take the place of adjacent
+// lock statements in a synthesized section.
+//
+// Coarsening k sections into one is always serializable (the batch is a
+// legal single transaction over the union of the footprints; unicast
+// modes are observers of both maps plus thread-local I/O, so batching
+// cannot even widen a conflict), and the two LockBatch calls ascend the
+// certificate's rank order — groups before members — exactly like the
+// sequential prologues they replace.
+func (o *Ours) UnicastBatchV(reqs []SendReq, sc *BatchScratch) {
+	if len(reqs) == 1 {
+		o.UnicastV(reqs[0].Group, reqs[0].Dst, reqs[0].Payload)
+		return
+	}
+	core.Atomically(func(tx *core.Txn) {
+		o.unicastBatchLocked(tx, reqs, sc)
+	})
+}
+
+// unicastBatchLocked is the batch body, shared with the policied form.
+func (o *Ours) unicastBatchLocked(tx *core.Txn, reqs []SendReq, sc *BatchScratch) {
+	sc.outer = sc.outer[:0]
+	for i := range reqs {
+		sc.outer = append(sc.outer, core.BatchLock{
+			Sem: o.groupsSem, Mode: o.uniGRef.Mode1(reqs[i].Group), Rank: o.groupsRank,
+		})
+	}
+	tx.LockBatch(sc.outer...)
+	sc.inner = sc.inner[:0]
+	sc.mms = sc.mms[:0]
+	for i := range reqs {
+		var mm *memberMap
+		if v := o.groups.Get(reqs[i].Group); v != nil {
+			mm = v.(*memberMap)
+		}
+		sc.mms = append(sc.mms, mm)
+		if mm != nil {
+			sc.inner = append(sc.inner, core.BatchLock{
+				Sem: mm.sem, Mode: o.uniMemRef.Mode1(reqs[i].Dst), Rank: o.memRank,
+			})
+		}
+	}
+	if len(sc.inner) > 0 {
+		tx.LockBatch(sc.inner...)
+	}
+	for i := range reqs {
+		if mm := sc.mms[i]; mm != nil {
+			o.fault("unicast")
+			if c := mm.m.Get(reqs[i].Dst); c != nil {
+				c.(*Conn).Send(reqs[i].Payload) // I/O inside the section
+			}
+		}
+	}
+}

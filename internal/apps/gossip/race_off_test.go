@@ -1,0 +1,5 @@
+//go:build !race
+
+package gossip
+
+const raceEnabled = false

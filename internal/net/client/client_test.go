@@ -1,0 +1,132 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/net/client"
+	"repro/internal/net/server"
+)
+
+func startServer(t *testing.T, cfg server.Config) *server.Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	go s.Serve()
+	t.Cleanup(func() { s.Shutdown(5 * time.Second) })
+	return s
+}
+
+// TestClientRoundTrip: every RPC against a live server, including the
+// pipelined window.
+func TestClientRoundTrip(t *testing.T) {
+	s := startServer(t, server.Config{})
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Register("g", "m"); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if found, err := c.Lookup("g", "m"); err != nil || !found {
+		t.Fatalf("lookup = %v, %v; want true", found, err)
+	}
+	if found, err := c.Lookup("g", "nope"); err != nil || found {
+		t.Fatalf("absent lookup = %v, %v; want false", found, err)
+	}
+	if err := c.Unicast("g", "m", []byte("one")); err != nil {
+		t.Fatalf("unicast: %v", err)
+	}
+	if err := c.Multicast("g", []byte("all")); err != nil {
+		t.Fatalf("multicast: %v", err)
+	}
+	ok, shed, err := c.UnicastWindow("g", "m", []byte("w"), 8)
+	if err != nil || ok != 8 || shed != 0 {
+		t.Fatalf("window = %d ok, %d shed, %v; want 8, 0, nil", ok, shed, err)
+	}
+	if got := s.Sink("g", "m").Frames.Load(); got != 10 {
+		t.Errorf("delivered frames = %d, want 10", got)
+	}
+	if err := c.Unregister("g", "m"); err != nil {
+		t.Fatalf("unregister: %v", err)
+	}
+	if found, _ := c.Lookup("g", "m"); found {
+		t.Fatal("member present after unregister")
+	}
+}
+
+// TestHistQuantiles: the log-bucket histogram answers quantiles within
+// its documented 2× bucket error.
+func TestHistQuantiles(t *testing.T) {
+	var h client.Hist
+	// 90 samples near 1µs, 9 near 100µs, 1 near 10ms.
+	for i := 0; i < 90; i++ {
+		h.Record(time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Record(100 * time.Microsecond)
+	}
+	h.Record(10 * time.Millisecond)
+
+	if got := h.Quantile(0.5); got < 500*time.Nanosecond || got > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want ≈1µs", got)
+	}
+	if got := h.Quantile(0.95); got < 50*time.Microsecond || got > 200*time.Microsecond {
+		t.Errorf("p95 = %v, want ≈100µs", got)
+	}
+	if got := h.Quantile(0.999); got < 5*time.Millisecond || got > 20*time.Millisecond {
+		t.Errorf("p99.9 = %v, want ≈10ms", got)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+
+	var other client.Hist
+	other.Record(time.Microsecond)
+	other.Merge(&h)
+	if other.Count() != 101 {
+		t.Errorf("merged count = %d", other.Count())
+	}
+}
+
+// TestRunLoadSmoke: a short closed-loop cell completes with work done,
+// zero hard errors, and a populated histogram; the server drains clean
+// afterwards.
+func TestRunLoadSmoke(t *testing.T) {
+	s := startServer(t, server.Config{})
+	res, err := client.RunLoad(client.LoadConfig{
+		Addr:     s.Addr().String(),
+		Conns:    4,
+		Duration: 80 * time.Millisecond,
+		ReadFrac: 0.5,
+		Pipeline: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("hard errors: %d", res.Errors)
+	}
+	if res.Hist.Count() == 0 || res.Hist.Quantile(0.99) == 0 {
+		t.Fatalf("histogram empty: count=%d", res.Hist.Count())
+	}
+	if res.OpsPerSec() <= 0 {
+		t.Fatalf("ops/sec = %v", res.OpsPerSec())
+	}
+	if err := s.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown after load: %v", err)
+	}
+	if n := s.ActiveConns(); n != 0 {
+		t.Fatalf("leaked connections: %d", n)
+	}
+}

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/net/wire"
+)
+
+// TestServerFramePathAllocs is the tentpole's 0 allocs/op pin: the
+// steady-state decode→handle→encode path, run through the Exerciser
+// (the identical code the reader goroutines execute, minus the socket
+// syscalls, which allocate nothing either). Registration is membership
+// churn and exempt; lookup, unicast, and the fused batch path must be
+// allocation-free once the connection's buffers and intern table are
+// warm.
+func TestServerFramePathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation heap-allocates stack closures; the 0 allocs/op pin holds on the normal build")
+	}
+	s, err := New(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(time.Second)
+
+	e := s.Exerciser()
+	body := func(f []byte, err error) []byte {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f[wire.HeaderLen:] // Append* emit header+body; Handle takes the body
+	}
+	reg := body(wire.AppendRegister(nil, "g", "m"))
+	look := body(wire.AppendLookup(nil, "g", "m"))
+	uni := body(wire.AppendUnicast(nil, "g", "m", []byte("payload")))
+
+	resp := make([]byte, 0, 1<<10)
+	if resp, err = e.Handle(reg, resp); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := testing.AllocsPerRun(2000, func() {
+		resp, _ = e.Handle(look, resp[:0])
+	}); n != 0 {
+		t.Errorf("lookup frame path allocs/op = %v, want 0", n)
+	}
+	if n := testing.AllocsPerRun(2000, func() {
+		resp, _ = e.Handle(uni, resp[:0])
+	}); n != 0 {
+		t.Errorf("unicast frame path allocs/op = %v, want 0", n)
+	}
+
+	// The fused pipeline path: a batch of adjacent unicasts through
+	// HandleBatch (parse → intern → UnicastBatchV → encode).
+	batch := [][]byte{uni, uni, uni, uni, uni, uni, uni, uni}
+	if resp, err = e.HandleBatch(batch, resp[:0]); err != nil {
+		t.Fatal(err) // warm the LockBatch scratch
+	}
+	if n := testing.AllocsPerRun(2000, func() {
+		resp, _ = e.HandleBatch(batch, resp[:0])
+	}); n != 0 {
+		t.Errorf("batched unicast frame path allocs/op = %v, want 0", n)
+	}
+}

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// seedBodies returns valid request/response bodies used as fuzz seeds
+// (alongside the committed corpus under testdata/fuzz).
+func seedBodies(t interface{ Fatal(...any) }) [][]byte {
+	var out [][]byte
+	add := func(frame []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, frame[HeaderLen:])
+	}
+	add(AppendRegister(nil, "g", "m"))
+	add(AppendUnregister(nil, "group", "member"))
+	add(AppendLookup(nil, "g", "m"))
+	add(AppendUnicast(nil, "g", "dst", []byte("payload")))
+	add(AppendMulticast(nil, "g", nil))
+	out = append(out, AppendOK(nil)[HeaderLen:])
+	out = append(out, AppendBool(nil, true)[HeaderLen:])
+	out = append(out, AppendErr(nil, CodeStall)[HeaderLen:])
+	return out
+}
+
+// FuzzParseReq: any byte string either parses into a request whose
+// re-encoding round-trips, or errors — it must never panic, and the
+// parsed slices must stay inside the input body.
+func FuzzParseReq(f *testing.F) {
+	for _, b := range seedBodies(f) {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindLookup), 10, 'g'})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := ParseReq(body)
+		if err != nil {
+			return
+		}
+		// Re-encode and re-parse: the codec must agree with itself.
+		var frame []byte
+		switch req.Kind {
+		case KindRegister:
+			frame, err = AppendRegister(nil, string(req.Group), string(req.A))
+		case KindUnregister:
+			frame, err = AppendUnregister(nil, string(req.Group), string(req.A))
+		case KindLookup:
+			frame, err = AppendLookup(nil, string(req.Group), string(req.A))
+		case KindUnicast:
+			frame, err = AppendUnicast(nil, string(req.Group), string(req.A), req.Payload)
+		case KindMulticast:
+			frame, err = AppendMulticast(nil, string(req.Group), req.Payload)
+		default:
+			t.Fatalf("parse accepted unknown kind %v", req.Kind)
+		}
+		if err != nil {
+			t.Fatalf("accepted request failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(frame[HeaderLen:], body) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", body, frame[HeaderLen:])
+		}
+	})
+}
+
+// FuzzParseResp: same contract for the response parser.
+func FuzzParseResp(f *testing.F) {
+	for _, b := range seedBodies(f) {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := ParseResp(body)
+		if err != nil {
+			return
+		}
+		var frame []byte
+		switch resp.Kind {
+		case KindOK:
+			frame = AppendOK(nil)
+		case KindBool:
+			frame = AppendBool(nil, resp.Bool)
+		case KindErr:
+			frame = AppendErr(nil, resp.Code)
+		default:
+			t.Fatalf("parse accepted unknown kind %v", resp.Kind)
+		}
+		if !bytes.Equal(frame[HeaderLen:], body) {
+			t.Fatalf("re-encode mismatch:\n in %x\nout %x", body, frame[HeaderLen:])
+		}
+	})
+}
+
+// FuzzReadFrame: arbitrary streams never panic the framer, and
+// whatever it accepts respects the size cap.
+func FuzzReadFrame(f *testing.F) {
+	for _, b := range seedBodies(f) {
+		f.Add(AppendFrame(nil, b))
+	}
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		var buf []byte
+		for {
+			var body []byte
+			var err error
+			body, buf, err = ReadFrame(r, buf, 4096)
+			if err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF || err == ErrFrameTooLarge {
+					return
+				}
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if len(body) > 4096 {
+				t.Fatalf("accepted %d-byte body past the 4096 cap", len(body))
+			}
+			_, _ = ParseReq(body) // must not panic
+		}
+	})
+}

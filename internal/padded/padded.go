@@ -35,6 +35,21 @@ func (p *Int32) Add(delta int32) int32 { return p.v.Add(delta) }
 // CompareAndSwap executes the compare-and-swap operation.
 func (p *Int32) CompareAndSwap(old, new int32) bool { return p.v.CompareAndSwap(old, new) }
 
+// Int64 is an atomic int64 alone in its cache line.
+type Int64 struct {
+	v atomic.Int64
+	_ [CacheLineSize - 8]byte
+}
+
+// Load atomically loads the value.
+func (p *Int64) Load() int64 { return p.v.Load() }
+
+// Store atomically stores v.
+func (p *Int64) Store(v int64) { p.v.Store(v) }
+
+// Add atomically adds delta and returns the new value.
+func (p *Int64) Add(delta int64) int64 { return p.v.Add(delta) }
+
 // Uint64 is an atomic uint64 alone in its cache line.
 type Uint64 struct {
 	v atomic.Uint64

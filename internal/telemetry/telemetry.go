@@ -77,6 +77,7 @@ type PolicyStats struct {
 type Snapshot struct {
 	Groups                 []GroupStats  `json:"groups"`
 	Policies               []PolicyStats `json:"policies,omitempty"`
+	Net                    []NetStats    `json:"net,omitempty"`
 	WaitersOutstanding     int64         `json:"waiters_outstanding"`
 	SectionPanicsRecovered uint64        `json:"section_panics_recovered"`
 	SectionAborts          uint64        `json:"section_aborts"`
@@ -105,6 +106,7 @@ type Registry struct {
 	mu       sync.Mutex
 	groups   []*group
 	policies []policySource
+	net      []netSource
 }
 
 // NewRegistry returns an empty registry.
@@ -186,6 +188,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	groups := append([]*group(nil), r.groups...)
 	policies := append([]policySource(nil), r.policies...)
+	netSources := append([]netSource(nil), r.net...)
 	r.mu.Unlock()
 
 	type key struct{ group, class string }
@@ -237,6 +240,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, p := range policies {
 		out.Policies = append(out.Policies, p.fn()...)
+	}
+	for _, s := range netSources {
+		out.Net = append(out.Net, s.fn()...)
 	}
 	return out
 }
