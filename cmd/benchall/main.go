@@ -26,6 +26,8 @@
 //	                           p50/p95/p99 latency and the in-process ratio
 //	                           (real execution; writes BENCH_net.json)
 //	benchall -exp net -netconns 16 -netdur 100ms   # short CI smoke cell
+//	benchall -exp adaptive   # control plane vs static knob profiles
+//	                           (real execution; writes BENCH_adaptive.json)
 //	benchall -real           # include real-execution measurements
 //	benchall -scale 50000    # simulated transactions per thread
 package main
@@ -46,7 +48,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|hotpath|chaos|telemetry|optimistic|resilience|net|stats|all")
+		"experiment: fig19|fig21|fig22|fig22-readheavy|fig22-writeheavy|fig23|fig23-5050|fig24|fig25|ablation|lockmech|hotpath|chaos|telemetry|optimistic|resilience|net|adaptive|stats|all")
 	scale := flag.Int("scale", 20000, "simulated transactions per thread")
 	real := flag.Bool("real", false, "also run real-execution measurements on this host")
 	realOps := flag.Int("realops", 30000, "real-execution operations per thread")
@@ -180,6 +182,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote BENCH_net.json")
+		ran = true
+	}
+	// The adaptive experiment races the control plane against static
+	// knob profiles — real execution only.
+	if *exp == "adaptive" {
+		rep := bench.AdaptiveBench(bench.AdaptiveConfig{OpsPerThread: *scale})
+		fmt.Println(rep.Format())
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile("BENCH_adaptive.json", append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: writing BENCH_adaptive.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote BENCH_adaptive.json")
 		ran = true
 	}
 	// The chaos experiment injects real panics and delays into real

@@ -4,8 +4,8 @@
 //
 // The expected schema is selected by filename: BENCH_lockmech.json,
 // BENCH_hotpath.json, BENCH_chaos.json, BENCH_telemetry.json,
-// BENCH_optimistic.json, BENCH_resilience.json and BENCH_net.json each
-// have a required set of top-level fields
+// BENCH_optimistic.json, BENCH_resilience.json, BENCH_net.json and
+// BENCH_adaptive.json each have a required set of top-level fields
 // (which must be present and non-empty) and required criteria keys
 // (which must be present and finite). Unknown BENCH_ filenames are an
 // error — a new experiment must register its schema here.
@@ -21,7 +21,10 @@
 // zero quiescence failures, zero telemetry mismatches. On resilience
 // reports it enforces the degradation criterion instead: the policied
 // router retains >= 2x the blocking router's completed throughput at
-// the harshest injection rate, with zero leaks.
+// the harshest injection rate, with zero leaks. On adaptive reports it
+// enforces the control-plane acceptance: the controller's paired
+// geomean matches or beats the best static profile, the static
+// profiles actually diverge, and pure observation costs <= 5%.
 package main
 
 import (
@@ -115,6 +118,19 @@ var schemas = map[string]schema{
 			"net_over_inproc_at_read50",
 		},
 	},
+	"adaptive": {
+		fields: []string{"gomaxprocs", "ops_per_thread", "cells",
+			"ratio_adaptive_over_profile", "final_knobs", "criteria"},
+		criteria: []string{
+			"adaptive_over_best_static_geomean",
+			"adaptive_over_best_static_worst_workload",
+			"controller_off_overhead_pct",
+			"static_spread",
+			"scan_preempt_adaptive_over_best_static",
+			"churn_preempt_adaptive_over_best_static",
+			"rangestore_f99_adaptive_over_best_static",
+		},
+	},
 }
 
 // netStrictZero are the net criteria enforced unconditionally: a
@@ -179,7 +195,7 @@ func checkFile(path string, chaosStrict bool) []error {
 	kind := kindOf(path)
 	sch, ok := schemas[kind]
 	if !ok {
-		return []error{fmt.Errorf("unknown report kind %q (expected BENCH_<lockmech|hotpath|chaos|telemetry|optimistic|resilience|net>.json)", kind)}
+		return []error{fmt.Errorf("unknown report kind %q (expected BENCH_<lockmech|hotpath|chaos|telemetry|optimistic|resilience|net|adaptive>.json)", kind)}
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -252,6 +268,22 @@ func checkFile(path string, chaosStrict bool) []error {
 		}
 		if v, present := criteria["recovery_ratio_min"]; present && v < 0.8 {
 			errs = append(errs, fmt.Errorf("strict: recovery_ratio_min = %v, want >= 0.8", v))
+		}
+	}
+	// The adaptive acceptance criteria are throughput ratios, so they
+	// are host-speed-independent but still noise-sensitive on short
+	// runs; like the chaos/resilience conditions they are enforced only
+	// under the strict flag, so a short CI smoke cell schema-validates
+	// without flaking while a full run must actually win.
+	if kind == "adaptive" && chaosStrict {
+		if v, present := criteria["adaptive_over_best_static_geomean"]; present && v < 1.0 {
+			errs = append(errs, fmt.Errorf("strict: adaptive_over_best_static_geomean = %v, want >= 1.0", v))
+		}
+		if v, present := criteria["static_spread"]; present && v < 1.1 {
+			errs = append(errs, fmt.Errorf("strict: static_spread = %v, want >= 1.1 (workloads must have opposite sweet spots for the experiment to mean anything)", v))
+		}
+		if v, present := criteria["controller_off_overhead_pct"]; present && v > 5.0 {
+			errs = append(errs, fmt.Errorf("strict: controller_off_overhead_pct = %v, want <= 5.0", v))
 		}
 	}
 	// The resilience degradation criterion: at the harshest injection

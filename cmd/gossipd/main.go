@@ -26,8 +26,17 @@
 //	gossipd -policy ours -debug-addr localhost:6060
 //	gossipd -policy ours -resilience                  # policied router
 //	gossipd -policy ours -resilience -patience 300us -retries 3 -hedge-budget 150us
+//	gossipd -policy ours -adaptive                    # telemetry-tuned knobs
 //	gossipd -listen :7946                             # serve the wire protocol
 //	gossipd -listen :7946 -resilience -debug-addr localhost:6060
+//
+// -adaptive attaches the control plane of internal/controlplane: a
+// feedback controller snapshots the telemetry registry on a ticker and
+// retunes spin bounds, the optimistic gate, and summary scanning per
+// mechanism group, with hysteresis. With -debug-addr, /debug/semlock
+// reports the live knob values, decide rates, and apply counts per
+// group (the controller registers itself as a policy source). Works in
+// both the MPerf workload mode and the -listen daemon mode.
 //
 // -listen switches gossipd from the self-contained MPerf workload to a
 // network daemon: the ours router served over the TCP wire protocol of
@@ -59,6 +68,7 @@ import (
 	"time"
 
 	"repro/internal/apps/gossip"
+	"repro/internal/controlplane"
 	"repro/internal/core"
 	"repro/internal/modules/plan"
 	"repro/internal/net/server"
@@ -82,6 +92,7 @@ func main() {
 	retries := flag.Int("retries", 2, "with -resilience: budgeted retry attempts per stalled section")
 	hedgeBudget := flag.Duration("hedge-budget", 200*time.Microsecond, "with -resilience: pessimistic latency before a lookup hedges optimistically")
 	listen := flag.String("listen", "", "serve the wire protocol on this TCP address (e.g. :7946) instead of running the MPerf workload")
+	adaptive := flag.Bool("adaptive", false, "attach the adaptive control plane: retune spin bounds, the optimistic gate, and summary scanning per mechanism from live telemetry (ours policy only)")
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -107,7 +118,7 @@ func main() {
 	}
 
 	if *listen != "" {
-		serveListen(*listen, *sendCost, *resil, *debugAddr != "", *patience, *retries, *hedgeBudget)
+		serveListen(*listen, *sendCost, *resil, *adaptive, *debugAddr != "", *patience, *retries, *hedgeBudget)
 		return
 	}
 
@@ -129,7 +140,8 @@ func main() {
 	interrupted := false
 	for _, pol := range want {
 		r := gossip.New(pol, cfg.SendCost, plan.Options{})
-		if *debugAddr != "" {
+		var ctl *controlplane.Controller
+		if *debugAddr != "" || *adaptive {
 			if o, ok := r.(*gossip.Ours); ok {
 				// Live provider: each scrape re-walks the group table, so
 				// new groups appear in later snapshots. MPerf creates its
@@ -139,6 +151,23 @@ func main() {
 				// not a synchronized view), never a torn counter — the
 				// counters themselves are atomics.
 				telemetry.Default.RegisterProvider(pol, "Map", o.Sems)
+			}
+		}
+		if *adaptive {
+			if _, ok := r.(*gossip.Ours); ok {
+				ctl = controlplane.New(controlplane.Config{
+					Registry: telemetry.Default,
+					// With a debug listener the operator turned wait timing
+					// on explicitly; don't let the controller toggle it back
+					// off during quiet spells.
+					ManageWaitTiming: *debugAddr == "",
+				})
+				ctl.Start()
+				// The controller registers itself as a policy source, so
+				// /debug/semlock shows live knob values and decide rates
+				// per mechanism group.
+			} else {
+				fmt.Fprintf(os.Stderr, "gossipd: -adaptive applies to the ours policy only; running %s untuned\n", pol)
 			}
 		}
 		var wrapped *gossip.Resilient
@@ -193,6 +222,10 @@ func main() {
 		if mgr != nil {
 			mgr.Stop()
 		}
+		if ctl != nil {
+			ctl.Stop()
+			fmt.Printf("%-8s adaptive: %d knob applies over %d ticks\n", pol, ctl.Applies(), ctl.Ticks())
+		}
 
 		dropped := uint64(0)
 		if wrapped != nil {
@@ -246,7 +279,7 @@ func main() {
 // serveListen is the -listen daemon mode: the ours router behind the
 // TCP wire protocol, with the same drain discipline and leak audit as
 // the workload mode.
-func serveListen(addr string, sendCost int, resil, debug bool, patience time.Duration, retries int, hedgeBudget time.Duration) {
+func serveListen(addr string, sendCost int, resil, adaptive, debug bool, patience time.Duration, retries int, hedgeBudget time.Duration) {
 	waiters0 := core.WaitersOutstanding()
 	cfg := server.Config{Addr: addr, SendCost: sendCost}
 	var mgr *resilience.Manager
@@ -274,9 +307,19 @@ func serveListen(addr string, sendCost int, resil, debug bool, patience time.Dur
 		fmt.Fprintf(os.Stderr, "gossipd: listen: %v\n", err)
 		os.Exit(1)
 	}
-	if debug {
+	if debug || adaptive {
 		telemetry.Default.RegisterProvider("gossipd-net", "Map", s.Router().Sems)
+	}
+	if debug {
 		telemetry.Default.RegisterNetSource("gossipd-net", s.NetStats)
+	}
+	var ctl *controlplane.Controller
+	if adaptive {
+		ctl = controlplane.New(controlplane.Config{
+			Registry:         telemetry.Default,
+			ManageWaitTiming: !debug,
+		})
+		ctl.Start()
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- s.Serve() }()
@@ -298,6 +341,10 @@ func serveListen(addr string, sendCost int, resil, debug bool, patience time.Dur
 	}
 	if mgr != nil {
 		mgr.Stop()
+	}
+	if ctl != nil {
+		ctl.Stop()
+		fmt.Printf("gossipd: adaptive: %d knob applies over %d ticks\n", ctl.Applies(), ctl.Ticks())
 	}
 
 	leaked := int64(0)

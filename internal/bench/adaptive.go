@@ -1,0 +1,616 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adtspecs"
+	"repro/internal/apps/rangestore"
+	"repro/internal/controlplane"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// AdaptiveBench is the control-plane experiment behind
+// `benchall -exp adaptive`: workloads with opposite knob sweet spots,
+// each run under every static knob profile and under the adaptive
+// controller, plus an idle-controller cell that prices the observe
+// loop itself.
+//
+// Workloads:
+//
+//	scan-preempt    — read-mostly whole-map refreshes that deschedule
+//	                  once mid-fold, against just enough put churn that
+//	                  ~30% of refresh attempts absorb a write and fail
+//	                  validation. Re-executing a third of the refreshes
+//	                  is still far cheaper than the exclusive fallback,
+//	                  so the right gate never closes — but 30% trips the
+//	                  default per-instance gate's close threshold, so
+//	                  the untuned gate oscillates into long closed
+//	                  spells of serialized refreshes.
+//	churn-preempt   — the same store at 90% put churn: nearly every
+//	                  descheduled refresh window absorbs writes, the
+//	                  optimistic retry budget burns to no effect, and
+//	                  the right gate is closed ~always.
+//	rangestore-f99  — whole-store scans at read fraction 0.99 with no
+//	                  deschedule point. Validation almost always
+//	                  succeeds; the right gate stays open, the wrong one
+//	                  forces every scan to lock all shards
+//	                  pessimistically. Also the overhead yardstick: a
+//	                  plain lock-dominated load the controller must not
+//	                  slow down.
+//
+// Profiles:
+//
+//	static-default  — the former compile-time constants (controller off)
+//	static-read     — read-tuned extreme: gate effectively never closes,
+//	                  long spin, summary scans on
+//	static-write    — write-tuned extreme: gate closes on the first
+//	                  failure and probes ~never, short spin, exact scans
+//	adaptive        — defaults at start, controlplane.Controller ticking
+//	                  in the background and retuning from telemetry
+//	controller-idle — defaults plus a ticking controller whose decision
+//	                  floors are unreachable: it observes every tick and
+//	                  never applies. Its deficit against static-default
+//	                  is the whole cost of an attached controller.
+//
+// The controller must match or beat the best static profile on the
+// PAIRED geomean across both workloads — any single static setting is
+// wrong somewhere, the controller is allowed to be wrong nowhere.
+type AdaptiveConfig struct {
+	OpsPerThread int
+	Threads      []int
+	Reps         int
+}
+
+// AdaptiveCell is one (workload, profile, threads) measurement.
+type AdaptiveCell struct {
+	Workload string  `json:"workload"`
+	Profile  string  `json:"profile"`
+	Threads  int     `json:"threads"`
+	OpsPerMs float64 `json:"ops_per_ms"`
+}
+
+// AdaptiveKnobs records where the controller left one workload's knobs
+// after convergence — the proof it picked different regimes for the
+// two workloads.
+type AdaptiveKnobs struct {
+	Workload string     `json:"workload"`
+	Knobs    core.Knobs `json:"knobs"`
+	Applies  uint64     `json:"applies"`
+	Ticks    uint64     `json:"ticks"`
+}
+
+// AdaptiveReport is the full result, the content of BENCH_adaptive.json.
+type AdaptiveReport struct {
+	GOMAXPROCS   int                           `json:"gomaxprocs"`
+	OpsPerThread int                           `json:"ops_per_thread"`
+	Cells        []AdaptiveCell                `json:"cells"`
+	Ratio        map[string]map[string]float64 `json:"ratio_adaptive_over_profile"`
+	FinalKnobs   []AdaptiveKnobs               `json:"final_knobs"`
+	Criteria     map[string]float64            `json:"criteria"`
+}
+
+const (
+	profDefault  = "static-default"
+	profRead     = "static-read"
+	profWrite    = "static-write"
+	profAdaptive = "adaptive"
+	profIdle     = "controller-idle"
+)
+
+// adaptiveProfile is one knob setting under test. controller selects
+// none, a live one, or an idle one.
+type adaptiveProfile struct {
+	name       string
+	spin       core.SpinBounds
+	gate       core.OptGateParams
+	summary    bool
+	controller string // "" | "on" | "idle"
+}
+
+func adaptiveProfiles() []adaptiveProfile {
+	return []adaptiveProfile{
+		{profDefault, core.DefaultSpinBounds(), core.DefaultOptGateParams(), true, ""},
+		{profRead, core.SpinBounds{Min: 1, Max: 16},
+			// A window so long and a threshold so high the gate never
+			// closes in practice: optimism unconditionally on.
+			core.OptGateParams{Window: 1 << 15, DisableNum: 255, DisableDen: 255, ProbeInterval: 1 << 15}, true, ""},
+		{profWrite, core.SpinBounds{Min: 1, Max: 2},
+			// Any failure in a 2-attempt window closes the gate and the
+			// probe countdown is ~a billion: optimism effectively off.
+			core.OptGateParams{Window: 2, DisableNum: 1, DisableDen: 255, ProbeInterval: 1 << 30}, false, ""},
+		{profAdaptive, core.DefaultSpinBounds(), core.DefaultOptGateParams(), true, "on"},
+		{profIdle, core.DefaultSpinBounds(), core.DefaultOptGateParams(), true, "idle"},
+	}
+}
+
+// adaptiveApp is one constructed workload instance: the per-op body and
+// the semantic locks to tune/register.
+type adaptiveApp struct {
+	fn   func(t, i int)
+	sems []*core.Semantic
+}
+
+// yieldStore is a hand-rolled map workload over the core runtime whose
+// read op is a whole-map "refresh": fold half the slots, deschedule
+// (runtime.Gosched — the single-core stand-in for a section preempted
+// mid-read; on multicore true parallelism opens the same window), fold
+// the rest, publish the aggregate to a cache slot. The refresh runs
+// optimistically under a values() observation with a bounded retry
+// loop; when optimism is gated off or the budget runs dry it falls
+// back to a pessimistic putAll-class lock — the refresh writes the
+// shared cache, so its fallback mode is exclusive against everything,
+// itself included, and a closed gate serializes every refresh across
+// its deschedule point. Writers are plain point puts that yield
+// between ops, pinning the scheduling granularity at one op: a
+// refresh's descheduled window spans ~threads-1 foreign ops, so the
+// write share directly sets the validation-failure rate.
+type yieldStore struct {
+	sem     *core.Semantic
+	keys    []core.ModeID
+	values  core.ModeID // whole-map read: observed by optimistic refreshes
+	refresh core.ModeID // putAll-class exclusive: the pessimistic refresh envelope
+	vals    []atomic.Int64
+	cache   atomic.Int64
+}
+
+const (
+	yieldKeys       = 256
+	refreshRetries  = 8
+	refusalBackoffs = 16
+)
+
+func newYieldStore() *yieldStore {
+	keySet := core.SymSetOf(
+		core.SymOpOf("get", core.VarArg("k")),
+		core.SymOpOf("put", core.VarArg("k"), core.Star()),
+		core.SymOpOf("remove", core.VarArg("k")))
+	valuesSet := core.SymSetOf(core.SymOpOf("values"))
+	refreshSet := core.SymSetOf(core.SymOpOf("putAll", core.Star()))
+	tbl := core.NewModeTable(adtspecs.Map(),
+		[]core.SymSet{keySet, valuesSet, refreshSet},
+		core.TableOptions{Phi: core.NewPhi(16)})
+	st := &yieldStore{
+		sem:     core.NewSemantic(tbl),
+		keys:    make([]core.ModeID, yieldKeys),
+		values:  tbl.Set(valuesSet).Mode(),
+		refresh: tbl.Set(refreshSet).Mode(),
+		vals:    make([]atomic.Int64, yieldKeys),
+	}
+	for k := range st.keys {
+		st.keys[k] = tbl.Set(keySet).Mode(core.Value(k))
+	}
+	return st
+}
+
+func (st *yieldStore) fold() int64 {
+	var sum int64
+	for k := 0; k < yieldKeys/2; k++ {
+		sum += st.vals[k].Load()
+	}
+	runtime.Gosched() // descheduled mid-read
+	for k := yieldKeys / 2; k < yieldKeys; k++ {
+		sum += st.vals[k].Load()
+	}
+	return sum
+}
+
+// Refresh recomputes the aggregate and publishes it. Validation
+// failures retry immediately (the failed fold already yielded, so the
+// interleaving writer is gone). Observation refusals split by cause:
+// refused by a closed gate, fall back to the pessimistic envelope at
+// once; refused under an open gate — a pessimistic holder is visible —
+// orbit with a yield instead of piling onto the fallback lock behind
+// the holder. The orbit matters: every refresh that joins the fallback
+// queue extends the serialized spell for everyone, so a queue that
+// formed during a closed-gate phase would otherwise sustain itself
+// indefinitely after the gate reopens.
+func (st *yieldStore) Refresh() {
+	core.Atomically(func(tx *core.Txn) {
+		attempts, refusals := 0, 0
+		for attempts < refreshRetries && refusals <= refusalBackoffs {
+			var sum int64
+			refused := false
+			if tx.TryOptimistic(func(tx *core.Txn) bool {
+				if !tx.Observe(st.sem, st.values, 0) {
+					refused = true
+					return false
+				}
+				sum = st.fold()
+				return true
+			}) {
+				st.cache.Store(sum)
+				return
+			}
+			if refused {
+				if !st.sem.OptimisticOpen() {
+					break
+				}
+				refusals++
+				runtime.Gosched()
+				continue
+			}
+			attempts++
+		}
+		tx.Lock(st.sem, st.refresh, 0)
+		st.cache.Store(st.fold())
+	})
+}
+
+func (st *yieldStore) Put(k int) {
+	core.Atomically(func(tx *core.Txn) {
+		tx.Lock(st.sem, st.keys[k%yieldKeys], 0)
+		st.vals[k%yieldKeys].Add(1)
+	})
+	runtime.Gosched() // per-op yield: one-op scheduling granularity
+}
+
+// mixed returns an op mix over st at the given writes-per-mille; the
+// per-thread scatter keeps write ops from phase-locking across
+// goroutines.
+func (st *yieldStore) mixed(writePerMille int) func(t, i int) {
+	return func(t, i int) {
+		if (t*7919+i*271)%1000 < writePerMille {
+			st.Put(t*131 + i*7)
+			return
+		}
+		st.Refresh()
+	}
+}
+
+// newScanPreempt builds the read-mostly refresh workload. The write
+// share is scaled with the thread count so the interleave pressure
+// stays constant: a refresh's descheduled window spans ~threads-1
+// foreign ops, and P(some write lands in it) is held near 0.30 —
+// squarely in the band where re-execution amortizes but the default
+// per-instance gate keeps closing.
+func newScanPreempt(threads int) adaptiveApp {
+	st := newYieldStore()
+	perMille := 1000
+	if threads > 1 {
+		perMille = int(1000 * (1 - math.Pow(0.7, 1/float64(threads-1))))
+	}
+	if perMille < 1 {
+		perMille = 1
+	}
+	return adaptiveApp{
+		sems: []*core.Semantic{st.sem},
+		fn:   st.mixed(perMille),
+	}
+}
+
+// newChurnPreempt builds the write-heavy variant: 80% put churn makes
+// optimistic refreshes fail validation nearly always, so every attempt
+// the gate lets through is a wasted fold.
+func newChurnPreempt(threads int) adaptiveApp {
+	st := newYieldStore()
+	return adaptiveApp{
+		sems: []*core.Semantic{st.sem},
+		fn:   st.mixed(800),
+	}
+}
+
+// newRangestoreF99 builds the read-heavy rangestore workload (scans
+// 99%, pair toggles 1%).
+func newRangestoreF99(threads int) adaptiveApp {
+	s := rangestore.New(8, 256)
+	for k := 0; k < 32; k++ {
+		s.PutPair(k)
+	}
+	return adaptiveApp{
+		sems: s.Sems(),
+		fn: func(t, i int) {
+			if i%100 < 99 {
+				s.Scan()
+				return
+			}
+			s.PutPair((t*131 + i*7) % (s.Capacity() / 2))
+		},
+	}
+}
+
+// applyProfile pins every instance's knobs to the profile's statics.
+func applyProfile(p adaptiveProfile, sems []*core.Semantic) {
+	for _, s := range sems {
+		s.SetSpinBounds(p.spin)
+		s.SetOptGateParams(p.gate)
+		s.SetSummaryScan(p.summary)
+	}
+}
+
+// adaptiveCell is one (profile, app) pairing inside a measurement row:
+// the app with the profile's knobs pinned (or a controller attached),
+// already warmed, ready to run measured passes.
+type adaptiveCell struct {
+	profile adaptiveProfile
+	app     adaptiveApp
+	ctl     *controlplane.Controller
+	best    float64
+}
+
+// setupAdaptiveCell builds the app, pins or attaches knobs, and runs
+// the warm-up pass. For controller cells the warm-up is also the
+// convergence window, and it must be long enough for the
+// observe/decide/apply loop to settle: with the gate still at its
+// default parameters the workload can spend its first ~100ms in
+// oscillating closed spells running at a fraction of converged speed,
+// and a warm-up sized for cache warming alone would leak that
+// transient into the measured passes. The experiment's claim is about
+// converged behavior — convergence latency is reported separately via
+// applies/ticks.
+func setupAdaptiveCell(p adaptiveProfile, mk func(int) adaptiveApp, workload string,
+	threads, opsPerThread int) *adaptiveCell {
+	app := mk(threads)
+	applyProfile(p, app.sems)
+
+	var ctl *controlplane.Controller
+	if p.controller != "" {
+		reg := telemetry.NewRegistry()
+		reg.Register(workload, "app", app.sems...)
+		cfg := controlplane.Config{
+			Registry:      reg,
+			Interval:      5 * time.Millisecond,
+			DecideStreak:  2,
+			CooldownTicks: 2,
+			MinAcqSamples: 64,
+			MinOptSamples: 32,
+		}
+		if p.controller == "idle" {
+			// Unreachable floors: every decider holds forever, so the
+			// cell prices pure observation.
+			cfg.MinAcqSamples = math.MaxUint64
+			cfg.MinOptSamples = math.MaxUint64
+		}
+		ctl = controlplane.New(cfg)
+		ctl.Start()
+	}
+
+	warmup := opsPerThread/5 + 1
+	if p.controller != "" {
+		warmup = opsPerThread
+	}
+	measure(threads, warmup, app.fn)
+	return &adaptiveCell{profile: p, app: app, ctl: ctl}
+}
+
+// runAdaptiveRow measures all profiles at one (workload, threads)
+// point. The profiles are NOT measured as sequential best-of-N cells:
+// on a single shared core, throughput drifts ±10–20% on a timescale of
+// seconds (scheduler, GC, host interference), and sequential cells put
+// whole profiles minutes apart, turning that drift into a systematic
+// bias on every ratio. Instead every profile is set up (and, for
+// controller profiles, converged) first, then measured passes are
+// interleaved round-robin — within a round all profiles run within a
+// few hundred milliseconds of each other, so drift hits them alike —
+// and each profile keeps its best pass across rounds. Returns ops/ms
+// per profile (index-aligned) plus the adaptive profile's converged
+// knob state.
+func runAdaptiveRow(profiles []adaptiveProfile, mk func(int) adaptiveApp, workload string,
+	threads, opsPerThread, reps int) ([]float64, *AdaptiveKnobs) {
+	cells := make([]*adaptiveCell, len(profiles))
+	for i, p := range profiles {
+		cells[i] = setupAdaptiveCell(p, mk, workload, threads, opsPerThread)
+	}
+	for r := 0; r < reps; r++ {
+		for _, c := range cells {
+			if v := measure(threads, opsPerThread, c.app.fn); v > c.best {
+				c.best = v
+			}
+		}
+	}
+	var knobs *AdaptiveKnobs
+	out := make([]float64, len(profiles))
+	for i, c := range cells {
+		out[i] = c.best
+		if c.ctl != nil {
+			if c.profile.controller == "on" {
+				k := c.app.sems[0].KnobsNow()
+				knobs = &AdaptiveKnobs{Workload: workload, Knobs: k, Applies: c.ctl.Applies(), Ticks: c.ctl.Ticks()}
+			}
+			c.ctl.Stop()
+		}
+	}
+	return out, knobs
+}
+
+// AdaptiveBench runs the full experiment and computes the summary
+// criteria.
+func AdaptiveBench(cfg AdaptiveConfig) *AdaptiveReport {
+	if cfg.OpsPerThread == 0 {
+		cfg.OpsPerThread = 20000
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = []int{4, 8, 16}
+	}
+	if cfg.Reps == 0 {
+		cfg.Reps = 3
+	}
+	rep := &AdaptiveReport{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		OpsPerThread: cfg.OpsPerThread,
+		Ratio:        map[string]map[string]float64{},
+		Criteria:     map[string]float64{},
+	}
+
+	workloads := []struct {
+		name string
+		mk   func(int) adaptiveApp
+	}{
+		{"scan-preempt", newScanPreempt},
+		{"churn-preempt", newChurnPreempt},
+		{"rangestore-f99", newRangestoreF99},
+	}
+	profiles := adaptiveProfiles()
+
+	// perf[workload][profile] = geomean over thread counts.
+	perf := map[string]map[string]float64{}
+	for _, w := range workloads {
+		perf[w.name] = map[string]float64{}
+		byProfile := map[string][]float64{}
+		var lastKnobs *AdaptiveKnobs
+		for _, T := range cfg.Threads {
+			row, knobs := runAdaptiveRow(profiles, w.mk, w.name, T, cfg.OpsPerThread, cfg.Reps)
+			for i, p := range profiles {
+				rep.Cells = append(rep.Cells, AdaptiveCell{
+					Workload: w.name, Profile: p.name, Threads: T, OpsPerMs: row[i],
+				})
+				byProfile[p.name] = append(byProfile[p.name], row[i])
+			}
+			if knobs != nil {
+				lastKnobs = knobs
+			}
+		}
+		for name, xs := range byProfile {
+			perf[w.name][name] = geomean(xs)
+		}
+		if lastKnobs != nil {
+			rep.FinalKnobs = append(rep.FinalKnobs, *lastKnobs)
+		}
+	}
+
+	// Ratios: adaptive over each profile, per workload.
+	for _, w := range workloads {
+		rep.Ratio[w.name] = map[string]float64{}
+		for _, p := range profiles {
+			if p.name == profAdaptive {
+				continue
+			}
+			if v := perf[w.name][p.name]; v > 0 {
+				rep.Ratio[w.name][p.name] = perf[w.name][profAdaptive] / v
+			}
+		}
+	}
+
+	// The headline criterion compares PAIRED geomeans: a static profile
+	// is judged on both workloads together, because the whole point of
+	// the controller is that no single static setting fits both.
+	statics := []string{profDefault, profRead, profWrite}
+	paired := func(profile string) float64 {
+		xs := make([]float64, 0, len(workloads))
+		for _, w := range workloads {
+			xs = append(xs, perf[w.name][profile])
+		}
+		return geomean(xs)
+	}
+	adaptivePaired := paired(profAdaptive)
+	bestStatic, worstStatic := 0.0, math.Inf(1)
+	for _, s := range statics {
+		v := paired(s)
+		if v > bestStatic {
+			bestStatic = v
+		}
+		if v < worstStatic {
+			worstStatic = v
+		}
+	}
+	if bestStatic > 0 {
+		rep.Criteria["adaptive_over_best_static_geomean"] = adaptivePaired / bestStatic
+	}
+	if worstStatic > 0 {
+		rep.Criteria["static_spread"] = bestStatic / worstStatic
+	}
+	// Per-workload: the controller against the best static FOR THAT
+	// workload (a stricter, diagnostic view — the extreme profile tuned
+	// for a workload is nearly unbeatable on home turf).
+	worstHomeTurf := math.Inf(1)
+	for _, w := range workloads {
+		best := 0.0
+		for _, s := range statics {
+			if v := perf[w.name][s]; v > best {
+				best = v
+			}
+		}
+		if best > 0 {
+			r := perf[w.name][profAdaptive] / best
+			rep.Criteria[strings.ReplaceAll(w.name, "-", "_")+"_adaptive_over_best_static"] = r
+			if r < worstHomeTurf {
+				worstHomeTurf = r
+			}
+		}
+	}
+	rep.Criteria["adaptive_over_best_static_worst_workload"] = worstHomeTurf
+
+	// The observe-loop price: an attached, ticking, never-applying
+	// controller against no controller at all. Measured on the
+	// rangestore workload only — it is the stable, lock-dominated
+	// yardstick; the preemptible workloads' throughput under the default
+	// gate is bimodal (open vs closed spells), which would drown the
+	// few-permille observation cost in gate-oscillation variance.
+	overhead := 0.0
+	if off, idle := perf["rangestore-f99"][profDefault], perf["rangestore-f99"][profIdle]; off > 0 && idle > 0 {
+		overhead = (1 - idle/off) * 100
+	}
+	rep.Criteria["controller_off_overhead_pct"] = overhead
+	return rep
+}
+
+// Format renders the report as aligned tables, one per workload.
+func (r *AdaptiveReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Adaptive — telemetry-driven control plane vs static knob profiles\n")
+	fmt.Fprintf(&b, "GOMAXPROCS=%d, %d ops/goroutine per pass\n", r.GOMAXPROCS, r.OpsPerThread)
+
+	type cellKey struct {
+		workload, profile string
+		threads           int
+	}
+	cells := map[cellKey]float64{}
+	var workloads, profiles []string
+	var threads []int
+	seenW, seenP, seenT := map[string]bool{}, map[string]bool{}, map[int]bool{}
+	for _, c := range r.Cells {
+		cells[cellKey{c.Workload, c.Profile, c.Threads}] = c.OpsPerMs
+		if !seenW[c.Workload] {
+			seenW[c.Workload] = true
+			workloads = append(workloads, c.Workload)
+		}
+		if !seenP[c.Profile] {
+			seenP[c.Profile] = true
+			profiles = append(profiles, c.Profile)
+		}
+		if !seenT[c.Threads] {
+			seenT[c.Threads] = true
+			threads = append(threads, c.Threads)
+		}
+	}
+	sort.Ints(threads)
+	for _, w := range workloads {
+		fmt.Fprintf(&b, "\n%s (ops/ms)\n", w)
+		fmt.Fprintf(&b, "%-8s", "threads")
+		for _, p := range profiles {
+			fmt.Fprintf(&b, "%18s", p)
+		}
+		fmt.Fprintln(&b)
+		for _, T := range threads {
+			fmt.Fprintf(&b, "%-8d", T)
+			for _, p := range profiles {
+				fmt.Fprintf(&b, "%18.1f", cells[cellKey{w, p, T}])
+			}
+			fmt.Fprintln(&b)
+		}
+		if m := r.Ratio[w]; len(m) > 0 {
+			fmt.Fprintf(&b, "adaptive over:")
+			for _, k := range sortedStringKeys(m) {
+				fmt.Fprintf(&b, "  %s %.2f", k, m[k])
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	for _, fk := range r.FinalKnobs {
+		fmt.Fprintf(&b, "\nconverged knobs [%s]: spin [%d,%d], gate %d/%d per %d probe %d, summary=%v (%d applies / %d ticks)\n",
+			fk.Workload, fk.Knobs.Spin.Min, fk.Knobs.Spin.Max,
+			fk.Knobs.OptGate.DisableNum, fk.Knobs.OptGate.DisableDen, fk.Knobs.OptGate.Window,
+			fk.Knobs.OptGate.ProbeInterval, fk.Knobs.SummaryScan, fk.Applies, fk.Ticks)
+	}
+	fmt.Fprintf(&b, "\ncriteria:\n")
+	for _, k := range sortedStringKeys(r.Criteria) {
+		fmt.Fprintf(&b, "  %s = %.3f\n", k, r.Criteria[k])
+	}
+	return b.String()
+}

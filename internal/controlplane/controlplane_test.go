@@ -1,0 +1,376 @@
+package controlplane
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/adtspecs"
+	"repro/internal/apps/rangestore"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+func TestHysteresisStreakAndCooldown(t *testing.T) {
+	var h hyst
+	// A single tick of desire is not enough at streak 2.
+	if h.Step("contended", 2, 3) {
+		t.Fatal("applied after one tick, want streak of 2")
+	}
+	if h.Step("contended", 2, 3) != true {
+		t.Fatal("not applied after the streak completed")
+	}
+	if h.applied != "contended" {
+		t.Fatalf("applied regime = %q", h.applied)
+	}
+	// Cooldown: three ticks of a different desire are swallowed.
+	for i := 0; i < 3; i++ {
+		if h.Step("calm", 2, 3) {
+			t.Fatalf("applied during cooldown tick %d", i)
+		}
+	}
+	// Cooldown over; the streak must still be re-earned from scratch.
+	if h.Step("calm", 2, 3) {
+		t.Fatal("applied on first post-cooldown tick")
+	}
+	if !h.Step("calm", 2, 3) {
+		t.Fatal("not applied after post-cooldown streak")
+	}
+	// An interrupted streak resets: A, B, B needs two more Bs? No — B
+	// twice in a row after the interruption suffices; the A tick must
+	// not count toward B's streak.
+	h = hyst{applied: "calm"}
+	h.Step("saturated", 2, 0)
+	if h.Step("contended", 2, 0) {
+		t.Fatal("applied contended with streak broken by saturated")
+	}
+	if !h.Step("contended", 2, 0) {
+		t.Fatal("contended not applied after its own streak")
+	}
+	// "hold" means no evidence, and must FREEZE the pending streak, not
+	// reset it — a mostly-closed gate decides only every few ticks, and
+	// the starved ticks in between must not wipe agreeing decisions.
+	h = hyst{applied: "calm"}
+	h.Step("saturated", 2, 0)
+	h.Step("hold", 2, 0)
+	if !h.Step("saturated", 2, 0) {
+		t.Fatal("hold reset the pending streak; no-evidence must freeze it")
+	}
+	// A re-decision of the applied regime is contradicting evidence and
+	// does reset.
+	h = hyst{applied: "calm"}
+	h.Step("saturated", 2, 0)
+	h.Step("calm", 2, 0)
+	if h.Step("saturated", 2, 0) {
+		t.Fatal("re-decided applied regime did not reset the pending streak")
+	}
+}
+
+func TestDecideRegimes(t *testing.T) {
+	spin := func(rate float64, samples uint64) string {
+		_, r := DecideSpin(Signals{ConflictRate: rate, AcqSamples: samples}, 100)
+		return r
+	}
+	if got := spin(0.9, 10); got != "hold" {
+		t.Fatalf("undersampled spin regime = %q, want hold", got)
+	}
+	if got := spin(0.01, 1000); got != "calm" {
+		t.Fatalf("calm spin regime = %q", got)
+	}
+	if got := spin(0.10, 1000); got != "contended" {
+		t.Fatalf("contended spin regime = %q", got)
+	}
+	if got := spin(0.50, 1000); got != "saturated" {
+		t.Fatalf("saturated spin regime = %q", got)
+	}
+	b, _ := DecideSpin(Signals{ConflictRate: 0.5, AcqSamples: 1000}, 100)
+	if b != spinSaturated {
+		t.Fatalf("saturated bounds = %+v", b)
+	}
+
+	gate := func(rate float64, samples uint64) string {
+		_, r := DecideGate(Signals{OptFailRate: rate, OptSamples: samples}, 64)
+		return r
+	}
+	if got := gate(0.9, 10); got != "hold" {
+		t.Fatalf("undersampled gate regime = %q, want hold", got)
+	}
+	if got := gate(0.95, 1000); got != "hostile" {
+		t.Fatalf("hostile gate regime = %q", got)
+	}
+	if got := gate(0.005, 1000); got != "friendly" {
+		t.Fatalf("friendly gate regime = %q", got)
+	}
+	// A ~40% failure rate still amortizes — re-executing four attempts
+	// in ten costs less than always paying the pessimistic envelope —
+	// so the regime stays lenient, not hostile.
+	if got := gate(0.40, 1000); got != "friendly" {
+		t.Fatalf("moderate-failure gate regime = %q, want friendly", got)
+	}
+	if got := gate(0.70, 1000); got != "neutral" {
+		t.Fatalf("neutral gate regime = %q", got)
+	}
+
+	if on, r := DecideSummaryScan(Signals{ConflictRate: 0.2, AcqSamples: 1000}, false, 100); !on || r != "scan" {
+		t.Fatalf("contended summary decision = (%v, %q)", on, r)
+	}
+	if on, r := DecideSummaryScan(Signals{ConflictRate: 0.005, AcqSamples: 1000}, true, 100); on || r != "exact" {
+		t.Fatalf("idle summary decision = (%v, %q)", on, r)
+	}
+	// The dead band holds whatever is current.
+	if on, r := DecideSummaryScan(Signals{ConflictRate: 0.05, AcqSamples: 1000}, true, 100); !on || r != "hold" {
+		t.Fatalf("dead-band summary decision = (%v, %q)", on, r)
+	}
+}
+
+func TestSignalsFrom(t *testing.T) {
+	prev := telemetry.GroupStats{FastPath: 100, Slow: 10, OptimisticHits: 50, OptimisticRetries: 0, Waits: 5, WaitNanos: 1000, Stalls: 1}
+	cur := telemetry.GroupStats{FastPath: 160, Slow: 50, OptimisticHits: 110, OptimisticRetries: 40, Waits: 15, WaitNanos: 21000, Stalls: 3}
+	sig := signalsFrom(prev, cur, time.Second)
+	if sig.AcqSamples != 100 {
+		t.Fatalf("AcqSamples = %d", sig.AcqSamples)
+	}
+	if sig.ConflictRate != 0.4 {
+		t.Fatalf("ConflictRate = %v", sig.ConflictRate)
+	}
+	if sig.OptSamples != 100 || sig.OptFailRate != 0.4 {
+		t.Fatalf("opt signals = (%d, %v)", sig.OptSamples, sig.OptFailRate)
+	}
+	if sig.OptRetriesDelta != 40 {
+		t.Fatalf("OptRetriesDelta = %d, want 40", sig.OptRetriesDelta)
+	}
+	if sig.WaitsDelta != 10 || sig.AvgWaitNanos != 2000 {
+		t.Fatalf("wait signals = (%d, %v)", sig.WaitsDelta, sig.AvgWaitNanos)
+	}
+	if sig.StallRate != 2 {
+		t.Fatalf("StallRate = %v", sig.StallRate)
+	}
+	// A shrunk population (provider churn) clamps to zero, not negative.
+	neg := signalsFrom(cur, prev, time.Second)
+	if neg.AcqSamples != 0 || neg.OptSamples != 0 || neg.WaitsDelta != 0 {
+		t.Fatalf("negative deltas not clamped: %+v", neg)
+	}
+}
+
+// contendedTable builds a one-mode table whose mode conflicts with
+// itself (a point write on a map key), the simplest way to manufacture
+// any contention level.
+func contendedTable(t *testing.T) (*core.ModeTable, core.ModeID) {
+	t.Helper()
+	set := core.SymSetOf(
+		core.SymOpOf("put", core.VarArg("k"), core.Star()),
+		core.SymOpOf("remove", core.VarArg("k")))
+	tbl := core.NewModeTable(adtspecs.Map(), []core.SymSet{set},
+		core.TableOptions{Phi: core.NewPhi(4)})
+	return tbl, tbl.Set(set).Mode1(core.Value(1))
+}
+
+// TestControllerSaturatedWorkload drives the full observe/decide/apply
+// loop against a real instance pinned at 100% conflict: the controller
+// must move the spin bounds to the saturated regime, speed the watchdog
+// up while stalls flow, enable managed wait timing, and undo the global
+// toggles after a quiet spell.
+func TestControllerSaturatedWorkload(t *testing.T) {
+	tbl, mode := contendedTable(t)
+	s := core.NewSemantic(tbl)
+	reg := telemetry.NewRegistry()
+	reg.Register("hot", "map", s)
+
+	wd := core.NewWatchdog(core.WatchdogConfig{Threshold: time.Hour, Interval: 40 * time.Millisecond})
+	defer core.SetWaitTiming(false)
+	c := New(Config{
+		Registry:         reg,
+		Interval:         10 * time.Millisecond,
+		Watchdog:         wd,
+		DecideStreak:     2,
+		CooldownTicks:    2,
+		ManageWaitTiming: true,
+		MinAcqSamples:    1,
+		MinOptSamples:    1,
+	})
+
+	// Hold the self-conflicting mode so every bounded acquisition below
+	// runs the slow path and times out (conflict rate 1.0, stalls > 0).
+	s.Acquire(mode)
+	c.Tick() // baseline snapshot
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 4; i++ {
+			if err := s.AcquireWithin(mode, time.Millisecond); err == nil {
+				t.Fatal("conflicting AcquireWithin unexpectedly succeeded")
+			}
+		}
+		c.Tick()
+	}
+	s.Release(mode)
+
+	if got := s.SpinBoundsNow(); got != spinSaturated {
+		t.Fatalf("spin bounds = %+v, want saturated %+v", got, spinSaturated)
+	}
+	if got := wd.Interval(); got != 10*time.Millisecond {
+		t.Fatalf("watchdog interval = %v, want quartered 10ms", got)
+	}
+	if !core.WaitTimingEnabled() {
+		t.Fatal("managed wait timing not enabled under stalls")
+	}
+	if c.Applies() == 0 {
+		t.Fatal("controller reports zero applies")
+	}
+
+	// State rows carry the regime and the live knob values.
+	rows := c.State()
+	if len(rows) != 1 {
+		t.Fatalf("state rows = %d, want 1", len(rows))
+	}
+	if rows[0].Kind != "controller" || rows[0].Policy != "controlplane/hot/map" {
+		t.Fatalf("state row identity = %+v", rows[0])
+	}
+	if rows[0].Counters["spin_max"] != uint64(spinSaturated.Max) {
+		t.Fatalf("state spin_max = %d, want %d", rows[0].Counters["spin_max"], spinSaturated.Max)
+	}
+
+	// Quiet spell: no traffic for enough ticks turns the global toggles
+	// back off and restores the watchdog.
+	for i := 0; i < waitQuietTicks+1; i++ {
+		c.Tick()
+	}
+	if core.WaitTimingEnabled() {
+		t.Fatal("managed wait timing still on after quiet spell")
+	}
+	if got := wd.Interval(); got != 40*time.Millisecond {
+		t.Fatalf("watchdog interval = %v, want restored 40ms", got)
+	}
+}
+
+// TestControllerFriendlyGate: an uncontested optimistic workload (scans
+// with zero validation failures) must move the gate to the lenient
+// regime through the same loop.
+func TestControllerFriendlyGate(t *testing.T) {
+	st := rangestore.New(4, 64)
+	for k := 0; k < 8; k++ {
+		st.PutPair(k)
+	}
+	reg := telemetry.NewRegistry()
+	reg.Register("store", "map", st.Sems()...)
+	c := New(Config{Registry: reg, DecideStreak: 2, CooldownTicks: 2, MinAcqSamples: 1, MinOptSamples: 1})
+
+	c.Tick()
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 200; i++ {
+			if st.Scan()%2 != 0 {
+				t.Fatal("torn scan")
+			}
+		}
+		c.Tick()
+	}
+	for _, s := range st.Sems() {
+		if got := s.OptGateParamsNow(); got != gateFriendly {
+			t.Fatalf("gate params = %+v, want friendly %+v", got, gateFriendly)
+		}
+	}
+	// ResetKnobs restores the defaults on every registered instance.
+	c.ResetKnobs()
+	for _, s := range st.Sems() {
+		if got := s.OptGateParamsNow(); got != core.DefaultOptGateParams() {
+			t.Fatalf("gate params after reset = %+v", got)
+		}
+		if got := s.SpinBoundsNow(); got != core.DefaultSpinBounds() {
+			t.Fatalf("spin bounds after reset = %+v", got)
+		}
+	}
+}
+
+// TestControllerGateEvidencePoolsAcrossStarvedTicks: a workload whose
+// optimistic traffic arrives as a per-tick trickle below MinOptSamples
+// must still reach a gate decision — the controller pools the starved
+// ticks' evidence until it clears the floor, and the hysteresis streak
+// survives the hold ticks in between. Every attempt here is a genuine
+// validation failure (a conflicting acquire lands inside the read
+// window), so the pooled rate is 1.0 and the gate must go hostile.
+func TestControllerGateEvidencePoolsAcrossStarvedTicks(t *testing.T) {
+	readSet := core.SymSetOf(core.SymOpOf("get", core.VarArg("k")))
+	writeSet := core.SymSetOf(
+		core.SymOpOf("put", core.VarArg("k"), core.Star()),
+		core.SymOpOf("remove", core.VarArg("k")))
+	tbl := core.NewModeTable(adtspecs.Map(), []core.SymSet{readSet, writeSet},
+		core.TableOptions{Phi: core.NewPhi(8)})
+	s := core.NewSemantic(tbl)
+	rm := tbl.Set(readSet).Mode1(core.Value(3))
+	wm := tbl.Set(writeSet).Mode1(core.Value(3))
+
+	reg := telemetry.NewRegistry()
+	reg.Register("trickle", "map", s)
+	c := New(Config{
+		Registry:      reg,
+		DecideStreak:  2,
+		CooldownTicks: 2,
+		MinAcqSamples: 1 << 20, // spin/summary deciders stay out of the way
+		MinOptSamples: 32,
+	})
+
+	tx := core.NewTxn()
+	failOnce := func() {
+		if tx.TryOptimistic(func(tt *core.Txn) bool {
+			if !tt.Observe(s, rm, 0) {
+				return false
+			}
+			s.Acquire(wm)
+			s.Release(wm)
+			return true
+		}) {
+			t.Fatal("attempt validated despite an in-window conflicting acquire")
+		}
+	}
+
+	c.Tick() // baseline snapshot
+	// 8 failures per tick: each tick alone is far under the 32-sample
+	// floor. Pooling reaches the floor every 4th tick; two pooled
+	// hostile decisions (streak 2) must apply the hostile gate by tick 8.
+	for round := 1; round <= 8; round++ {
+		for i := 0; i < 8; i++ {
+			failOnce()
+		}
+		c.Tick()
+		if round == 7 && s.OptGateParamsNow() == gateHostile {
+			t.Fatal("hostile gate applied before the second pooled decision")
+		}
+	}
+	if got := s.OptGateParamsNow(); got != gateHostile {
+		t.Fatalf("gate params = %+v, want hostile %+v — starved-tick evidence was not pooled", got, gateHostile)
+	}
+}
+
+// TestControllerStartStop exercises the background ticker end to end:
+// policy rows appear in registry snapshots while running and vanish on
+// Stop.
+func TestControllerStartStop(t *testing.T) {
+	tbl, mode := contendedTable(t)
+	s := core.NewSemantic(tbl)
+	reg := telemetry.NewRegistry()
+	reg.Register("g", "map", s)
+	c := New(Config{Registry: reg, Interval: 2 * time.Millisecond, MinAcqSamples: 1})
+	c.Start()
+	defer c.Stop()
+	s.Acquire(mode)
+	s.Release(mode)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := reg.Snapshot()
+		if len(snap.Policies) > 0 {
+			if snap.Policies[0].Kind != "controller" {
+				t.Fatalf("policy row kind = %q", snap.Policies[0].Kind)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no controller policy rows after 2s of background ticking")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	if snap := reg.Snapshot(); len(snap.Policies) != 0 {
+		t.Fatalf("policy rows survive Stop: %+v", snap.Policies)
+	}
+	if n := c.Ticks(); n == 0 {
+		t.Fatal("background ticker never ticked")
+	}
+}

@@ -37,12 +37,20 @@ type LockStats struct {
 	WaitNanos int64
 	// OptimisticHits counts optimistic executions (Txn.TryOptimistic)
 	// whose end-of-section validation on this instance succeeded;
-	// OptimisticRetries counts validations that failed here — either at
-	// observation time (a conflicting holder was visible) or at
-	// validation time (a conflicting mode was released in the window) —
-	// forcing the section to re-run through the pessimistic prologue.
-	OptimisticHits    uint64
-	OptimisticRetries uint64
+	// OptimisticRetries counts validations that failed here — a
+	// conflicting mode was acquired inside the read window — discarding
+	// a completed body and forcing the section to re-run through the
+	// pessimistic prologue. OptimisticRefusals counts observations
+	// turned away before any body ran: a conflicting holder was visible
+	// at Observe time, or the mechanism cannot validate at all (v1, no
+	// version counters). A refusal wastes no work, so it is deliberately
+	// NOT a retry and does not feed the adaptive gate — counting it as a
+	// failure would let the pessimistic fallback a gate closure triggers
+	// keep the gate closed (every fallback holder refuses the optimists
+	// behind it, which reads as a high "failure" rate).
+	OptimisticHits     uint64
+	OptimisticRetries  uint64
+	OptimisticRefusals uint64
 }
 
 // waitSampling globally enables the per-waiter wait timestamps (and
@@ -51,15 +59,9 @@ type LockStats struct {
 // which only telemetry consumers should pay for.
 var waitSampling atomic.Bool
 
-// SetWaitTiming turns global wait-time sampling on or off. The
-// telemetry layer calls this when a metrics consumer attaches; a
-// Watchdog.Watch enables sampling per instance regardless of this
-// switch. Waiters already parked keep whatever sampling state they
-// were created with.
-func SetWaitTiming(on bool) { waitSampling.Store(on) }
-
-// WaitTimingEnabled reports whether global wait-time sampling is on.
-func WaitTimingEnabled() bool { return waitSampling.Load() }
+// SetWaitTiming (internal/core/tuning.go) flips this switch; it also
+// records the enable instant so waiters parked before the flip settle
+// with a lower-bound wait instead of none at all.
 
 // Semantic is the per-ADT-instance semantic lock: the realization of the
 // synchronization API of §2.2 (lock / unlockAll) for one ADT instance.
@@ -98,13 +100,17 @@ type Semantic struct {
 	// (Txn.TryOptimistic). optHits/optRetries are the cumulative
 	// validation outcomes reported in LockStats; the three gate cells
 	// implement the windowed failure-rate hysteresis of
-	// optimisticAllowed/recordValidation. All padded: they sit on the
-	// section hot path of read-mostly workloads.
+	// optimisticAllowed/recordValidation, parameterized by optParams —
+	// the packed, runtime-tunable gate quadruple (see OptGateParams).
+	// All padded: they sit on the section hot path of read-mostly
+	// workloads.
 	optHits     padded.Uint64
 	optRetries  padded.Uint64
+	optRefused  padded.Uint64 // observe-time turn-aways; never enter the gate window
 	optGate     padded.Uint64 // 0 = enabled; n>0 = pessimistic runs left before the next probe
 	optWinFail  padded.Uint64
 	optWinTotal padded.Uint64
+	optParams   padded.Uint64 // packed OptGateParams (window, num, den, probe)
 }
 
 // NewSemantic creates the semantic lock for one ADT instance of the class
@@ -120,6 +126,7 @@ func NewSemantic(table *ModeTable) *Semantic {
 		s.mechs[i].init(table.partSizes[i], table.summaryOn[i])
 		s.v1[i].init(table.partSizes[i])
 	}
+	s.optParams.Store(packOptGate(DefaultOptGateParams()))
 	return s
 }
 
@@ -390,6 +397,7 @@ func (s *Semantic) Stats() LockStats {
 	}
 	out.OptimisticHits = s.optHits.Load()
 	out.OptimisticRetries = s.optRetries.Load()
+	out.OptimisticRefusals = s.optRefused.Load()
 	return out
 }
 
@@ -397,17 +405,20 @@ func (s *Semantic) Stats() LockStats {
 // Optimistic read validation (Txn.TryOptimistic)
 // ---------------------------------------------------------------------
 
-// The adaptive gate's tuning: validation outcomes are accounted in
-// windows of optWindow attempts; a window whose failure share reaches
-// optDisableNum/optDisableDen disables the optimistic path for
+// The adaptive gate's default tuning: validation outcomes are accounted
+// in windows of optWindow attempts; a window whose failure share
+// reaches optDisableNum/optDisableDen — i.e. fails·den >= window·num,
+// so with the defaults the gate closes at exactly 16 failures of 64,
+// and stays open at 15 — disables the optimistic path for
 // optProbeInterval executions, after which a single probe attempt
 // decides whether to re-enable. Contended instances thus degrade to the
 // pessimistic path at a bounded duty cycle (one wasted body execution
 // per ~optProbeInterval sections), which is what keeps the write-heavy
-// regression bounded.
+// regression bounded. These are the DEFAULTS of the per-instance packed
+// parameter cell (optParams); SetOptGateParams retunes a live instance.
 const (
 	optWindow        = 64
-	optDisableNum    = 1 // disable at ≥ 1/4 failures per window
+	optDisableNum    = 1 // disable at ≥ num/den = 1/4 failures per window
 	optDisableDen    = 4
 	optProbeInterval = 8192
 )
@@ -497,7 +508,7 @@ func (s *Semantic) optimisticAllowed() bool {
 		return true
 	}
 	n := s.optGate.Add(^uint64(0))
-	if n == 0 || n > optProbeInterval {
+	if n == 0 || n > uint64(unpackOptGate(s.optParams.Load()).ProbeInterval) {
 		// Reached (or raced past) the probe point. Clear the gate so the
 		// probe's recordValidation starts from the enabled state.
 		s.optGate.Store(0)
@@ -508,9 +519,18 @@ func (s *Semantic) optimisticAllowed() bool {
 
 // recordValidation accounts one optimistic outcome on the instance —
 // cumulative counters for telemetry, windowed counters for the gate. A
-// window whose failure share crosses the threshold disables the
-// optimistic path for optProbeInterval executions. All updates race
-// benignly; the gate is a heuristic, not an invariant.
+// window whose failure share reaches DisableNum/DisableDen (at the
+// boundary: exactly window·num/den failures close it, one fewer does
+// not) disables the optimistic path for ProbeInterval executions.
+//
+// Exactly ONE closer per window: the updater whose CompareAndSwap
+// resets the total owns the close. Racing updaters that also observed a
+// full window lose the CAS (the counter has moved past the value they
+// saw) and return — the double-close of the earlier Store-based code,
+// where two racers could each evaluate and re-arm the gate from one
+// window's partially-reset counts, cannot happen. The failure counter
+// is harvested with a Swap so a failure recorded between the closer's
+// read and reset is carried into the next window instead of vanishing.
 func (s *Semantic) recordValidation(ok bool) {
 	if ok {
 		s.optHits.Add(1)
@@ -518,18 +538,34 @@ func (s *Semantic) recordValidation(ok bool) {
 		s.optRetries.Add(1)
 		s.optWinFail.Add(1)
 	}
-	if s.optWinTotal.Add(1) < optWindow {
+	p := unpackOptGate(s.optParams.Load())
+	total := s.optWinTotal.Add(1)
+	if total < uint64(p.Window) {
 		return
 	}
-	// Close the window. Several racing closers just close it more than
-	// once with partially-reset counts — harmless.
-	s.optWinTotal.Store(0)
-	fails := s.optWinFail.Load()
-	s.optWinFail.Store(0)
-	if fails*optDisableDen >= optWindow*optDisableNum {
-		s.optGate.Store(optProbeInterval)
+	// total >= window also catches a window the controller shrank below
+	// the accumulated count mid-flight; whoever wins the CAS closes it.
+	if !s.optWinTotal.CompareAndSwap(total, 0) {
+		return
+	}
+	fails := s.optWinFail.Swap(0)
+	if fails*uint64(p.DisableDen) >= total*uint64(p.DisableNum) {
+		s.optGate.Store(uint64(p.ProbeInterval))
 	}
 }
+
+// recordRefusal accounts one observe-time turn-away: the attempt was
+// rejected before its body ran, so no work was wasted. Refusals stay
+// out of the gate's failure window on purpose. The gate's cost model
+// weighs wasted re-execution against the pessimistic envelope, and a
+// refusal wastes nothing — but more importantly, refusals are mostly
+// MANUFACTURED by the gate itself: once it closes, sections serialize
+// through the pessimistic fallback, every fallback holder refuses the
+// optimists arriving behind it, and if those refusals counted as
+// failures the gate would observe a near-total "failure" rate of its
+// own making and never re-open (and would starve the control plane of
+// honest samples while doing so).
+func (s *Semantic) recordRefusal() { s.optRefused.Add(1) }
 
 // OptimisticEnabled reports whether the adaptive gate currently admits
 // optimistic execution on the instance (telemetry/test hook; a false
@@ -607,10 +643,28 @@ type mechV2 struct {
 	summary  []padded.Int32  // per-word claim counts (over-approximate occupancy)
 	spin     padded.Int32    // adaptive fast-path retry bound
 
-	// useSummary is the compile-time decision to maintain summary
+	// spinMin/spinMax bound the adaptive retry count. They default to
+	// the former minSpin/maxSpin constants and are retuned at runtime by
+	// the control plane (Semantic.SetSpinBounds); only the contended
+	// path loads them, so the uncontended fast path is unchanged.
+	spinMin atomic.Int32
+	spinMax atomic.Int32
+
+	// maintainSummary is the compile-time decision to maintain summary
 	// counters (see ModeTable.summaryOn). When false, claims touch only
-	// their own counter and scans are exact.
-	useSummary bool
+	// their own counter and scans are exact. It is immutable: enabling
+	// maintenance on a live mechanism cannot reconstruct the
+	// over-approximation invariant without stopping the world.
+	maintainSummary bool
+	// scanSummary selects whether conflict scans USE the maintained
+	// summaries (the word-skip shortcut) or walk the exact flat slot
+	// list. Tunable at any moment (Semantic.SetSummaryScan): maintenance
+	// keeps the over-approximation invariant alive continuously, so
+	// either scan flavor is correct at every instant — the toggle only
+	// trades scan cost (summaries win on wide, mostly-idle masks; exact
+	// scans win when the words are hot and the summary load is pure
+	// overhead). Never true unless maintainSummary is.
+	scanSummary atomic.Bool
 
 	// watched is set once a Watchdog registers the instance. Slow-path
 	// waiters only pay a time.Now() for their diagnostic timestamp when
@@ -706,15 +760,47 @@ func (m *mechV2) getWaiter(mask []wordMask, log []Acquisition) *waiterV2 {
 	return w
 }
 
-// settleWait folds a finished waiter's measured wait into the
-// mechanism's cumulative wait time, just before the waiter returns to
-// the pool. Waiters without a timestamp (parked with both sampling
-// gates closed) contribute nothing — WaitNanos only ever reports
-// measured time, never a guess.
+// settleWait folds a finished waiter's wait into the mechanism's
+// cumulative wait time, just before the waiter returns to the pool.
+// Waiters with a park-time timestamp contribute their measured wait.
+// Waiters WITHOUT one — parked while every sampling gate was closed —
+// contribute a ">=" lower bound when a gate has opened since: time
+// measured from the gate-open instant (the earlier of the mechanism
+// becoming watched and the last SetWaitTiming enable), the same
+// semantics the watchdog uses for pre-Watch waiters
+// (WaiterInfo.Sampled). The bound is sound because an unsampled waiter
+// demonstrably parked before the gate opened. Without it, a controller
+// that enables wait timing mid-run would read zero-wait samples from
+// every waiter already parked — garbage that looks like an idle lock.
+// Waiters settling with every gate still closed contribute nothing.
 func (m *mechV2) settleWait(w *waiterV2) {
 	if !w.since.IsZero() {
 		m.waitNanos.Add(int64(time.Since(w.since)))
+		return
 	}
+	if at := m.waitBoundAt(); at != 0 {
+		if d := time.Now().UnixNano() - at; d > 0 {
+			m.waitNanos.Add(d)
+		}
+	}
+}
+
+// waitBoundAt returns the unix-nano instant from which an unsampled
+// waiter's wait can be lower-bounded: the earliest open sampling gate
+// (earlier instant = larger, still-sound bound), or 0 when no gate is
+// open. Any open gate's enable time is sound — a waiter with no
+// timestamp parked while that gate was closed, hence before it opened.
+func (m *mechV2) waitBoundAt() int64 {
+	var at int64
+	if m.watched.Load() {
+		at = m.watchedAt.Load()
+	}
+	if waitSampling.Load() {
+		if t := waitTimingAt.Load(); t != 0 && (at == 0 || t < at) {
+			at = t
+		}
+	}
+	return at
 }
 
 func putWaiter(w *waiterV2) {
@@ -724,6 +810,8 @@ func putWaiter(w *waiterV2) {
 	waiterPool.Put(w)
 }
 
+// The former spin constants, now the DEFAULTS of the per-mechanism
+// spinMin/spinMax cells (SetSpinBounds retunes a live instance).
 const (
 	minSpin     = 1
 	maxSpin     = 8
@@ -736,13 +824,16 @@ func (m *mechV2) init(nSlots int, useSummary bool) {
 	m.summary = make([]padded.Int32, words)
 	m.waitMask = make([]padded.Uint64, words)
 	m.spin.Store(initialSpin)
-	m.useSummary = useSummary
+	m.spinMin.Store(minSpin)
+	m.spinMax.Store(maxSpin)
+	m.maintainSummary = useSummary
+	m.scanSummary.Store(useSummary)
 }
 
 // claim publishes one acquisition attempt: summary first, counter
 // second, so the summary never under-approximates occupancy.
 func (m *mechV2) claim(slot int32) {
-	if m.useSummary {
+	if m.maintainSummary {
 		m.summary[slot>>6].Add(1)
 	}
 	m.counts[slot].Add(1)
@@ -752,7 +843,7 @@ func (m *mechV2) claim(slot int32) {
 // of claim, preserving the over-approximation invariant).
 func (m *mechV2) retreat(slot int32) {
 	m.counts[slot].Add(-1)
-	if m.useSummary {
+	if m.maintainSummary {
 		m.summary[slot>>6].Add(-1)
 	}
 }
@@ -778,10 +869,11 @@ func (m *mechV2) conflictsUnclaimed(c *maskInfo) bool {
 // caller's own claim in the caller's word — are skipped with a single
 // load; hot words fall back to the exact per-slot scan.
 func (m *mechV2) conflicts(c *maskInfo) bool {
-	if !m.useSummary {
+	if !m.scanSummary.Load() {
 		// Exact scan over the flat slot list: for the few conflicting
-		// slots of a summary-less mechanism this is cheaper than
-		// iterating the bitset words.
+		// slots of a summary-less mechanism (or one whose summary scan
+		// the control plane turned off) this is cheaper than iterating
+		// the bitset words.
 		for _, r := range c.refs {
 			if m.counts[r.slot].Load() > r.threshold {
 				return true
@@ -821,7 +913,9 @@ func (m *mechV2) tryAcquire(c *maskInfo) bool {
 	// retreat) rather than through claim/conflicts/retreat: the exact
 	// scan then inlines here, keeping the partitioned fast path at v1's
 	// instruction count (one call from acquire, no further calls).
-	if !m.useSummary {
+	// Keyed on the immutable maintenance decision, not the scan toggle,
+	// so the summary-less common case pays no atomic load here.
+	if !m.maintainSummary {
 		m.counts[c.selfSlot].Add(1)
 		for _, r := range c.refs {
 			if m.counts[r.slot].Load() > r.threshold {
@@ -857,23 +951,43 @@ func (m *mechV2) tryAcquire(c *maskInfo) bool {
 // first attempt happens in Semantic.Acquire before the adaptive bound
 // is even loaded, so the uncontended path pays no extra atomic load.
 func (m *mechV2) acquireContended(c *maskInfo, log []Acquisition) {
-	bound := m.spin.Load()
+	bound, mn, mx := m.spinBound()
 	for attempt := int32(1); attempt < bound; attempt++ {
 		if m.tryAcquire(c) {
 			m.fastPath.Add(1)
-			if bound < maxSpin {
+			if bound < mx {
 				// Retrying paid off; spend more retries next time.
 				m.spin.Store(bound + 1)
 			}
 			return
 		}
 	}
-	if bound > minSpin {
+	if bound > mn {
 		// Conflicts persisted through every retry; fall through to the
 		// slow path sooner next time.
 		m.spin.Store(bound - 1)
 	}
 	m.slowAcquire(c, log)
+}
+
+// spinBound loads the adaptive retry count clamped into the current
+// (tunable) bounds. The clamp matters after a retune: the floating
+// count may sit outside the new [min, max] and must re-enter it rather
+// than keep drifting from a stale position.
+func (m *mechV2) spinBound() (bound, mn, mx int32) {
+	bound = m.spin.Load()
+	mn, mx = m.spinMin.Load(), m.spinMax.Load()
+	if mx < mn {
+		// A retuner stores min before max; between the two stores the
+		// pair can be momentarily inverted. Collapse to the min.
+		mx = mn
+	}
+	if bound < mn {
+		bound = mn
+	} else if bound > mx {
+		bound = mx
+	}
+	return bound, mn, mx
 }
 
 // slowAcquire serializes claim-and-scan through the internal lock and
@@ -1268,7 +1382,7 @@ func (m *mechV2) tryAcquireBatch(b *batchScan) bool {
 // a word whose summary does not exceed the batch's own claims on its
 // slots holds no foreign claims and is skipped with one load.
 func (m *mechV2) conflictsBatch(b *batchScan) bool {
-	if !m.useSummary {
+	if !m.scanSummary.Load() {
 		for _, r := range b.refs {
 			if m.counts[r.slot].Load() > r.threshold {
 				return true
@@ -1298,17 +1412,17 @@ func (m *mechV2) conflictsBatch(b *batchScan) bool {
 // adaptive retries sharing the mechanism's spin bound, then the
 // blocking slow path.
 func (m *mechV2) acquireBatchContended(b *batchScan, log []Acquisition) {
-	bound := m.spin.Load()
+	bound, mn, mx := m.spinBound()
 	for attempt := int32(1); attempt < bound; attempt++ {
 		if m.tryAcquireBatch(b) {
 			m.fastPath.Add(1)
-			if bound < maxSpin {
+			if bound < mx {
 				m.spin.Store(bound + 1)
 			}
 			return
 		}
 	}
-	if bound > minSpin {
+	if bound > mn {
 		m.spin.Store(bound - 1)
 	}
 	m.slowAcquireBatch(b, log)

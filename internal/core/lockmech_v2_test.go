@@ -40,7 +40,7 @@ func TestMechV2SummaryInvariant(t *testing.T) {
 	tbl := mapTable(t, 64, TableOptions{})
 	s := NewSemantic(tbl)
 	for mi := range s.mechs {
-		if !s.mechs[mi].useSummary {
+		if !s.mechs[mi].maintainSummary {
 			t.Fatal("test premise: wildcard mechanism must maintain summaries")
 		}
 	}
@@ -83,7 +83,7 @@ func TestMechV2SummaryOff(t *testing.T) {
 	tbl := mapTable(t, 4, TableOptions{}) // size mask = 4 slots < cutoff
 	s := NewSemantic(tbl)
 	for mi := range s.mechs {
-		if s.mechs[mi].useSummary {
+		if s.mechs[mi].maintainSummary {
 			t.Fatal("narrow-mask mechanism should not maintain summaries")
 		}
 	}

@@ -144,8 +144,9 @@ type modeMemo struct {
 // allocating, and without an indirect call. Values must be comparable
 // (they already must be to serve as φ assignments and ADT keys).
 func (t *Txn) CachedMode1(r SetRef, v Value) ModeID {
-	for i := range t.memo {
-		m := &t.memo[i]
+	memo := t.memo[:modeMemoLimit.Load()]
+	for i := range memo {
+		m := &memo[i]
 		if m.t == r.t && m.set == r.idx && m.nvals == 1 && m.v0 == v {
 			return m.mode
 		}
@@ -158,8 +159,9 @@ func (t *Txn) CachedMode1(r SetRef, v Value) ModeID {
 // CachedMode2 is CachedMode1 for two-variable sets; values follow the
 // set's canonical Vars() order, exactly as in SetRef.Mode2.
 func (t *Txn) CachedMode2(r SetRef, a, b Value) ModeID {
-	for i := range t.memo {
-		m := &t.memo[i]
+	memo := t.memo[:modeMemoLimit.Load()]
+	for i := range memo {
+		m := &memo[i]
 		if m.t == r.t && m.set == r.idx && m.nvals == 2 && m.v0 == a && m.v1 == b {
 			return m.mode
 		}
@@ -169,13 +171,21 @@ func (t *Txn) CachedMode2(r SetRef, a, b Value) ModeID {
 	return id
 }
 
-// memoStore inserts an entry round-robin. Eviction order barely
-// matters: the memo exists for the tight re-lock loops of one section,
-// where the working set is far below modeMemoSize.
+// memoStore inserts an entry round-robin within the tunable effective
+// size (SetModeMemoLimit). Eviction order barely matters: the memo
+// exists for the tight re-lock loops of one section, where the working
+// set is far below the limit. A shrink can leave memoNext past the new
+// limit; the wrap check catches that and entries beyond the limit are
+// never read (CachedMode1/2 scan memo[:limit]) until a grow makes them
+// eligible again — they hold older but never-wrong selections.
 func (t *Txn) memoStore(m modeMemo) {
+	lim := uint8(modeMemoLimit.Load())
+	if t.memoNext >= lim {
+		t.memoNext = 0
+	}
 	t.memo[t.memoNext] = m
 	t.memoNext++
-	if t.memoNext == modeMemoSize {
+	if t.memoNext >= lim {
 		t.memoNext = 0
 	}
 }

@@ -60,8 +60,11 @@ func TestOptimisticObserveSeesHolder(t *testing.T) {
 	}
 	e.sem.Release(w)
 	st := e.sem.Stats()
-	if st.OptimisticRetries != 1 {
-		t.Fatalf("retries=%d after observe-time conflict, want 1", st.OptimisticRetries)
+	if st.OptimisticRefusals != 1 {
+		t.Fatalf("refusals=%d after observe-time conflict, want 1", st.OptimisticRefusals)
+	}
+	if st.OptimisticRetries != 0 {
+		t.Fatalf("retries=%d after observe-time conflict, want 0 — no body ran, nothing was re-executed", st.OptimisticRetries)
 	}
 	if !e.tryRead(tx, 3) {
 		t.Fatal("optimistic read failed after the writer released")
@@ -123,23 +126,37 @@ func TestOptimisticV1MechanismFallsBack(t *testing.T) {
 }
 
 // TestOptimisticGateDisablesAndProbes drives the windowed failure gate:
-// a window of observe-time conflicts must disable the optimistic path,
-// and after the contention clears the countdown probe must re-open it.
+// a window of validation failures — bodies that ran to completion but
+// were invalidated by an in-window conflicting acquire — must disable
+// the optimistic path, and once the contention clears the countdown
+// probe must re-open it.
 func TestOptimisticGateDisablesAndProbes(t *testing.T) {
 	e := newOptTestEnv(t)
 	w := e.write.Mode1(3)
 	tx := NewTxn()
 
-	e.sem.Acquire(w)
+	// Each attempt observes cleanly, then a conflicting writer acquires
+	// and releases inside the read window: the body's work is discarded
+	// at validation — the genuine re-execution cost the gate exists to
+	// bound.
+	failValidation := func() bool {
+		return tx.TryOptimistic(func(tt *Txn) bool {
+			if !tt.Observe(e.sem, e.read.Mode1(3), 0) {
+				return false
+			}
+			e.sem.Acquire(w)
+			e.sem.Release(w)
+			return true
+		})
+	}
 	for i := 0; i < optWindow; i++ {
-		if e.tryRead(tx, 3) {
-			t.Fatal("read validated under a held conflicting mode")
+		if failValidation() {
+			t.Fatal("read validated despite an in-window conflicting acquire")
 		}
 	}
 	if e.sem.OptimisticEnabled() {
 		t.Fatal("gate still enabled after a full window of failures")
 	}
-	e.sem.Release(w)
 
 	// Disabled: attempts fail fast without touching the instance, until
 	// the countdown admits a probe, which now succeeds and re-opens.
@@ -155,6 +172,43 @@ func TestOptimisticGateDisablesAndProbes(t *testing.T) {
 	}
 	if !e.sem.OptimisticEnabled() {
 		t.Fatal("gate not re-enabled after a successful probe")
+	}
+}
+
+// TestOptimisticRefusalsDoNotCloseGate is the regression test for the
+// gate's feedback loop: observe-time refusals — attempts turned away by
+// a visible conflicting holder before any body ran — must not count
+// toward the gate's failure window. A closed gate serializes sections
+// through the pessimistic fallback, and every fallback holder refuses
+// the optimists arriving behind it; if those refusals fed the window,
+// the gate would hold itself shut on evidence it manufactured. Here a
+// held writer refuses several windows' worth of attempts and the gate
+// must stay open throughout.
+func TestOptimisticRefusalsDoNotCloseGate(t *testing.T) {
+	e := newOptTestEnv(t)
+	w := e.write.Mode1(3)
+	tx := NewTxn()
+
+	e.sem.Acquire(w)
+	for i := 0; i < 4*optWindow; i++ {
+		if e.tryRead(tx, 3) {
+			t.Fatal("read validated under a held conflicting mode")
+		}
+	}
+	e.sem.Release(w)
+
+	if !e.sem.OptimisticEnabled() {
+		t.Fatal("observe-time refusals closed the gate; refusals waste no work and must not count as failures")
+	}
+	st := e.sem.Stats()
+	if got, want := st.OptimisticRefusals, uint64(4*optWindow); got != want {
+		t.Fatalf("refusals=%d, want %d", got, want)
+	}
+	if st.OptimisticRetries != 0 {
+		t.Fatalf("retries=%d, want 0 — no body ever ran", st.OptimisticRetries)
+	}
+	if !e.tryRead(tx, 3) {
+		t.Fatal("optimistic read failed after the holder released")
 	}
 }
 

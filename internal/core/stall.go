@@ -311,7 +311,8 @@ type WaiterInfo struct {
 	// Sampled reports whether Waited is a measured duration. Waiters
 	// that parked before wait timing was available on their mechanism
 	// carry no timestamp; for those Waited is a lower bound — time since
-	// the instance became watched — and Sampled is false.
+	// a sampling gate opened (the instance becoming watched, or a
+	// SetWaitTiming enable, whichever came first) — and Sampled is false.
 	Sampled bool          `json:"sampled"`
 	Log     []Acquisition `json:"log,omitempty"`
 }
@@ -376,6 +377,12 @@ type WatchdogConfig struct {
 type Watchdog struct {
 	cfg WatchdogConfig
 
+	// interval is the live sampling period (nanoseconds). It starts at
+	// cfg.Interval and can be retuned while the sampler runs
+	// (SetInterval) — the adaptive control plane slows sampling on a
+	// quiet runtime and speeds it up when stalls recur.
+	interval atomic.Int64
+
 	mu   sync.Mutex
 	sems []*Semantic
 
@@ -391,8 +398,23 @@ func NewWatchdog(cfg WatchdogConfig) *Watchdog {
 	if cfg.Interval <= 0 {
 		cfg.Interval = cfg.Threshold / 2
 	}
-	return &Watchdog{cfg: cfg}
+	d := &Watchdog{cfg: cfg}
+	d.interval.Store(int64(cfg.Interval))
+	return d
 }
+
+// SetInterval retunes the background sampler's period at runtime.
+// Non-positive intervals are ignored. A running sampler applies the
+// change at its next tick (it waits out at most one old interval
+// first); a stopped one picks it up on Start.
+func (d *Watchdog) SetInterval(iv time.Duration) {
+	if iv > 0 {
+		d.interval.Store(int64(iv))
+	}
+}
+
+// Interval returns the sampler's current period.
+func (d *Watchdog) Interval() time.Duration { return time.Duration(d.interval.Load()) }
 
 // Watch registers an instance for sampling. It also marks the
 // instance's mechanisms as watched, which turns on the per-waiter wait
@@ -466,11 +488,12 @@ func (s *Semantic) sampleMech(p int, now time.Time, threshold time.Duration) (St
 		sampled := !w.since.IsZero()
 		if sampled {
 			waited = now.Sub(w.since)
-		} else if at := m.watchedAt.Load(); at != 0 {
+		} else if at := m.waitBoundAt(); at != 0 {
 			// Parked before timing was available on this mechanism; its
 			// true wait start is unknown. Lower-bound the wait from the
-			// moment the instance became watched — the bound keeps
-			// growing, so a permanently stuck pre-Watch waiter crosses
+			// earliest open sampling gate — the instance becoming
+			// watched or a SetWaitTiming enable — so the bound keeps
+			// growing and a permanently stuck pre-gate waiter crosses
 			// the threshold and gets reported instead of being skipped
 			// forever.
 			waited = now.Sub(time.Unix(0, at))
@@ -535,13 +558,18 @@ func (d *Watchdog) Start() {
 
 func (d *Watchdog) run(stop, done chan struct{}) {
 	defer close(done)
-	ticker := time.NewTicker(d.cfg.Interval)
+	iv := d.Interval()
+	ticker := time.NewTicker(iv)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-stop:
 			return
 		case <-ticker.C:
+			if cur := d.Interval(); cur != iv {
+				iv = cur
+				ticker.Reset(iv)
+			}
 			if d.cfg.OnStall == nil {
 				continue
 			}

@@ -409,9 +409,13 @@ func (t *Txn) Observe(s *Semantic, m ModeID, rank int) bool {
 	ver, ok := s.observeMode(m)
 	if !ok {
 		// A conflicting holder is visible right now: the pessimistic
-		// prologue would have blocked. Count it as a failed validation
-		// so the gate sees the contention.
-		s.recordValidation(false)
+		// prologue would have blocked. This is a refusal, not a failed
+		// validation — no body ran, nothing is re-executed — and it must
+		// not feed the gate's failure window: fallback holders (which a
+		// gate closure itself produces) refuse every optimist behind
+		// them, and accounting those as failures locks the gate shut on
+		// evidence of its own making.
+		s.recordRefusal()
 		return false
 	}
 	t.optSnaps = append(t.optSnaps, optSnap{sem: s, mode: m, rank: rank, ver: ver})

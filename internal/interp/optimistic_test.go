@@ -84,8 +84,8 @@ func TestOptimisticInterpCommits(t *testing.T) {
 }
 
 // TestOptimisticInterpFallsBack: with the v1 lock mechanism (no version
-// counters) observation always fails, so the interpreter re-runs the
-// pessimistic fallback — same answer, retry counted, no hit.
+// counters) observation always refuses, so the interpreter runs the
+// pessimistic fallback — same answer, refusal counted, no hit.
 func TestOptimisticInterpFallsBack(t *testing.T) {
 	e := buildOccExec(t)
 	m := e.NewInstance("Map", "Map")
@@ -105,8 +105,11 @@ func TestOptimisticInterpFallsBack(t *testing.T) {
 	if st.OptimisticHits != 0 {
 		t.Errorf("OptimisticHits = %d under the v1 mechanism", st.OptimisticHits)
 	}
-	if st.OptimisticRetries == 0 {
-		t.Errorf("OptimisticRetries = 0; the failed observation should count")
+	if st.OptimisticRefusals == 0 {
+		t.Errorf("OptimisticRefusals = 0; the refused observation should count")
+	}
+	if st.OptimisticRetries != 0 {
+		t.Errorf("OptimisticRetries = %d; a version-less refusal runs no body, so nothing is retried", st.OptimisticRetries)
 	}
 }
 

@@ -64,3 +64,9 @@ func (p *Uint64) Store(v uint64) { p.v.Store(v) }
 
 // Add atomically adds delta and returns the new value.
 func (p *Uint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
+
+// Swap atomically stores v and returns the previous value.
+func (p *Uint64) Swap(v uint64) uint64 { return p.v.Swap(v) }
+
+// CompareAndSwap executes the compare-and-swap operation.
+func (p *Uint64) CompareAndSwap(old, new uint64) bool { return p.v.CompareAndSwap(old, new) }

@@ -9,9 +9,9 @@ import (
 	"repro/internal/telemetry"
 )
 
-// TestOptimisticCountersInSnapshot: hits and retries recorded by
-// core.Txn.TryOptimistic surface in the snapshot row and in its JSON
-// form under the documented field names.
+// TestOptimisticCountersInSnapshot: hits, retries, and refusals
+// recorded by core.Txn.TryOptimistic surface in the snapshot row and in
+// its JSON form under the documented field names.
 func TestOptimisticCountersInSnapshot(t *testing.T) {
 	tbl, keys, _ := keyedTable(t)
 	s := core.NewSemantic(tbl)
@@ -25,7 +25,8 @@ func TestOptimisticCountersInSnapshot(t *testing.T) {
 		t.Fatal("uncontended optimistic run failed")
 	}
 	tx.Reset()
-	// One failed observation: a conflicting holder forces the retry.
+	// One refused observation: a conflicting holder turns the attempt
+	// away before any body runs — a refusal, not a retry.
 	holder := core.NewTxn()
 	holder.Lock(s, mode, 0)
 	if tx.TryOptimistic(func(tx *core.Txn) bool {
@@ -34,6 +35,20 @@ func TestOptimisticCountersInSnapshot(t *testing.T) {
 		t.Fatal("optimistic run must fail while a conflicting mode is held")
 	}
 	holder.UnlockAll()
+	tx.Reset()
+	// One genuine retry: the body completes but a conflicting acquire
+	// inside the read window invalidates it.
+	if tx.TryOptimistic(func(tx *core.Txn) bool {
+		if !tx.Observe(s, mode, 0) {
+			return false
+		}
+		w := core.NewTxn()
+		w.Lock(s, mode, 0)
+		w.UnlockAll()
+		return true
+	}) {
+		t.Fatal("optimistic run must fail validation after an in-window conflict")
+	}
 
 	r := telemetry.NewRegistry()
 	r.Register("occ", "Map", s)
@@ -44,12 +59,15 @@ func TestOptimisticCountersInSnapshot(t *testing.T) {
 	if row.OptimisticRetries != 1 {
 		t.Errorf("OptimisticRetries = %d, want 1", row.OptimisticRetries)
 	}
+	if row.OptimisticRefusals != 1 {
+		t.Errorf("OptimisticRefusals = %d, want 1", row.OptimisticRefusals)
+	}
 
 	raw, err := json.Marshal(row)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{`"optimistic_hits":1`, `"optimistic_retries":1`} {
+	for _, field := range []string{`"optimistic_hits":1`, `"optimistic_retries":1`, `"optimistic_refusals":1`} {
 		if !strings.Contains(string(raw), field) {
 			t.Errorf("JSON row missing %s: %s", field, raw)
 		}

@@ -45,13 +45,18 @@ type GroupStats struct {
 	// snapshot time — nonzero while sections are executing, and a leak
 	// indicator once a workload has drained (cf. Semantic.CheckQuiesced).
 	OutstandingHolds int64 `json:"outstanding_holds"`
-	// OptimisticHits / OptimisticRetries split the instances' optimistic
-	// attempts (core.Txn.TryOptimistic) into validated lock-free commits
-	// and discarded runs that re-ran through the pessimistic fallback. A
-	// high retry share means the adaptive gate is (or should be) closing
-	// the optimistic path for these instances.
-	OptimisticHits    uint64 `json:"optimistic_hits"`
-	OptimisticRetries uint64 `json:"optimistic_retries"`
+	// OptimisticHits / OptimisticRetries split the instances' completed
+	// optimistic attempts (core.Txn.TryOptimistic) into validated
+	// lock-free commits and discarded runs that re-ran through the
+	// pessimistic fallback. A high retry share means the adaptive gate
+	// is (or should be) closing the optimistic path for these instances.
+	// OptimisticRefusals counts attempts turned away at observation time
+	// before any body ran — a visible conflicting holder or a closed
+	// mechanism; cheap, and deliberately excluded from the retry count
+	// (see core.LockStats.OptimisticRefusals).
+	OptimisticHits     uint64 `json:"optimistic_hits"`
+	OptimisticRetries  uint64 `json:"optimistic_retries"`
+	OptimisticRefusals uint64 `json:"optimistic_refusals"`
 }
 
 // PolicyStats is one resilience-policy component's state at snapshot
@@ -221,6 +226,7 @@ func (r *Registry) Snapshot() Snapshot {
 			row.OutstandingHolds += s.OutstandingHolds()
 			row.OptimisticHits += st.OptimisticHits
 			row.OptimisticRetries += st.OptimisticRetries
+			row.OptimisticRefusals += st.OptimisticRefusals
 		}
 	}
 	sort.Slice(order, func(i, j int) bool {
@@ -243,6 +249,61 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, s := range netSources {
 		out.Net = append(out.Net, s.fn()...)
+	}
+	return out
+}
+
+// RegisteredGroup is one registered group's identity plus its current
+// instance list, with providers resolved at call time. The adaptive
+// control plane walks these to pair each group's telemetry deltas with
+// the core.Tuner handles it should retune — the registry is the single
+// source of "which instances belong to which workload", so the
+// controller needs no second registration channel.
+type RegisteredGroup struct {
+	Group string
+	Class string
+	Sems  []*core.Semantic
+}
+
+// Groups returns the currently registered groups with their instance
+// lists. Rows with the same (group, class) are merged, matching the
+// Snapshot aggregation, and sorted the same way. Providers are invoked
+// on the caller's goroutine under the same rules as Snapshot.
+func (r *Registry) Groups() []RegisteredGroup {
+	r.mu.Lock()
+	groups := append([]*group(nil), r.groups...)
+	r.mu.Unlock()
+
+	type key struct{ group, class string }
+	rows := make(map[key]*RegisteredGroup)
+	order := make([]key, 0, len(groups))
+	for _, g := range groups {
+		k := key{g.name, g.class}
+		row, ok := rows[k]
+		if !ok {
+			row = &RegisteredGroup{Group: g.name, Class: g.class}
+			rows[k] = row
+			order = append(order, k)
+		}
+		sems := g.sems
+		if g.provider != nil {
+			sems = g.provider()
+		}
+		for _, s := range sems {
+			if s != nil {
+				row.Sems = append(row.Sems, s)
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].group != order[j].group {
+			return order[i].group < order[j].group
+		}
+		return order[i].class < order[j].class
+	})
+	out := make([]RegisteredGroup, 0, len(order))
+	for _, k := range order {
+		out = append(out, *rows[k])
 	}
 	return out
 }

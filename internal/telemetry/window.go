@@ -33,7 +33,10 @@ type RateWindow struct {
 
 // NewRateWindow creates a window covering the trailing `window` duration
 // in `buckets` equal slices. buckets < 1 is treated as 1; window must be
-// positive.
+// positive. When window is not divisible by buckets the bucket duration
+// rounds UP (ceilDiv), so the covered span buckets×bucketDur is always
+// >= the requested window — truncating here made a 1s/7-bucket window
+// silently cover 994ms, under-reporting every rate read from it.
 func NewRateWindow(window time.Duration, buckets int) *RateWindow {
 	if buckets < 1 {
 		buckets = 1
@@ -42,10 +45,19 @@ func NewRateWindow(window time.Duration, buckets int) *RateWindow {
 		window = time.Second
 	}
 	return &RateWindow{
-		bucketDur: window / time.Duration(buckets),
+		bucketDur: ceilDiv(window, buckets),
 		buckets:   make([]uint64, buckets),
 		headStart: time.Now(),
 	}
+}
+
+// ceilDiv splits window into n bucket durations rounding up, so the
+// buckets jointly cover at least the requested window. A sliding window
+// that covers slightly more than asked overcounts nothing — Sum still
+// only reads recorded events — while one that covers less silently
+// drops the tail of the requested span.
+func ceilDiv(window time.Duration, n int) time.Duration {
+	return (window + time.Duration(n) - 1) / time.Duration(n)
 }
 
 // advanceLocked rotates the ring so the head bucket covers now, zeroing
@@ -118,7 +130,8 @@ type GaugeWindow struct {
 }
 
 // NewGaugeWindow creates a max-window covering the trailing `window`
-// duration in `buckets` equal slices.
+// duration in `buckets` equal slices. As in NewRateWindow, the bucket
+// duration rounds up so the covered span is never less than requested.
 func NewGaugeWindow(window time.Duration, buckets int) *GaugeWindow {
 	if buckets < 1 {
 		buckets = 1
@@ -127,7 +140,7 @@ func NewGaugeWindow(window time.Duration, buckets int) *GaugeWindow {
 		window = time.Second
 	}
 	return &GaugeWindow{
-		bucketDur: window / time.Duration(buckets),
+		bucketDur: ceilDiv(window, buckets),
 		buckets:   make([]int64, buckets),
 		headStart: time.Now(),
 	}
